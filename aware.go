@@ -1,0 +1,211 @@
+// Package aware is the public API of the AWARE reproduction: automatic
+// control of false discoveries during interactive data exploration
+// (Zhao et al., "Controlling False Discoveries During Interactive Data
+// Exploration", 2017).
+//
+// The package is a thin facade over the internal packages:
+//
+//   - internal/core      — the exploration Session, default-hypothesis
+//     heuristics, risk gauge, n_H1 annotation, hold-out validation
+//   - internal/investing — the α-investing procedure and the five investing
+//     rules (β-farsighted, γ-fixed, δ-hopeful, ε-hybrid, ψ-support)
+//   - internal/multcomp  — classic batch procedures (Bonferroni, BH, ...)
+//   - internal/dataset   — the columnar data substrate (tables, filters)
+//   - internal/census    — synthetic census data and user-study workflows
+//   - internal/stats     — distributions, tests, effect sizes, power
+//   - internal/simulation — the harness that regenerates the paper's figures
+//
+// A typical interactive session:
+//
+//	table, _ := aware.GenerateCensus(aware.CensusConfig{Rows: 30000, Seed: 1, SignalStrength: 1})
+//	session, _ := aware.NewSession(table, aware.SessionOptions{})
+//	viz, hyp, _ := session.AddVisualization("gender",
+//	    aware.Equals{Column: "salary_over_50k", Value: "true"})
+//	fmt.Println(session.Gauge().Render())
+//	_ = viz
+//	_ = hyp
+//
+// Everything is deterministic given explicit seeds and uses only the Go
+// standard library.
+package aware
+
+import (
+	"aware/internal/census"
+	"aware/internal/core"
+	"aware/internal/dataset"
+	"aware/internal/investing"
+	"aware/internal/multcomp"
+	"aware/internal/stats"
+)
+
+// Session is an AWARE exploration session; see internal/core.Session.
+type Session = core.Session
+
+// SessionOptions configures NewSession.
+type SessionOptions = core.Options
+
+// Hypothesis is one tracked hypothesis (a risk-gauge entry).
+type Hypothesis = core.Hypothesis
+
+// Visualization is one chart on the exploration canvas.
+type Visualization = core.Visualization
+
+// RiskGauge is the snapshot shown by the risk controller.
+type RiskGauge = core.RiskGauge
+
+// HoldoutValidator re-validates findings on a hold-out split (Section 4.1).
+type HoldoutValidator = core.HoldoutValidator
+
+// NewSession opens an exploration session over a table.
+func NewSession(data *Table, opts SessionOptions) (*Session, error) {
+	return core.NewSession(data, opts)
+}
+
+// NewHoldoutValidator splits data into exploration/validation halves.
+var NewHoldoutValidator = core.NewHoldoutValidator
+
+// Data substrate re-exports.
+type (
+	// Table is an immutable columnar table.
+	Table = dataset.Table
+	// Column is a typed column of a Table.
+	Column = dataset.Column
+	// Predicate filters table rows.
+	Predicate = dataset.Predicate
+	// Equals matches a categorical value.
+	Equals = dataset.Equals
+	// In matches any of a set of categorical values.
+	In = dataset.In
+	// Range matches a numeric interval.
+	Range = dataset.Range
+	// GreaterThan matches numeric values above a threshold.
+	GreaterThan = dataset.GreaterThan
+	// Not negates a predicate.
+	Not = dataset.Not
+	// And is a conjunction of predicates (a filter chain).
+	And = dataset.And
+	// Or is a disjunction of predicates.
+	Or = dataset.Or
+)
+
+// Column constructors.
+var (
+	NewTable             = dataset.NewTable
+	NewFloatColumn       = dataset.NewFloatColumn
+	NewIntColumn         = dataset.NewIntColumn
+	NewCategoricalColumn = dataset.NewCategoricalColumn
+	NewBoolColumn        = dataset.NewBoolColumn
+	ReadCSV              = dataset.ReadCSV
+)
+
+// Census data generation re-exports.
+type (
+	// CensusConfig controls the synthetic census generator.
+	CensusConfig = census.Config
+	// Workflow is a stream of user-study hypotheses.
+	Workflow = census.Workflow
+	// WorkflowConfig controls the workflow generator.
+	WorkflowConfig = census.WorkflowConfig
+)
+
+// Census generation functions.
+var (
+	GenerateCensus   = census.Generate
+	RandomizeCensus  = census.Randomize
+	GenerateWorkflow = census.GenerateWorkflow
+)
+
+// α-investing re-exports for users who want the procedure without the
+// session layer (for example automated screening pipelines).
+type (
+	// InvestingConfig is the mFDR control target (α, η, ω).
+	InvestingConfig = investing.Config
+	// InvestingPolicy assigns a level to each incoming test.
+	InvestingPolicy = investing.Policy
+	// Investor drives a policy over a stream of p-values.
+	Investor = investing.Investor
+	// Decision records one α-investing step.
+	Decision = investing.Decision
+	// TestContext carries support metadata for ψ-support.
+	TestContext = investing.TestContext
+)
+
+// Investing constructors with the paper's parameters available as defaults.
+var (
+	DefaultInvestingConfig = investing.DefaultConfig
+	NewInvestingConfig     = investing.NewConfig
+	NewInvestor            = investing.NewInvestor
+	NewFarsighted          = investing.NewFarsighted
+	NewFixed               = investing.NewFixed
+	NewHopeful             = investing.NewHopeful
+	NewHybrid              = investing.NewHybrid
+	NewSupport             = investing.NewSupport
+	BestFootForward        = investing.BestFootForward
+)
+
+// Batch procedures for offline / retrospective correction.
+type (
+	// BatchProcedure is a classic multiple-testing procedure over a complete
+	// p-value vector.
+	BatchProcedure = multcomp.Procedure
+	// BatchOutcome is the confusion matrix of a run against ground truth.
+	BatchOutcome = multcomp.Outcome
+)
+
+// Batch procedure values.
+var (
+	Bonferroni        = multcomp.Bonferroni{}
+	BenjaminiHochberg = multcomp.BenjaminiHochberg{}
+	SequentialFDR     = multcomp.SequentialFDR{}
+	EvaluateOutcome   = multcomp.Evaluate
+)
+
+// Statistical building blocks.
+type (
+	// TestResult is the outcome of a single statistical test.
+	TestResult = stats.TestResult
+	// Alternative selects the tested tail(s).
+	Alternative = stats.Alternative
+)
+
+// Statistical test functions and constants.
+var (
+	WelchTTest              = stats.WelchTTest
+	TwoSampleTTest          = stats.TwoSampleTTest
+	MannWhitneyU            = stats.MannWhitneyU
+	KolmogorovSmirnov       = stats.KolmogorovSmirnov
+	FisherExact             = stats.FisherExact
+	ChiSquaredGoodnessOfFit = stats.ChiSquaredGoodnessOfFit
+	ChiSquaredIndependence  = stats.ChiSquaredIndependence
+	NewRNG                  = stats.NewRNG
+)
+
+// SessionReport is the JSON-exportable snapshot of a session.
+type SessionReport = core.Report
+
+// ReadSessionReport parses a report written with SessionReport.WriteJSON.
+var ReadSessionReport = core.ReadReport
+
+// GeneralizedInvestor exposes the Aharoni–Rosset generalized α-investing
+// bookkeeping for custom spending schemes.
+type GeneralizedInvestor = investing.GeneralizedInvestor
+
+// NewGeneralizedInvestor builds a generalized investor with wealth α·η.
+var NewGeneralizedInvestor = investing.NewGeneralizedInvestor
+
+// Adaptive batch procedures (π0-aware variants of BH).
+var (
+	AdaptiveBH  = multcomp.StoreyAdaptiveBH{}
+	TwoStageBH  = multcomp.TwoStageAdaptiveBH{}
+	EstimatePi0 = multcomp.EstimatePi0
+)
+
+// Tail constants.
+const (
+	TwoSided = stats.TwoSided
+	Greater  = stats.Greater
+	Less     = stats.Less
+)
+
+// DefaultAlpha is the control level used throughout the paper (0.05).
+const DefaultAlpha = investing.DefaultAlpha

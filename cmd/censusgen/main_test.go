@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCensusgenWritesCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "census.csv")
+	if err := run(500, 1, 1, false, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 501 { // header + 500 rows
+		t.Errorf("CSV has %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "gender") || !strings.Contains(lines[0], "salary_over_50k") {
+		t.Errorf("header %q", lines[0])
+	}
+}
+
+func TestCensusgenRandomized(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "census_random.csv")
+	if err := run(200, 2, 1, true, out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCensusgenErrors(t *testing.T) {
+	if err := run(0, 1, 1, false, filepath.Join(t.TempDir(), "x.csv")); err == nil {
+		t.Error("zero rows should error")
+	}
+	if err := run(10, 1, 1, false, "/no/such/dir/file.csv"); err == nil {
+		t.Error("unwritable path should error")
+	}
+}

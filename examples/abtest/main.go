@@ -1,0 +1,107 @@
+// Abtest shows AWARE-style mFDR control for a continuously running A/B testing
+// platform — the "number of tests is not known upfront" setting that motivates
+// α-investing over Bonferroni/BH in the first place. Experiments arrive week
+// after week; each one is tested the moment its data is in, decisions are
+// final, and the marginal false discovery rate stays below 5% no matter how
+// long the program runs.
+//
+// Run with:
+//
+//	go run ./examples/abtest
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aware"
+)
+
+// experiment is one A/B test: conversion counts for control and treatment.
+type experiment struct {
+	name                 string
+	controlVisitors      int
+	controlConversions   int
+	treatmentVisitors    int
+	treatmentConversions int
+	trueLift             float64 // ground truth used only for the final tally
+}
+
+func main() {
+	rng := aware.NewRNG(7)
+
+	// Simulate 60 weekly experiments; one in five has a real +2pp lift.
+	const baseRate = 0.10
+	experiments := make([]experiment, 60)
+	for i := range experiments {
+		lift := 0.0
+		if i%5 == 0 {
+			lift = 0.02
+		}
+		e := experiment{
+			name:              fmt.Sprintf("week-%02d", i+1),
+			controlVisitors:   8000,
+			treatmentVisitors: 8000,
+			trueLift:          lift,
+		}
+		for v := 0; v < e.controlVisitors; v++ {
+			if rng.Float64() < baseRate {
+				e.controlConversions++
+			}
+		}
+		for v := 0; v < e.treatmentVisitors; v++ {
+			if rng.Float64() < baseRate+lift {
+				e.treatmentConversions++
+			}
+		}
+		experiments[i] = e
+	}
+
+	// γ-fixed keeps a constant budget per experiment, which fits a platform
+	// that wants predictable week-over-week behaviour.
+	cfg := aware.DefaultInvestingConfig()
+	policy, err := aware.NewFixed(20, cfg.InitialWealth())
+	if err != nil {
+		log.Fatal(err)
+	}
+	investor, err := aware.NewInvestor(cfg, policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	shipped, trueWins := 0, 0
+	for _, e := range experiments {
+		table := [2][2]int{
+			{e.treatmentConversions, e.treatmentVisitors - e.treatmentConversions},
+			{e.controlConversions, e.controlVisitors - e.controlConversions},
+		}
+		res, err := aware.FisherExact(table, aware.Greater)
+		if err != nil {
+			log.Fatal(err)
+		}
+		decision, err := investor.Test(res.PValue, aware.TestContext{
+			SupportSize:    e.treatmentVisitors + e.controlVisitors,
+			PopulationSize: e.treatmentVisitors + e.controlVisitors,
+		})
+		if err != nil {
+			fmt.Printf("%s: experimentation budget exhausted (%v) — pausing launches\n", e.name, err)
+			break
+		}
+		if decision.Rejected {
+			shipped++
+			real := ""
+			if e.trueLift > 0 {
+				trueWins++
+			} else {
+				real = "  <-- would have been a false launch without the lift being real"
+			}
+			fmt.Printf("%s: SHIP (p=%.4f at level %.4f, odds ratio %.2f)%s\n",
+				e.name, res.PValue, decision.Alpha, res.EffectSize, real)
+		}
+	}
+
+	fmt.Printf("\n%d experiments evaluated, %d shipped, %d of the shipped changes had a real lift\n",
+		investor.TestCount(), shipped, trueWins)
+	fmt.Printf("remaining alpha-wealth: %.4f — mFDR stays below %.0f%% however many more weeks follow\n",
+		investor.Wealth(), 100*cfg.Alpha)
+}

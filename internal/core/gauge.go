@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RiskGauge is a snapshot of the state shown in AWARE's risk controller
+// (Figure 2 A): the control level, the remaining α-wealth, and a list entry
+// per hypothesis.
+type RiskGauge struct {
+	// Alpha is the mFDR control level ("budget for the false discovery rate").
+	Alpha float64
+	// InitialWealth and RemainingWealth bracket the α-investing budget.
+	InitialWealth   float64
+	RemainingWealth float64
+	// Policy names the active investing rule.
+	Policy string
+	// Hypotheses is the scrollable list of tracked hypotheses (most recent
+	// last), including superseded and deleted entries.
+	Hypotheses []*Hypothesis
+	// Discoveries, Tests and Starred are the headline counters.
+	Tests       int
+	Discoveries int
+	Starred     int
+	// Exhausted indicates that the procedure ran out of wealth and the user
+	// should stop exploring (Section 5.8).
+	Exhausted bool
+}
+
+// Gauge returns the current risk-gauge snapshot.
+func (s *Session) Gauge() RiskGauge {
+	g := RiskGauge{
+		Alpha:           s.alpha,
+		InitialWealth:   s.investor.Config().InitialWealth(),
+		RemainingWealth: s.investor.Wealth(),
+		Policy:          s.PolicyName(),
+		Hypotheses:      s.Hypotheses(),
+		Exhausted:       s.investor.Exhausted(),
+	}
+	for _, h := range s.hypotheses {
+		if h.Status != StatusActive {
+			continue
+		}
+		g.Tests++
+		if h.Rejected {
+			g.Discoveries++
+		}
+		if h.Starred && h.Rejected {
+			g.Starred++
+		}
+	}
+	return g
+}
+
+// Render produces the textual risk gauge used by the CLI front-end and the
+// examples: a header with the budget followed by one line per hypothesis.
+func (g RiskGauge) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "risk gauge — policy %s, alpha %.2f%%\n", g.Policy, 100*g.Alpha)
+	fmt.Fprintf(&b, "wealth %.4f / %.4f", g.RemainingWealth, g.InitialWealth)
+	if g.Exhausted {
+		b.WriteString("  [EXHAUSTED — stop exploring]")
+	}
+	fmt.Fprintf(&b, "\ntests %d, discoveries %d, starred %d\n", g.Tests, g.Discoveries, g.Starred)
+	for _, h := range g.Hypotheses {
+		line := h.Summary()
+		switch h.Status {
+		case StatusSuperseded:
+			line += "  [superseded]"
+		case StatusDeleted:
+			line += "  [deleted]"
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

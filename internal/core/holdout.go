@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aware/internal/dataset"
+	"aware/internal/stats"
+)
+
+// HoldoutResult reports the outcome of re-validating a comparison on a
+// hold-out split, the procedure analysed (and criticised) in Section 4.1: a
+// finding counts as confirmed only when both the exploration and the
+// validation half reject at level alpha, which lowers the effective
+// significance level to roughly alpha² but also multiplies the miss rates.
+type HoldoutResult struct {
+	// Exploration and Validation are the two independent test results.
+	Exploration stats.TestResult
+	Validation  stats.TestResult
+	// Confirmed is true when both halves reject at Alpha.
+	Confirmed bool
+	// Alpha is the per-half significance level that was used.
+	Alpha float64
+}
+
+// HoldoutValidator splits a dataset into an exploration and a validation half
+// and re-tests mean-comparison findings on both, mirroring the paper's
+// Section 4.1 analysis. It exists so the hold-out experiment and bench can
+// quantify the power loss relative to testing on the full data.
+type HoldoutValidator struct {
+	exploration *dataset.Table
+	validation  *dataset.Table
+	alpha       float64
+}
+
+// NewHoldoutValidator splits data into an exploration fraction and a
+// validation remainder using rng.
+func NewHoldoutValidator(data *dataset.Table, explorationFraction, alpha float64, rng *rand.Rand) (*HoldoutValidator, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("core: holdout alpha must be in (0, 1), got %v", alpha)
+	}
+	explore, validate, err := data.Split(rng, explorationFraction)
+	if err != nil {
+		return nil, err
+	}
+	return &HoldoutValidator{exploration: explore, validation: validate, alpha: alpha}, nil
+}
+
+// Exploration returns the exploration half.
+func (h *HoldoutValidator) Exploration() *dataset.Table { return h.exploration }
+
+// Validation returns the hold-out half.
+func (h *HoldoutValidator) Validation() *dataset.Table { return h.validation }
+
+// CompareMeans tests whether the mean of numericAttr differs between the
+// filtered sub-population and its complement, independently on the
+// exploration and validation halves, and reports whether the finding is
+// confirmed by both.
+func (h *HoldoutValidator) CompareMeans(numericAttr string, filter dataset.Predicate, alt stats.Alternative) (HoldoutResult, error) {
+	run := func(t *dataset.Table) (stats.TestResult, error) {
+		in, err := t.Filter(filter)
+		if err != nil {
+			return stats.TestResult{}, err
+		}
+		out, err := t.Filter(dataset.Not{Inner: filter})
+		if err != nil {
+			return stats.TestResult{}, err
+		}
+		xs, err := in.Floats(numericAttr)
+		if err != nil {
+			return stats.TestResult{}, err
+		}
+		ys, err := out.Floats(numericAttr)
+		if err != nil {
+			return stats.TestResult{}, err
+		}
+		return stats.WelchTTest(xs, ys, alt)
+	}
+	explorationRes, err := run(h.exploration)
+	if err != nil {
+		return HoldoutResult{}, fmt.Errorf("core: holdout exploration test: %w", err)
+	}
+	validationRes, err := run(h.validation)
+	if err != nil {
+		return HoldoutResult{}, fmt.Errorf("core: holdout validation test: %w", err)
+	}
+	return HoldoutResult{
+		Exploration: explorationRes,
+		Validation:  validationRes,
+		Confirmed:   explorationRes.PValue <= h.alpha && validationRes.PValue <= h.alpha,
+		Alpha:       h.alpha,
+	}, nil
+}

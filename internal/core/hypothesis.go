@@ -1,0 +1,156 @@
+// Package core implements AWARE, the paper's primary contribution: a
+// hypothesis-tracking layer for interactive data exploration that converts
+// visualizations into default hypotheses (Section 2.3), routes them through an
+// incremental α-investing procedure (Section 5), and exposes the risk-gauge
+// state, the n_H1 "how much more data" annotation and bookmarked ("starred")
+// important discoveries shown in the AWARE user interface (Figure 2).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"aware/internal/stats"
+)
+
+// Common errors.
+var (
+	// ErrUnknownVisualization is returned when referring to a visualization ID
+	// that does not exist in the session.
+	ErrUnknownVisualization = errors.New("core: unknown visualization")
+	// ErrUnknownHypothesis is returned when referring to a hypothesis ID that
+	// does not exist in the session.
+	ErrUnknownHypothesis = errors.New("core: unknown hypothesis")
+	// ErrNotComplementary is returned when rule 3 is requested for two
+	// visualizations that do not share a target attribute.
+	ErrNotComplementary = errors.New("core: visualizations do not share a target attribute")
+	// ErrWealthExhausted is returned when the investing procedure has no
+	// wealth left (Section 5.8): the session should stop generating
+	// hypotheses.
+	ErrWealthExhausted = errors.New("core: alpha-wealth exhausted, stop exploring")
+)
+
+// HypothesisStatus tracks the lifecycle of a tracked hypothesis.
+type HypothesisStatus int
+
+const (
+	// StatusActive means the hypothesis was tested and its decision stands.
+	StatusActive HypothesisStatus = iota
+	// StatusSuperseded means a later hypothesis (heuristic rule 3) replaced
+	// this one; its decision is kept for accounting but hidden from reports.
+	StatusSuperseded
+	// StatusDeleted means the user declared the visualization purely
+	// descriptive after the fact; the spent budget is not refunded, but the
+	// hypothesis no longer counts as a finding.
+	StatusDeleted
+)
+
+// String implements fmt.Stringer.
+func (s HypothesisStatus) String() string {
+	switch s {
+	case StatusActive:
+		return "active"
+	case StatusSuperseded:
+		return "superseded"
+	case StatusDeleted:
+		return "deleted"
+	default:
+		return fmt.Sprintf("HypothesisStatus(%d)", int(s))
+	}
+}
+
+// HypothesisSource records which heuristic (or user action) created the
+// hypothesis.
+type HypothesisSource int
+
+const (
+	// SourceRule2 is heuristic rule 2: a filtered visualization compared
+	// against the whole-population distribution.
+	SourceRule2 HypothesisSource = iota
+	// SourceRule3 is heuristic rule 3: two complementary filtered
+	// visualizations compared against each other.
+	SourceRule3
+	// SourceUser is an explicitly user-defined hypothesis (for example the
+	// t-test on mean age in Figure 1 F, or a hypothesis attached to an
+	// unfiltered visualization under rule 1).
+	SourceUser
+)
+
+// String implements fmt.Stringer.
+func (s HypothesisSource) String() string {
+	switch s {
+	case SourceRule2:
+		return "rule-2 (filter vs population)"
+	case SourceRule3:
+		return "rule-3 (filter vs complement)"
+	case SourceUser:
+		return "user-defined"
+	default:
+		return fmt.Sprintf("HypothesisSource(%d)", int(s))
+	}
+}
+
+// Hypothesis is one tracked hypothesis: the AWARE risk gauge shows one list
+// entry per Hypothesis (Figure 2 D).
+type Hypothesis struct {
+	// ID is the 1-based identifier within the session.
+	ID int
+	// Null and Alternative are the textual descriptions shown in the gauge,
+	// e.g. "gender | salary>50k = gender" and "gender | salary>50k <> gender".
+	Null        string
+	Alternative string
+	// Source records which heuristic created the hypothesis.
+	Source HypothesisSource
+	// Status is the lifecycle state.
+	Status HypothesisStatus
+	// VisualizationID links back to the visualization that triggered the
+	// hypothesis (0 for user-defined hypotheses without one).
+	VisualizationID int
+
+	// Test is the underlying statistical test result (p-value, statistic,
+	// degrees of freedom, effect size).
+	Test stats.TestResult
+	// AlphaInvested is the level α_j the investing rule assigned to this test.
+	AlphaInvested float64
+	// Rejected reports whether the null hypothesis was rejected (a discovery).
+	Rejected bool
+	// WealthAfter is the α-wealth remaining after this test.
+	WealthAfter float64
+
+	// SupportSize and PopulationSize describe how much data backed the test.
+	SupportSize    int
+	PopulationSize int
+
+	// DataMultiplier is the n_H1 annotation: the multiple of the current
+	// support size that would be needed (assuming the observed effect
+	// persists) to reach the standard 80% power at the session's α. +Inf when
+	// the observed effect is zero.
+	DataMultiplier float64
+
+	// Starred marks the hypothesis as an "important discovery" (Section 6).
+	Starred bool
+}
+
+// EffectLabel returns the qualitative effect-size label the gauge colour-codes.
+func (h *Hypothesis) EffectLabel() stats.EffectMagnitude {
+	switch h.Test.Method {
+	case "chi-squared goodness-of-fit test", "chi-squared test of independence":
+		return stats.ClassifyCramersV(h.Test.EffectSize)
+	default:
+		return stats.ClassifyCohensD(h.Test.EffectSize)
+	}
+}
+
+// Summary renders a one-line risk-gauge entry.
+func (h *Hypothesis) Summary() string {
+	verdict := "accepted"
+	if h.Rejected {
+		verdict = "REJECTED"
+	}
+	star := " "
+	if h.Starred {
+		star = "*"
+	}
+	return fmt.Sprintf("%s[%02d] %-11s p=%.4f alpha=%.4f effect=%.3f (%s) null %s | H1: %s",
+		star, h.ID, verdict, h.Test.PValue, h.AlphaInvested, h.Test.EffectSize, h.EffectLabel(), h.Null, h.Alternative)
+}

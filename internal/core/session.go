@@ -1,0 +1,581 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"aware/internal/dataset"
+	"aware/internal/investing"
+	"aware/internal/stats"
+)
+
+// Options configures a Session.
+type Options struct {
+	// Alpha is the mFDR control level; 0 means the paper default 0.05.
+	Alpha float64
+	// Policy is the α-investing rule used to assign per-test levels. Nil means
+	// the paper's ε-hybrid default (ε = 0.5, γ = δ = 10, unlimited window).
+	Policy investing.Policy
+	// TargetPower is the power used by the n_H1 "how much more data"
+	// annotation; 0 means 0.8.
+	TargetPower float64
+}
+
+// Session is one AWARE exploration session over a fixed dataset. It owns the
+// visualizations the user has created, the hypotheses derived from them (via
+// the heuristics of Section 2.3 or explicit user actions), and the
+// α-investing procedure that decides, incrementally and irrevocably, which
+// null hypotheses are rejected.
+//
+// Session is not safe for concurrent use; an interactive front-end drives it
+// from a single event loop.
+type Session struct {
+	data     *dataset.Table
+	investor *investing.Investor
+	alpha    float64
+	power    float64
+
+	visualizations []*Visualization
+	hypotheses     []*Hypothesis
+}
+
+// NewSession opens a session over the given table.
+func NewSession(data *dataset.Table, opts Options) (*Session, error) {
+	if data == nil {
+		return nil, fmt.Errorf("core: nil dataset")
+	}
+	alpha := opts.Alpha
+	if alpha == 0 {
+		alpha = investing.DefaultAlpha
+	}
+	cfg, err := investing.NewConfig(alpha)
+	if err != nil {
+		return nil, err
+	}
+	policy := opts.Policy
+	if policy == nil {
+		policy, err = investing.NewHybrid(0.5, 10, 10, cfg.Alpha, cfg.InitialWealth(), 0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	inv, err := investing.NewInvestor(cfg, policy)
+	if err != nil {
+		return nil, err
+	}
+	power := opts.TargetPower
+	if power == 0 {
+		power = 0.8
+	}
+	if power <= 0 || power >= 1 {
+		return nil, fmt.Errorf("core: target power must be in (0, 1), got %v", power)
+	}
+	return &Session{data: data, investor: inv, alpha: alpha, power: power}, nil
+}
+
+// Data returns the table the session explores.
+func (s *Session) Data() *dataset.Table { return s.data }
+
+// Alpha returns the session's mFDR control level.
+func (s *Session) Alpha() float64 { return s.alpha }
+
+// PolicyName returns the name of the active investing rule.
+func (s *Session) PolicyName() string { return s.investor.PolicyName() }
+
+// Wealth returns the remaining α-wealth.
+func (s *Session) Wealth() float64 { return s.investor.Wealth() }
+
+// Visualizations returns the visualizations created so far, in creation order.
+func (s *Session) Visualizations() []*Visualization {
+	out := make([]*Visualization, len(s.visualizations))
+	copy(out, s.visualizations)
+	return out
+}
+
+// Hypotheses returns every tracked hypothesis in creation order, including
+// superseded and deleted ones (the risk gauge shows them greyed out).
+func (s *Session) Hypotheses() []*Hypothesis {
+	out := make([]*Hypothesis, len(s.hypotheses))
+	copy(out, s.hypotheses)
+	return out
+}
+
+// ActiveHypotheses returns the hypotheses that still count: not superseded,
+// not deleted.
+func (s *Session) ActiveHypotheses() []*Hypothesis {
+	var out []*Hypothesis
+	for _, h := range s.hypotheses {
+		if h.Status == StatusActive {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Discoveries returns the active hypotheses whose null was rejected.
+func (s *Session) Discoveries() []*Hypothesis {
+	var out []*Hypothesis
+	for _, h := range s.ActiveHypotheses() {
+		if h.Rejected {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// ImportantDiscoveries returns the starred discoveries. By Theorem 1 the FDR
+// (and mFDR) guarantee of the full discovery set carries over to any subset
+// selected independently of the p-values, so the user may report exactly
+// these without further correction.
+func (s *Session) ImportantDiscoveries() []*Hypothesis {
+	var out []*Hypothesis
+	for _, h := range s.Discoveries() {
+		if h.Starred {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// visualization looks up a visualization by ID.
+func (s *Session) visualization(id int) (*Visualization, error) {
+	if id < 1 || id > len(s.visualizations) {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownVisualization, id)
+	}
+	return s.visualizations[id-1], nil
+}
+
+// hypothesis looks up a hypothesis by ID.
+func (s *Session) hypothesis(id int) (*Hypothesis, error) {
+	if id < 1 || id > len(s.hypotheses) {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownHypothesis, id)
+	}
+	return s.hypotheses[id-1], nil
+}
+
+// AddVisualization creates a new chart for the target attribute restricted by
+// the given filter chain (nil for the whole dataset) and applies the default
+// hypothesis heuristics:
+//
+//   - Rule 1: an unfiltered visualization is descriptive — no hypothesis is
+//     created (the returned hypothesis is nil). The user can attach one later
+//     with TestAgainstExpectation.
+//   - Rule 2: a filtered visualization creates the default hypothesis that the
+//     filter makes no difference compared to the distribution of the target
+//     over the whole dataset, tested with a χ² goodness-of-fit test.
+func (s *Session) AddVisualization(target string, filter dataset.Predicate) (*Visualization, *Hypothesis, error) {
+	if !s.data.HasColumn(target) {
+		return nil, nil, fmt.Errorf("%w: %q", dataset.ErrColumnNotFound, target)
+	}
+	viz := &Visualization{ID: len(s.visualizations) + 1, Target: target, Filter: filter}
+	s.visualizations = append(s.visualizations, viz)
+	if filter == nil {
+		return viz, nil, nil // Rule 1: descriptive.
+	}
+	hyp, err := s.testFilterVsPopulation(viz)
+	if err != nil {
+		return nil, nil, err
+	}
+	viz.HypothesisID = hyp.ID
+	return viz, hyp, nil
+}
+
+// CompareVisualizations applies heuristic rule 3: the two visualizations show
+// the same target attribute under complementary (or simply different) filter
+// chains, and the user placed them next to each other, so the default
+// hypothesis becomes "the two visualized distributions do not differ", tested
+// with a χ² independence test. Any rule-2 hypotheses previously attached to
+// the two visualizations are superseded.
+func (s *Session) CompareVisualizations(aID, bID int) (*Hypothesis, error) {
+	a, err := s.visualization(aID)
+	if err != nil {
+		return nil, err
+	}
+	b, err := s.visualization(bID)
+	if err != nil {
+		return nil, err
+	}
+	if a.Target != b.Target {
+		return nil, fmt.Errorf("%w: %q vs %q", ErrNotComplementary, a.Target, b.Target)
+	}
+	// Supersede the single-visualization hypotheses: the side-by-side
+	// comparison replaces them (Section 2.3, rule 3).
+	for _, viz := range []*Visualization{a, b} {
+		if viz.HypothesisID != 0 {
+			if prev, err := s.hypothesis(viz.HypothesisID); err == nil && prev.Status == StatusActive {
+				prev.Status = StatusSuperseded
+			}
+		}
+	}
+	return s.testComparison(a, b)
+}
+
+// TestAgainstExpectation attaches a user-defined hypothesis to an unfiltered
+// visualization (rule 1's escape hatch): the user states the proportions they
+// expected for the target's categories, and the system tests the observed
+// distribution against that expectation with a χ² goodness-of-fit test.
+// The expected map gives relative weights per category; missing categories
+// count as weight zero.
+func (s *Session) TestAgainstExpectation(vizID int, expected map[string]float64) (*Hypothesis, error) {
+	viz, err := s.visualization(vizID)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := s.data.Filter(viz.Filter)
+	if err != nil {
+		return nil, err
+	}
+	cats, err := s.data.Categories(viz.Target)
+	if err != nil {
+		return nil, err
+	}
+	observed, err := sub.CountsFor(viz.Target, cats)
+	if err != nil {
+		return nil, err
+	}
+	weights := make([]float64, len(cats))
+	for i, c := range cats {
+		weights[i] = expected[c]
+	}
+	test, err := stats.ChiSquaredGoodnessOfFit(observed, weights)
+	if err != nil {
+		return nil, fmt.Errorf("core: testing expectation for %q: %w", viz.Describe(), err)
+	}
+	hyp, err := s.record(test, Hypothesis{
+		Null:            fmt.Sprintf("%s = expected distribution", viz.Describe()),
+		Alternative:     fmt.Sprintf("%s <> expected distribution", viz.Describe()),
+		Source:          SourceUser,
+		VisualizationID: viz.ID,
+		SupportSize:     sub.NumRows(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if prevID := viz.HypothesisID; prevID != 0 {
+		if prev, err := s.hypothesis(prevID); err == nil && prev.Status == StatusActive {
+			prev.Status = StatusSuperseded
+		}
+	}
+	viz.HypothesisID = hyp.ID
+	return hyp, nil
+}
+
+// CompareMeans overrides the default distribution comparison with a Welch
+// t-test on the means of a numeric attribute between two filtered
+// sub-populations — the explicit test of Figure 1 (F) where the user drags
+// two age charts together and the default hypothesis m4 is replaced by m4'
+// about the average age. Hypotheses previously attached to the two
+// visualizations are superseded.
+func (s *Session) CompareMeans(numericAttr string, aID, bID int) (*Hypothesis, error) {
+	a, err := s.visualization(aID)
+	if err != nil {
+		return nil, err
+	}
+	b, err := s.visualization(bID)
+	if err != nil {
+		return nil, err
+	}
+	subA, err := s.data.Filter(a.Filter)
+	if err != nil {
+		return nil, err
+	}
+	subB, err := s.data.Filter(b.Filter)
+	if err != nil {
+		return nil, err
+	}
+	xs, err := subA.Floats(numericAttr)
+	if err != nil {
+		return nil, err
+	}
+	ys, err := subB.Floats(numericAttr)
+	if err != nil {
+		return nil, err
+	}
+	test, err := stats.WelchTTest(xs, ys, stats.TwoSided)
+	if err != nil {
+		return nil, fmt.Errorf("core: comparing means of %q: %w", numericAttr, err)
+	}
+	for _, viz := range []*Visualization{a, b} {
+		if viz.HypothesisID != 0 {
+			if prev, err := s.hypothesis(viz.HypothesisID); err == nil && prev.Status == StatusActive {
+				prev.Status = StatusSuperseded
+			}
+		}
+	}
+	hyp, err := s.record(test, Hypothesis{
+		Null:            fmt.Sprintf("mean %s | (%s) = mean %s | (%s)", numericAttr, describeFilter(a.Filter), numericAttr, describeFilter(b.Filter)),
+		Alternative:     fmt.Sprintf("mean %s | (%s) <> mean %s | (%s)", numericAttr, describeFilter(a.Filter), numericAttr, describeFilter(b.Filter)),
+		Source:          SourceUser,
+		VisualizationID: a.ID,
+		SupportSize:     subA.NumRows() + subB.NumRows(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.HypothesisID = hyp.ID
+	b.HypothesisID = hyp.ID
+	return hyp, nil
+}
+
+// CompareDistributions overrides the default comparison with a two-sample
+// Kolmogorov–Smirnov test on a numeric attribute between two filtered
+// sub-populations — useful when the analyst cares about the whole shape of
+// the distribution rather than its mean, or when the attribute is too skewed
+// for a t-test. Hypotheses previously attached to the two visualizations are
+// superseded, exactly as in CompareMeans.
+func (s *Session) CompareDistributions(numericAttr string, aID, bID int) (*Hypothesis, error) {
+	a, err := s.visualization(aID)
+	if err != nil {
+		return nil, err
+	}
+	b, err := s.visualization(bID)
+	if err != nil {
+		return nil, err
+	}
+	subA, err := s.data.Filter(a.Filter)
+	if err != nil {
+		return nil, err
+	}
+	subB, err := s.data.Filter(b.Filter)
+	if err != nil {
+		return nil, err
+	}
+	xs, err := subA.Floats(numericAttr)
+	if err != nil {
+		return nil, err
+	}
+	ys, err := subB.Floats(numericAttr)
+	if err != nil {
+		return nil, err
+	}
+	test, err := stats.KolmogorovSmirnov(xs, ys)
+	if err != nil {
+		return nil, fmt.Errorf("core: comparing distributions of %q: %w", numericAttr, err)
+	}
+	for _, viz := range []*Visualization{a, b} {
+		if viz.HypothesisID != 0 {
+			if prev, err := s.hypothesis(viz.HypothesisID); err == nil && prev.Status == StatusActive {
+				prev.Status = StatusSuperseded
+			}
+		}
+	}
+	hyp, err := s.record(test, Hypothesis{
+		Null:            fmt.Sprintf("dist %s | (%s) = dist %s | (%s)", numericAttr, describeFilter(a.Filter), numericAttr, describeFilter(b.Filter)),
+		Alternative:     fmt.Sprintf("dist %s | (%s) <> dist %s | (%s)", numericAttr, describeFilter(a.Filter), numericAttr, describeFilter(b.Filter)),
+		Source:          SourceUser,
+		VisualizationID: a.ID,
+		SupportSize:     subA.NumRows() + subB.NumRows(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.HypothesisID = hyp.ID
+	b.HypothesisID = hyp.ID
+	return hyp, nil
+}
+
+// DeclareDescriptive marks the hypothesis attached to a visualization as
+// deleted: the user states that the chart was purely descriptive (or only a
+// stepping stone, Section 2.4). The α-wealth already spent on it is not
+// refunded — refunding would break the mFDR guarantee — but the hypothesis no
+// longer appears among the session's findings.
+func (s *Session) DeclareDescriptive(vizID int) error {
+	viz, err := s.visualization(vizID)
+	if err != nil {
+		return err
+	}
+	if viz.HypothesisID == 0 {
+		return nil
+	}
+	hyp, err := s.hypothesis(viz.HypothesisID)
+	if err != nil {
+		return err
+	}
+	hyp.Status = StatusDeleted
+	viz.HypothesisID = 0
+	return nil
+}
+
+// Star marks or unmarks a hypothesis as an important discovery (Figure 2 E).
+func (s *Session) Star(hypothesisID int, starred bool) error {
+	hyp, err := s.hypothesis(hypothesisID)
+	if err != nil {
+		return err
+	}
+	hyp.Starred = starred
+	return nil
+}
+
+// numericBins is the number of equal-width bins used when a visualization
+// targets a numeric attribute (the age histograms of Figure 1 D–F). Bin edges
+// are always derived from the full dataset so that filtered sub-populations
+// are compared on the same axes the user sees.
+const numericBins = 10
+
+// distributionCounts returns the per-category (or per-bin, for numeric
+// targets) counts of target within sub, using the full dataset to fix the
+// category set / bin edges.
+func (s *Session) distributionCounts(target string, sub *dataset.Table) ([]int, error) {
+	col, err := s.data.Column(target)
+	if err != nil {
+		return nil, err
+	}
+	if col.Type == dataset.Categorical || col.Type == dataset.Bool {
+		cats, err := s.data.Categories(target)
+		if err != nil {
+			return nil, err
+		}
+		return sub.CountsFor(target, cats)
+	}
+	// Numeric target: bin on edges computed over the whole dataset.
+	all, err := s.data.Floats(target)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := stats.NewHistogram(all, numericBins)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := sub.Floats(target)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int, len(ref.Counts))
+	lo := ref.Edges[0]
+	hi := ref.Edges[len(ref.Edges)-1]
+	width := (hi - lo) / float64(len(counts))
+	for _, v := range vals {
+		idx := int((v - lo) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(counts) {
+			idx = len(counts) - 1
+		}
+		counts[idx]++
+	}
+	return counts, nil
+}
+
+// testFilterVsPopulation runs the rule-2 default hypothesis for a filtered
+// visualization.
+func (s *Session) testFilterVsPopulation(viz *Visualization) (*Hypothesis, error) {
+	sub, err := s.data.Filter(viz.Filter)
+	if err != nil {
+		return nil, err
+	}
+	observed, err := s.distributionCounts(viz.Target, sub)
+	if err != nil {
+		return nil, err
+	}
+	popCounts, err := s.distributionCounts(viz.Target, s.data)
+	if err != nil {
+		return nil, err
+	}
+	expected := make([]float64, len(popCounts))
+	for i, c := range popCounts {
+		expected[i] = float64(c)
+	}
+	test, err := stats.ChiSquaredGoodnessOfFit(observed, expected)
+	if err != nil {
+		return nil, fmt.Errorf("core: default hypothesis for %q: %w", viz.Describe(), err)
+	}
+	return s.record(test, Hypothesis{
+		Null:            fmt.Sprintf("%s = %s", viz.Describe(), viz.Target),
+		Alternative:     fmt.Sprintf("%s <> %s", viz.Describe(), viz.Target),
+		Source:          SourceRule2,
+		VisualizationID: viz.ID,
+		SupportSize:     sub.NumRows(),
+	})
+}
+
+// testComparison runs the rule-3 hypothesis for two visualizations of the same
+// target.
+func (s *Session) testComparison(a, b *Visualization) (*Hypothesis, error) {
+	subA, err := s.data.Filter(a.Filter)
+	if err != nil {
+		return nil, err
+	}
+	subB, err := s.data.Filter(b.Filter)
+	if err != nil {
+		return nil, err
+	}
+	countsA, err := s.distributionCounts(a.Target, subA)
+	if err != nil {
+		return nil, err
+	}
+	countsB, err := s.distributionCounts(b.Target, subB)
+	if err != nil {
+		return nil, err
+	}
+	test, err := stats.ChiSquaredIndependence([][]int{countsA, countsB})
+	if err != nil {
+		return nil, fmt.Errorf("core: comparison hypothesis for %q vs %q: %w", a.Describe(), b.Describe(), err)
+	}
+	hyp, err := s.record(test, Hypothesis{
+		Null:            fmt.Sprintf("%s = %s", a.Describe(), b.Describe()),
+		Alternative:     fmt.Sprintf("%s <> %s", a.Describe(), b.Describe()),
+		Source:          SourceRule3,
+		VisualizationID: a.ID,
+		SupportSize:     subA.NumRows() + subB.NumRows(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.HypothesisID = hyp.ID
+	b.HypothesisID = hyp.ID
+	return hyp, nil
+}
+
+// record routes a completed statistical test through the α-investing
+// procedure, fills in the bookkeeping fields and stores the hypothesis.
+func (s *Session) record(test stats.TestResult, proto Hypothesis) (*Hypothesis, error) {
+	decision, err := s.investor.Test(test.PValue, investing.TestContext{
+		SupportSize:    proto.SupportSize,
+		PopulationSize: s.data.NumRows(),
+	})
+	if err != nil {
+		if err == investing.ErrExhausted {
+			return nil, ErrWealthExhausted
+		}
+		return nil, err
+	}
+	hyp := proto
+	hyp.ID = len(s.hypotheses) + 1
+	hyp.Status = StatusActive
+	hyp.Test = test
+	hyp.AlphaInvested = decision.Alpha
+	hyp.Rejected = decision.Rejected
+	hyp.WealthAfter = decision.WealthAfter
+	hyp.PopulationSize = s.data.NumRows()
+	hyp.DataMultiplier = s.dataMultiplier(test, proto.SupportSize)
+	s.hypotheses = append(s.hypotheses, &hyp)
+	return s.hypotheses[len(s.hypotheses)-1], nil
+}
+
+// dataMultiplier estimates the n_H1 annotation: how many times the current
+// support would be needed for the observed effect to reach the target power at
+// the session α. Chi-squared effect sizes (Cramér's V) are treated as Cohen's
+// w, for which the same normal-approximation sample-size formula applies.
+func (s *Session) dataMultiplier(test stats.TestResult, supportSize int) float64 {
+	if supportSize <= 0 {
+		return math.Inf(1)
+	}
+	effect := math.Abs(test.EffectSize)
+	if effect == 0 {
+		return math.Inf(1)
+	}
+	mult, err := stats.RequiredMultiplier(supportSize, effect, s.alpha, s.power, stats.TwoSided)
+	if err != nil {
+		return math.NaN()
+	}
+	return mult
+}
+
+// describeFilter renders a possibly-nil filter.
+func describeFilter(p dataset.Predicate) string {
+	if p == nil {
+		return "all"
+	}
+	return p.Describe()
+}

@@ -1,0 +1,83 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab := sampleTable(t)
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	specs := []ColumnSpec{
+		{Name: "gender", Type: Categorical},
+		{Name: "salary_over_50k", Type: Bool},
+		{Name: "age", Type: Float64},
+		{Name: "education", Type: Categorical},
+		{Name: "income", Type: Int64},
+	}
+	back, err := ReadCSV(&buf, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != tab.NumRows() || back.NumColumns() != tab.NumColumns() {
+		t.Fatalf("round trip shape %d x %d", back.NumRows(), back.NumColumns())
+	}
+	origAges, _ := tab.Floats("age")
+	backAges, _ := back.Floats("age")
+	for i := range origAges {
+		if origAges[i] != backAges[i] {
+			t.Fatalf("age[%d] = %v != %v", i, backAges[i], origAges[i])
+		}
+	}
+	origInc, _ := tab.Floats("income")
+	backInc, _ := back.Floats("income")
+	for i := range origInc {
+		if origInc[i] != backInc[i] {
+			t.Fatalf("income[%d] mismatch", i)
+		}
+	}
+	origSal, _ := tab.Strings("salary_over_50k")
+	backSal, _ := back.Strings("salary_over_50k")
+	for i := range origSal {
+		if origSal[i] != backSal[i] {
+			t.Fatalf("salary[%d] mismatch", i)
+		}
+	}
+}
+
+func TestReadCSVDefaultsToCategorical(t *testing.T) {
+	csvData := "name,score\nalice,10\nbob,20\n"
+	tab, err := ReadCSV(strings.NewReader(csvData), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := tab.Column("score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Type != Categorical {
+		t.Errorf("unspecified column type = %v, want Categorical", col.Type)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+	badFloat := "x\nnot-a-number\n"
+	if _, err := ReadCSV(strings.NewReader(badFloat), []ColumnSpec{{Name: "x", Type: Float64}}); err == nil {
+		t.Error("expected parse error for bad float")
+	}
+	badInt := "x\n1.5\n"
+	if _, err := ReadCSV(strings.NewReader(badInt), []ColumnSpec{{Name: "x", Type: Int64}}); err == nil {
+		t.Error("expected parse error for bad int")
+	}
+	badBool := "x\nmaybe\n"
+	if _, err := ReadCSV(strings.NewReader(badBool), []ColumnSpec{{Name: "x", Type: Bool}}); err == nil {
+		t.Error("expected parse error for bad bool")
+	}
+}

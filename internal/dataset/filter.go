@@ -1,0 +1,228 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Predicate is a row-level filter over a table.
+type Predicate interface {
+	// Describe returns a human-readable rendering such as "salary = >50k".
+	Describe() string
+	// Matches reports whether row i of the table satisfies the predicate.
+	Matches(t *Table, i int) (bool, error)
+}
+
+// Equals matches rows whose categorical (or bool) column equals Value.
+type Equals struct {
+	Column string
+	Value  string
+}
+
+// Describe implements Predicate.
+func (e Equals) Describe() string { return fmt.Sprintf("%s = %s", e.Column, e.Value) }
+
+// Matches implements Predicate.
+func (e Equals) Matches(t *Table, i int) (bool, error) {
+	c, err := t.Column(e.Column)
+	if err != nil {
+		return false, err
+	}
+	v, err := c.StringAt(i)
+	if err != nil {
+		return false, err
+	}
+	return v == e.Value, nil
+}
+
+// In matches rows whose categorical column equals any of Values.
+type In struct {
+	Column string
+	Values []string
+}
+
+// Describe implements Predicate.
+func (p In) Describe() string {
+	return fmt.Sprintf("%s in {%s}", p.Column, strings.Join(p.Values, ", "))
+}
+
+// Matches implements Predicate.
+func (p In) Matches(t *Table, i int) (bool, error) {
+	c, err := t.Column(p.Column)
+	if err != nil {
+		return false, err
+	}
+	v, err := c.StringAt(i)
+	if err != nil {
+		return false, err
+	}
+	for _, want := range p.Values {
+		if v == want {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Range matches rows whose numeric column lies in [Low, High). Use math.Inf
+// for open ends.
+type Range struct {
+	Column string
+	Low    float64
+	High   float64
+}
+
+// Describe implements Predicate.
+func (r Range) Describe() string { return fmt.Sprintf("%s in [%g, %g)", r.Column, r.Low, r.High) }
+
+// Matches implements Predicate.
+func (r Range) Matches(t *Table, i int) (bool, error) {
+	c, err := t.Column(r.Column)
+	if err != nil {
+		return false, err
+	}
+	v, err := c.Float(i)
+	if err != nil {
+		return false, err
+	}
+	return v >= r.Low && v < r.High, nil
+}
+
+// GreaterThan matches rows whose numeric column exceeds Threshold.
+type GreaterThan struct {
+	Column    string
+	Threshold float64
+}
+
+// Describe implements Predicate.
+func (g GreaterThan) Describe() string { return fmt.Sprintf("%s > %g", g.Column, g.Threshold) }
+
+// Matches implements Predicate.
+func (g GreaterThan) Matches(t *Table, i int) (bool, error) {
+	c, err := t.Column(g.Column)
+	if err != nil {
+		return false, err
+	}
+	v, err := c.Float(i)
+	if err != nil {
+		return false, err
+	}
+	return v > g.Threshold, nil
+}
+
+// Not negates a predicate. AWARE's heuristic rule 3 (comparing a selection
+// against its complement, the "dashed line" in Figure 1) is expressed with
+// Not.
+type Not struct {
+	Inner Predicate
+}
+
+// Describe implements Predicate.
+func (n Not) Describe() string { return fmt.Sprintf("not(%s)", n.Inner.Describe()) }
+
+// Matches implements Predicate.
+func (n Not) Matches(t *Table, i int) (bool, error) {
+	ok, err := n.Inner.Matches(t, i)
+	return !ok, err
+}
+
+// And is the conjunction of predicates; an empty And matches every row.
+// Chained visualizations (Figure 1 D–F) accumulate their filters into an And.
+type And struct {
+	Terms []Predicate
+}
+
+// Describe implements Predicate.
+func (a And) Describe() string {
+	if len(a.Terms) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = t.Describe()
+	}
+	return strings.Join(parts, " and ")
+}
+
+// Matches implements Predicate.
+func (a And) Matches(t *Table, i int) (bool, error) {
+	for _, term := range a.Terms {
+		ok, err := term.Matches(t, i)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Or is the disjunction of predicates; an empty Or matches no row.
+type Or struct {
+	Terms []Predicate
+}
+
+// Describe implements Predicate.
+func (o Or) Describe() string {
+	if len(o.Terms) == 0 {
+		return "false"
+	}
+	parts := make([]string, len(o.Terms))
+	for i, t := range o.Terms {
+		parts[i] = t.Describe()
+	}
+	return "(" + strings.Join(parts, " or ") + ")"
+}
+
+// Matches implements Predicate.
+func (o Or) Matches(t *Table, i int) (bool, error) {
+	for _, term := range o.Terms {
+		ok, err := term.Matches(t, i)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Filter returns the sub-table of rows matching the predicate. A nil
+// predicate matches every row (returning the table itself).
+func (t *Table) Filter(p Predicate) (*Table, error) {
+	if p == nil {
+		return t, nil
+	}
+	var indices []int
+	for i := 0; i < t.rows; i++ {
+		ok, err := p.Matches(t, i)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			indices = append(indices, i)
+		}
+	}
+	return t.Select(indices)
+}
+
+// CountWhere returns the number of rows matching the predicate without
+// materializing the sub-table.
+func (t *Table) CountWhere(p Predicate) (int, error) {
+	if p == nil {
+		return t.rows, nil
+	}
+	count := 0
+	for i := 0; i < t.rows; i++ {
+		ok, err := p.Matches(t, i)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			count++
+		}
+	}
+	return count, nil
+}

@@ -1,0 +1,417 @@
+// Package dataset provides the in-memory columnar data substrate that the
+// AWARE reproduction explores: typed columns, filter predicates and filter
+// chains, group-by/histogram aggregation, random sampling, hold-out splits,
+// column shuffling (for building randomised null datasets) and CSV
+// import/export. It is intentionally small — a visualization front-end needs
+// counts, group-bys and filtered sub-populations, not a full query engine —
+// but it is the same substrate every experiment in the paper runs on.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ColumnType enumerates the supported column types.
+type ColumnType int
+
+const (
+	// Float64 columns hold continuous numeric values.
+	Float64 ColumnType = iota
+	// Int64 columns hold discrete numeric values.
+	Int64
+	// Categorical columns hold strings drawn from a (usually small) domain.
+	Categorical
+	// Bool columns hold binary values.
+	Bool
+)
+
+// String implements fmt.Stringer.
+func (t ColumnType) String() string {
+	switch t {
+	case Float64:
+		return "float64"
+	case Int64:
+		return "int64"
+	case Categorical:
+		return "categorical"
+	case Bool:
+		return "bool"
+	default:
+		return fmt.Sprintf("ColumnType(%d)", int(t))
+	}
+}
+
+// Common errors.
+var (
+	// ErrColumnNotFound is returned when a named column does not exist.
+	ErrColumnNotFound = errors.New("dataset: column not found")
+	// ErrColumnExists is returned when adding a column whose name is taken.
+	ErrColumnExists = errors.New("dataset: column already exists")
+	// ErrLengthMismatch is returned when column lengths disagree.
+	ErrLengthMismatch = errors.New("dataset: column length mismatch")
+	// ErrTypeMismatch is returned when a column is used with the wrong type.
+	ErrTypeMismatch = errors.New("dataset: column type mismatch")
+	// ErrEmptyTable is returned when an operation needs at least one row.
+	ErrEmptyTable = errors.New("dataset: empty table")
+)
+
+// Column is a named, typed vector of values. Exactly one of the value slices
+// is populated, matching Type.
+type Column struct {
+	Name string
+	Type ColumnType
+
+	floats  []float64
+	ints    []int64
+	strings []string
+	bools   []bool
+}
+
+// NewFloatColumn builds a Float64 column.
+func NewFloatColumn(name string, values []float64) *Column {
+	return &Column{Name: name, Type: Float64, floats: values}
+}
+
+// NewIntColumn builds an Int64 column.
+func NewIntColumn(name string, values []int64) *Column {
+	return &Column{Name: name, Type: Int64, ints: values}
+}
+
+// NewCategoricalColumn builds a Categorical column.
+func NewCategoricalColumn(name string, values []string) *Column {
+	return &Column{Name: name, Type: Categorical, strings: values}
+}
+
+// NewBoolColumn builds a Bool column.
+func NewBoolColumn(name string, values []bool) *Column {
+	return &Column{Name: name, Type: Bool, bools: values}
+}
+
+// Len returns the number of rows in the column.
+func (c *Column) Len() int {
+	switch c.Type {
+	case Float64:
+		return len(c.floats)
+	case Int64:
+		return len(c.ints)
+	case Categorical:
+		return len(c.strings)
+	case Bool:
+		return len(c.bools)
+	default:
+		return 0
+	}
+}
+
+// Float returns the float value at row i (Float64 and Int64 columns).
+func (c *Column) Float(i int) (float64, error) {
+	switch c.Type {
+	case Float64:
+		return c.floats[i], nil
+	case Int64:
+		return float64(c.ints[i]), nil
+	default:
+		return math.NaN(), fmt.Errorf("%w: %s is %s, not numeric", ErrTypeMismatch, c.Name, c.Type)
+	}
+}
+
+// String returns the categorical value at row i. Bool columns stringify to
+// "true"/"false"; numeric columns return an error.
+func (c *Column) StringAt(i int) (string, error) {
+	switch c.Type {
+	case Categorical:
+		return c.strings[i], nil
+	case Bool:
+		if c.bools[i] {
+			return "true", nil
+		}
+		return "false", nil
+	default:
+		return "", fmt.Errorf("%w: %s is %s, not categorical", ErrTypeMismatch, c.Name, c.Type)
+	}
+}
+
+// Bool returns the boolean value at row i (Bool columns only).
+func (c *Column) Bool(i int) (bool, error) {
+	if c.Type != Bool {
+		return false, fmt.Errorf("%w: %s is %s, not bool", ErrTypeMismatch, c.Name, c.Type)
+	}
+	return c.bools[i], nil
+}
+
+// gather returns a new column containing the rows at the given indices.
+func (c *Column) gather(indices []int) *Column {
+	out := &Column{Name: c.Name, Type: c.Type}
+	switch c.Type {
+	case Float64:
+		out.floats = make([]float64, len(indices))
+		for i, idx := range indices {
+			out.floats[i] = c.floats[idx]
+		}
+	case Int64:
+		out.ints = make([]int64, len(indices))
+		for i, idx := range indices {
+			out.ints[i] = c.ints[idx]
+		}
+	case Categorical:
+		out.strings = make([]string, len(indices))
+		for i, idx := range indices {
+			out.strings[i] = c.strings[idx]
+		}
+	case Bool:
+		out.bools = make([]bool, len(indices))
+		for i, idx := range indices {
+			out.bools[i] = c.bools[idx]
+		}
+	}
+	return out
+}
+
+// Table is an immutable-by-convention collection of equal-length columns.
+type Table struct {
+	columns []*Column
+	byName  map[string]*Column
+	rows    int
+}
+
+// NewTable builds a table from columns, which must all have the same length
+// and distinct names.
+func NewTable(columns ...*Column) (*Table, error) {
+	t := &Table{byName: make(map[string]*Column, len(columns))}
+	for i, c := range columns {
+		if c == nil {
+			return nil, fmt.Errorf("dataset: nil column at position %d", i)
+		}
+		if _, dup := t.byName[c.Name]; dup {
+			return nil, fmt.Errorf("%w: %q", ErrColumnExists, c.Name)
+		}
+		if i == 0 {
+			t.rows = c.Len()
+		} else if c.Len() != t.rows {
+			return nil, fmt.Errorf("%w: column %q has %d rows, expected %d", ErrLengthMismatch, c.Name, c.Len(), t.rows)
+		}
+		t.columns = append(t.columns, c)
+		t.byName[c.Name] = c
+	}
+	return t, nil
+}
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return t.rows }
+
+// NumColumns returns the number of columns.
+func (t *Table) NumColumns() int { return len(t.columns) }
+
+// ColumnNames returns the column names in declaration order.
+func (t *Table) ColumnNames() []string {
+	names := make([]string, len(t.columns))
+	for i, c := range t.columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Column returns the named column.
+func (t *Table) Column(name string) (*Column, error) {
+	c, ok := t.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrColumnNotFound, name)
+	}
+	return c, nil
+}
+
+// HasColumn reports whether the named column exists.
+func (t *Table) HasColumn(name string) bool {
+	_, ok := t.byName[name]
+	return ok
+}
+
+// Select returns a new table restricted to the rows at the given indices.
+func (t *Table) Select(indices []int) (*Table, error) {
+	for _, idx := range indices {
+		if idx < 0 || idx >= t.rows {
+			return nil, fmt.Errorf("dataset: row index %d out of range [0, %d)", idx, t.rows)
+		}
+	}
+	cols := make([]*Column, len(t.columns))
+	for i, c := range t.columns {
+		cols[i] = c.gather(indices)
+	}
+	return NewTable(cols...)
+}
+
+// Floats returns the numeric values of the named column (Float64 or Int64).
+func (t *Table) Floats(name string) ([]float64, error) {
+	c, err := t.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, c.Len())
+	for i := range out {
+		v, err := c.Float(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Strings returns the categorical (or stringified boolean) values of the
+// named column.
+func (t *Table) Strings(name string) ([]string, error) {
+	c, err := t.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, c.Len())
+	for i := range out {
+		v, err := c.StringAt(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Categories returns the sorted distinct values of a categorical or bool
+// column.
+func (t *Table) Categories(name string) ([]string, error) {
+	vals, err := t.Strings(name)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var cats []string
+	for _, v := range vals {
+		if !seen[v] {
+			seen[v] = true
+			cats = append(cats, v)
+		}
+	}
+	sort.Strings(cats)
+	return cats, nil
+}
+
+// ValueCounts returns the count of each distinct value of a categorical or
+// bool column, keyed by value.
+func (t *Table) ValueCounts(name string) (map[string]int, error) {
+	vals, err := t.Strings(name)
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[string]int)
+	for _, v := range vals {
+		counts[v]++
+	}
+	return counts, nil
+}
+
+// CountsFor returns the counts of the column's values in the order given by
+// categories (values not present count as zero). This is the canonical input
+// to the chi-squared tests used by AWARE's default hypotheses.
+func (t *Table) CountsFor(name string, categories []string) ([]int, error) {
+	counts, err := t.ValueCounts(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(categories))
+	for i, cat := range categories {
+		out[i] = counts[cat]
+	}
+	return out, nil
+}
+
+// Shuffle returns a new table whose named columns have been independently
+// permuted using rng, destroying any association between them and the rest of
+// the table. Shuffling every column yields the "randomized" dataset of
+// Exp. 2 in which every discovery is false by construction. Columns not named
+// are shared (not copied).
+func (t *Table) Shuffle(rng *rand.Rand, columns ...string) (*Table, error) {
+	if rng == nil {
+		return nil, errors.New("dataset: Shuffle requires a random source")
+	}
+	shuffleSet := make(map[string]bool, len(columns))
+	for _, name := range columns {
+		if !t.HasColumn(name) {
+			return nil, fmt.Errorf("%w: %q", ErrColumnNotFound, name)
+		}
+		shuffleSet[name] = true
+	}
+	cols := make([]*Column, len(t.columns))
+	for i, c := range t.columns {
+		if !shuffleSet[c.Name] {
+			cols[i] = c
+			continue
+		}
+		perm := rng.Perm(t.rows)
+		cols[i] = c.gather(perm)
+	}
+	return NewTable(cols...)
+}
+
+// ShuffleAll returns a copy of the table with every column independently
+// permuted.
+func (t *Table) ShuffleAll(rng *rand.Rand) (*Table, error) {
+	return t.Shuffle(rng, t.ColumnNames()...)
+}
+
+// Sample returns a uniform random sample (without replacement) containing
+// fraction*NumRows rows, at least 1 when the table is non-empty.
+func (t *Table) Sample(rng *rand.Rand, fraction float64) (*Table, error) {
+	if rng == nil {
+		return nil, errors.New("dataset: Sample requires a random source")
+	}
+	if fraction <= 0 || fraction > 1 || math.IsNaN(fraction) {
+		return nil, fmt.Errorf("dataset: sample fraction must be in (0, 1], got %v", fraction)
+	}
+	if t.rows == 0 {
+		return nil, ErrEmptyTable
+	}
+	n := int(math.Round(fraction * float64(t.rows)))
+	if n < 1 {
+		n = 1
+	}
+	if n > t.rows {
+		n = t.rows
+	}
+	perm := rng.Perm(t.rows)
+	return t.Select(perm[:n])
+}
+
+// Split partitions the rows into an exploration set with the given fraction of
+// the rows and a validation (hold-out) set with the remainder, as in the
+// hold-out discussion of Section 4.1.
+func (t *Table) Split(rng *rand.Rand, explorationFraction float64) (exploration, validation *Table, err error) {
+	if rng == nil {
+		return nil, nil, errors.New("dataset: Split requires a random source")
+	}
+	if explorationFraction <= 0 || explorationFraction >= 1 || math.IsNaN(explorationFraction) {
+		return nil, nil, fmt.Errorf("dataset: exploration fraction must be in (0, 1), got %v", explorationFraction)
+	}
+	if t.rows < 2 {
+		return nil, nil, ErrEmptyTable
+	}
+	perm := rng.Perm(t.rows)
+	cut := int(math.Round(explorationFraction * float64(t.rows)))
+	if cut < 1 {
+		cut = 1
+	}
+	if cut >= t.rows {
+		cut = t.rows - 1
+	}
+	exploration, err = t.Select(perm[:cut])
+	if err != nil {
+		return nil, nil, err
+	}
+	validation, err = t.Select(perm[cut:])
+	if err != nil {
+		return nil, nil, err
+	}
+	return exploration, validation, nil
+}

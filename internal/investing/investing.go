@@ -1,0 +1,171 @@
+// Package investing implements the α-investing framework of Foster & Stine
+// (2008) together with the five investing rules the paper introduces for
+// interactive data exploration (Section 5): β-farsighted, γ-fixed, δ-hopeful,
+// ε-hybrid and ψ-support, plus the original best-foot-forward rule for
+// reference.
+//
+// An α-investing procedure maintains a budget of "α-wealth". Each incoming
+// hypothesis test j is assigned a level α_j chosen by a Policy; if the null is
+// rejected (p_j <= α_j) the procedure earns a return ω, otherwise it pays
+// α_j / (1 - α_j). Any policy obeying this bookkeeping controls the marginal
+// false discovery rate mFDR_η at level α when started with wealth W(0) = α·η
+// and ω = α. Crucially for interactive exploration, decisions are made one at
+// a time and are never revisited.
+package investing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Default parameters used across the paper's experiments.
+const (
+	// DefaultAlpha is the mFDR control level used in every experiment.
+	DefaultAlpha = 0.05
+	// maxPerTestAlpha caps α_j strictly below 1; investing α_j >= 1 would break
+	// the wealth accounting (see the discussion after Equation 5).
+	maxPerTestAlpha = 0.999999
+)
+
+// Common errors returned by the package.
+var (
+	// ErrInvalidAlpha indicates a control level outside (0, 1).
+	ErrInvalidAlpha = errors.New("investing: alpha must be in (0, 1)")
+	// ErrInvalidEta indicates an mFDR bias parameter outside (0, 1].
+	ErrInvalidEta = errors.New("investing: eta must be in (0, 1]")
+	// ErrInvalidPValue indicates a p-value outside [0, 1].
+	ErrInvalidPValue = errors.New("investing: p-values must lie in [0, 1]")
+	// ErrExhausted indicates that the procedure has no wealth left to invest;
+	// per Section 5.8 the user should stop exploring (or switch strategies).
+	ErrExhausted = errors.New("investing: alpha-wealth exhausted")
+	// ErrInvalidParameter indicates a policy parameter outside its domain.
+	ErrInvalidParameter = errors.New("investing: invalid policy parameter")
+)
+
+// Config carries the control target shared by every investing rule.
+type Config struct {
+	// Alpha is the mFDR control level (paper default 0.05).
+	Alpha float64
+	// Eta is the bias term η in mFDR_η; the paper uses 1-α so that control of
+	// mFDR implies weak FWER control.
+	Eta float64
+	// Omega is the pay-out ω earned by a rejection. Foster & Stine require
+	// ω <= α; the paper uses ω = α.
+	Omega float64
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// evaluation: α = 0.05, η = 1-α, ω = α.
+func DefaultConfig() Config {
+	return Config{Alpha: DefaultAlpha, Eta: 1 - DefaultAlpha, Omega: DefaultAlpha}
+}
+
+// NewConfig builds a Config with η = 1-α and ω = α for an arbitrary α.
+func NewConfig(alpha float64) (Config, error) {
+	cfg := Config{Alpha: alpha, Eta: 1 - alpha, Omega: alpha}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// Validate checks the configuration invariants.
+func (c Config) Validate() error {
+	if c.Alpha <= 0 || c.Alpha >= 1 || math.IsNaN(c.Alpha) {
+		return fmt.Errorf("%w: got %v", ErrInvalidAlpha, c.Alpha)
+	}
+	if c.Eta <= 0 || c.Eta > 1 || math.IsNaN(c.Eta) {
+		return fmt.Errorf("%w: got %v", ErrInvalidEta, c.Eta)
+	}
+	if c.Omega <= 0 || c.Omega > c.Alpha {
+		return fmt.Errorf("%w: omega must be in (0, alpha], got %v", ErrInvalidParameter, c.Omega)
+	}
+	return nil
+}
+
+// InitialWealth returns W(0) = α·η.
+func (c Config) InitialWealth() float64 { return c.Alpha * c.Eta }
+
+// TestContext describes the hypothesis about to be tested; policies may use
+// it to bias their investment (ψ-support uses the support size, ε-hybrid the
+// recent rejection history which the Investor supplies).
+type TestContext struct {
+	// Index is the 1-based position of the hypothesis in the stream.
+	Index int
+	// SupportSize is the number of rows backing the test (|j| in Section 5.7).
+	SupportSize int
+	// PopulationSize is the total dataset size (|n| in Section 5.7). Zero
+	// means unknown, in which case support-aware policies fall back to no
+	// correction.
+	PopulationSize int
+}
+
+// Policy chooses how much α-wealth to invest in the next hypothesis.
+//
+// NextAlpha receives the current wealth (before the test) and the test
+// context, and returns the level α_j to spend. Implementations must return a
+// value in (0, maxBudget] where maxBudget = W/(1+W) is the largest level whose
+// worst-case deduction keeps the wealth non-negative; the Investor clamps
+// out-of-range values defensively and records the clamped value. A return of 0
+// signals that the policy declines to test (wealth effectively exhausted).
+//
+// Feedback notifies the policy of the outcome so stateful rules (δ-hopeful,
+// ε-hybrid) can update their bookkeeping.
+type Policy interface {
+	// Name returns a short identifier such as "gamma-fixed(10)".
+	Name() string
+	// NextAlpha proposes the level for the next test given the current wealth.
+	NextAlpha(wealth float64, ctx TestContext) float64
+	// Feedback reports the outcome of the test that was just performed.
+	Feedback(outcome Decision)
+	// Reset clears any internal state so the policy can be reused for a new
+	// stream. Investor calls it when constructed.
+	Reset()
+}
+
+// Decision records everything about one step of an α-investing procedure.
+type Decision struct {
+	// Index is the 1-based position of the hypothesis in the stream.
+	Index int
+	// PValue is the observed p-value.
+	PValue float64
+	// Alpha is the level α_j actually invested (after clamping).
+	Alpha float64
+	// Rejected reports whether the null hypothesis was rejected.
+	Rejected bool
+	// WealthBefore and WealthAfter bracket the wealth update of Equation 5.
+	WealthBefore float64
+	WealthAfter  float64
+	// SupportSize echoes the context for later analysis.
+	SupportSize int
+}
+
+// maxInvestable returns the largest α_j allowed by the non-negativity
+// constraint α_j <= W/(1+W) (equivalently α_j/(1-α_j) <= W), additionally
+// capped strictly below 1.
+func maxInvestable(wealth float64) float64 {
+	if wealth <= 0 {
+		return 0
+	}
+	m := wealth / (1 + wealth)
+	if m > maxPerTestAlpha {
+		m = maxPerTestAlpha
+	}
+	return m
+}
+
+// clampAlpha restricts a proposed level to (0, maxInvestable(wealth)].
+func clampAlpha(proposed, wealth float64) float64 {
+	max := maxInvestable(wealth)
+	if max == 0 {
+		return 0
+	}
+	if proposed > max {
+		return max
+	}
+	if proposed <= 0 || math.IsNaN(proposed) {
+		return 0
+	}
+	return proposed
+}

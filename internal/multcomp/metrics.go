@@ -1,0 +1,149 @@
+package multcomp
+
+import (
+	"errors"
+	"math"
+)
+
+// Outcome summarizes the confusion matrix of one run of a multiple-testing
+// procedure against known ground truth. Following the paper's notation
+// (Appendix A): R discoveries, V false discoveries, S true discoveries.
+type Outcome struct {
+	// Tests is the total number of hypotheses m.
+	Tests int
+	// Discoveries is R, the number of rejected null hypotheses.
+	Discoveries int
+	// FalseDiscoveries is V, rejected nulls that were actually true nulls.
+	FalseDiscoveries int
+	// TrueDiscoveries is S, rejected nulls that were actually false nulls.
+	TrueDiscoveries int
+	// MissedDiscoveries counts false null hypotheses that were not rejected
+	// (Type II errors).
+	MissedDiscoveries int
+	// TrueNulls is the number of hypotheses whose null is actually true.
+	TrueNulls int
+}
+
+// ErrMismatchedLengths is returned when rejections and ground truth differ in
+// length.
+var ErrMismatchedLengths = errors.New("multcomp: rejections and ground truth must have equal length")
+
+// Evaluate compares per-hypothesis rejection decisions against ground truth.
+// trueNull[i] is true when the i-th null hypothesis is actually true (so
+// rejecting it is a false discovery).
+func Evaluate(rejections []bool, trueNull []bool) (Outcome, error) {
+	if len(rejections) != len(trueNull) {
+		return Outcome{}, ErrMismatchedLengths
+	}
+	out := Outcome{Tests: len(rejections)}
+	for i, rej := range rejections {
+		if trueNull[i] {
+			out.TrueNulls++
+			if rej {
+				out.FalseDiscoveries++
+			}
+		} else {
+			if rej {
+				out.TrueDiscoveries++
+			} else {
+				out.MissedDiscoveries++
+			}
+		}
+		if rej {
+			out.Discoveries++
+		}
+	}
+	return out, nil
+}
+
+// FDP returns the false discovery proportion V/R (0 when R = 0), whose
+// expectation is the FDR.
+func (o Outcome) FDP() float64 {
+	if o.Discoveries == 0 {
+		return 0
+	}
+	return float64(o.FalseDiscoveries) / float64(o.Discoveries)
+}
+
+// Power returns the proportion of false nulls that were correctly rejected
+// (S / (S + misses)). It returns NaN when there are no false nulls, matching
+// the paper's convention of omitting power under the complete null.
+func (o Outcome) Power() float64 {
+	falseNulls := o.TrueDiscoveries + o.MissedDiscoveries
+	if falseNulls == 0 {
+		return math.NaN()
+	}
+	return float64(o.TrueDiscoveries) / float64(falseNulls)
+}
+
+// AnyFalseDiscovery reports whether at least one Type I error occurred; its
+// expectation over replications is the FWER.
+func (o Outcome) AnyFalseDiscovery() bool { return o.FalseDiscoveries > 0 }
+
+// Aggregate summarizes Outcomes across replications into the averages the
+// paper plots: average discoveries, average FDR, average power, and empirical
+// FWER. It also exposes the raw per-replication series so callers can attach
+// confidence intervals.
+type Aggregate struct {
+	Replications   int
+	AvgDiscoveries float64
+	AvgFDR         float64
+	AvgPower       float64
+	FWER           float64
+
+	DiscoverySeries []float64
+	FDRSeries       []float64
+	PowerSeries     []float64
+}
+
+// Summarize aggregates a set of per-replication outcomes.
+func Summarize(outcomes []Outcome) Aggregate {
+	agg := Aggregate{Replications: len(outcomes)}
+	if len(outcomes) == 0 {
+		return agg
+	}
+	powerCount := 0
+	fwerCount := 0
+	for _, o := range outcomes {
+		d := float64(o.Discoveries)
+		agg.AvgDiscoveries += d
+		agg.DiscoverySeries = append(agg.DiscoverySeries, d)
+		fdp := o.FDP()
+		agg.AvgFDR += fdp
+		agg.FDRSeries = append(agg.FDRSeries, fdp)
+		if p := o.Power(); !math.IsNaN(p) {
+			agg.AvgPower += p
+			agg.PowerSeries = append(agg.PowerSeries, p)
+			powerCount++
+		}
+		if o.AnyFalseDiscovery() {
+			fwerCount++
+		}
+	}
+	n := float64(len(outcomes))
+	agg.AvgDiscoveries /= n
+	agg.AvgFDR /= n
+	agg.FWER = float64(fwerCount) / n
+	if powerCount > 0 {
+		agg.AvgPower /= float64(powerCount)
+	} else {
+		agg.AvgPower = math.NaN()
+	}
+	return agg
+}
+
+// mFDR returns the marginal FDR estimate E[V] / (E[R] + eta) across the
+// replications summarized by the outcomes, the quantity α-investing controls
+// (Equation 4 of the paper).
+func MarginalFDR(outcomes []Outcome, eta float64) float64 {
+	if len(outcomes) == 0 {
+		return 0
+	}
+	var sumV, sumR float64
+	for _, o := range outcomes {
+		sumV += float64(o.FalseDiscoveries)
+		sumR += float64(o.Discoveries)
+	}
+	n := float64(len(outcomes))
+	return (sumV / n) / (sumR/n + eta)
+}

@@ -1,0 +1,373 @@
+package multcomp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+func TestPCERRejectsAtRawThreshold(t *testing.T) {
+	p := []float64{0.01, 0.04, 0.05, 0.051, 0.9}
+	rej, err := PCER{}.Apply(p, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, true, true, false, false}
+	for i := range want {
+		if rej[i] != want[i] {
+			t.Errorf("PCER[%d] = %v, want %v", i, rej[i], want[i])
+		}
+	}
+}
+
+func TestBonferroniThreshold(t *testing.T) {
+	p := []float64{0.004, 0.006, 0.2, 0.9, 0.01}
+	rej, err := Bonferroni{}.Apply(p, 0.05) // threshold 0.01
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, true, false, false, true}
+	for i := range want {
+		if rej[i] != want[i] {
+			t.Errorf("Bonferroni[%d] = %v, want %v", i, rej[i], want[i])
+		}
+	}
+}
+
+func TestSequentialBonferroniDecaysExponentially(t *testing.T) {
+	// Thresholds: 0.025, 0.0125, 0.00625, ...
+	p := []float64{0.02, 0.02, 0.005, 0.004}
+	rej, err := SequentialBonferroni{}.Apply(p, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if rej[i] != want[i] {
+			t.Errorf("SeqBonferroni[%d] = %v, want %v", i, rej[i], want[i])
+		}
+	}
+}
+
+func TestSidakSlightlyMorePowerfulThanBonferroni(t *testing.T) {
+	m := 20
+	bonThresh := 0.05 / float64(m)
+	sidThresh := 1 - math.Pow(0.95, 1.0/float64(m))
+	if sidThresh <= bonThresh {
+		t.Fatalf("Šidák threshold %v should exceed Bonferroni %v", sidThresh, bonThresh)
+	}
+	// A p-value between the two thresholds is rejected by Šidák only.
+	p := make([]float64, m)
+	for i := range p {
+		p[i] = 0.9
+	}
+	p[0] = (bonThresh + sidThresh) / 2
+	bon, _ := Bonferroni{}.Apply(p, 0.05)
+	sid, _ := Sidak{}.Apply(p, 0.05)
+	if bon[0] || !sid[0] {
+		t.Errorf("expected Šidák to reject and Bonferroni to accept: %v %v", bon[0], sid[0])
+	}
+}
+
+func TestHolmKnownExample(t *testing.T) {
+	// Classic textbook example.
+	p := []float64{0.01, 0.04, 0.03, 0.005}
+	rej, err := Holm{}.Apply(p, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted: 0.005 (<=0.0125), 0.01 (<=0.0167), 0.03 (>0.025) stop.
+	want := []bool{true, false, false, true}
+	for i := range want {
+		if rej[i] != want[i] {
+			t.Errorf("Holm[%d] = %v, want %v", i, rej[i], want[i])
+		}
+	}
+}
+
+func TestHochbergKnownExample(t *testing.T) {
+	p := []float64{0.01, 0.04, 0.03, 0.005}
+	rej, err := Hochberg{}.Apply(p, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step-up: largest k with p_(k) <= alpha/(m-k+1).
+	// Sorted: 0.005,0.01,0.03,0.04 thresholds 0.0125,0.0167,0.025,0.05.
+	// k=4: 0.04 <= 0.05 -> reject all four.
+	for i := range p {
+		if !rej[i] {
+			t.Errorf("Hochberg should reject all, missing %d", i)
+		}
+	}
+}
+
+func TestHolmNeverRejectsMoreThanHochberg(t *testing.T) {
+	f := func(raw []float64, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		p := make([]float64, len(raw))
+		for i := range p {
+			p[i] = rng.Float64()
+		}
+		holm, err1 := Holm{}.Apply(p, 0.05)
+		hoch, err2 := Hochberg{}.Apply(p, 0.05)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range p {
+			if holm[i] && !hoch[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBonferroniNeverRejectsMoreThanBH(t *testing.T) {
+	f := func(seed int64, mRaw uint8) bool {
+		m := int(mRaw%64) + 1
+		rng := rand.New(rand.NewSource(seed))
+		p := make([]float64, m)
+		for i := range p {
+			p[i] = rng.Float64()
+		}
+		bon, err1 := Bonferroni{}.Apply(p, 0.05)
+		bh, err2 := BenjaminiHochberg{}.Apply(p, 0.05)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range p {
+			if bon[i] && !bh[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBenjaminiHochbergKnownExample(t *testing.T) {
+	// Example from Benjamini & Hochberg (1995), alpha = 0.05, m = 15.
+	p := []float64{
+		0.0001, 0.0004, 0.0019, 0.0095, 0.0201,
+		0.0278, 0.0298, 0.0344, 0.0459, 0.3240,
+		0.4262, 0.5719, 0.6528, 0.7590, 1.0000,
+	}
+	rej, err := BenjaminiHochberg{}.Apply(p, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countTrue(rej); got != 4 {
+		t.Errorf("BH rejects %d hypotheses, the published example rejects 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		if !rej[i] {
+			t.Errorf("BH should reject the %d smallest p-values", 4)
+		}
+	}
+}
+
+func TestBenjaminiYekutieliMoreConservativeThanBH(t *testing.T) {
+	f := func(seed int64, mRaw uint8) bool {
+		m := int(mRaw%50) + 2
+		rng := rand.New(rand.NewSource(seed))
+		p := make([]float64, m)
+		for i := range p {
+			p[i] = rng.Float64() * rng.Float64() // skew toward small values
+		}
+		by, err1 := BenjaminiYekutieli{}.Apply(p, 0.05)
+		bh, err2 := BenjaminiHochberg{}.Apply(p, 0.05)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range p {
+			if by[i] && !bh[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimesGlobalNull(t *testing.T) {
+	// All large p-values: no rejections.
+	p := []float64{0.5, 0.6, 0.7, 0.8}
+	rej, err := Simes{}.Apply(p, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countTrue(rej) != 0 {
+		t.Error("Simes should not reject under a clearly true global null")
+	}
+	// One tiny p-value triggers the global rejection.
+	p[0] = 0.001
+	rej, _ = Simes{}.Apply(p, 0.05)
+	if !rej[0] {
+		t.Error("Simes should reject the tiny p-value")
+	}
+}
+
+func TestAdjustedPValuesBH(t *testing.T) {
+	p := []float64{0.01, 0.02, 0.03, 0.04}
+	adj, err := AdjustedPValuesBH(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adjusted values: min over monotone envelope of p_i * m / rank.
+	want := []float64{0.04, 0.04, 0.04, 0.04}
+	for i := range want {
+		if math.Abs(adj[i]-want[i]) > 1e-12 {
+			t.Errorf("adj[%d] = %v, want %v", i, adj[i], want[i])
+		}
+	}
+	// Consistency: q_i <= alpha iff BH rejects at alpha.
+	rng := rand.New(rand.NewSource(9))
+	pv := make([]float64, 30)
+	for i := range pv {
+		pv[i] = rng.Float64() * rng.Float64()
+	}
+	adj, _ = AdjustedPValuesBH(pv)
+	for _, alpha := range []float64{0.01, 0.05, 0.1, 0.2} {
+		rej, _ := BenjaminiHochberg{}.Apply(pv, alpha)
+		for i := range pv {
+			if rej[i] != (adj[i] <= alpha) {
+				t.Errorf("alpha=%v i=%d: BH=%v q=%v", alpha, i, rej[i], adj[i])
+			}
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	procs := All()
+	if len(procs) != 9 {
+		t.Fatalf("All() returned %d procedures", len(procs))
+	}
+	for _, proc := range procs {
+		if proc.Name() == "" {
+			t.Error("procedure with empty name")
+		}
+		if _, err := proc.Apply([]float64{0.5}, 0); !errors.Is(err, ErrInvalidAlpha) {
+			t.Errorf("%s: expected alpha error", proc.Name())
+		}
+		if _, err := proc.Apply([]float64{1.5}, 0.05); !errors.Is(err, ErrInvalidPValue) {
+			t.Errorf("%s: expected p-value error", proc.Name())
+		}
+		if _, err := proc.Apply([]float64{math.NaN()}, 0.05); !errors.Is(err, ErrInvalidPValue) {
+			t.Errorf("%s: expected NaN p-value error", proc.Name())
+		}
+		// Empty input is fine and rejects nothing.
+		rej, err := proc.Apply(nil, 0.05)
+		if err != nil || len(rej) != 0 {
+			t.Errorf("%s: empty input should be accepted", proc.Name())
+		}
+	}
+}
+
+func TestDecisionsMatchInputOrder(t *testing.T) {
+	// The procedures must report decisions in input order even though they
+	// sort internally.
+	p := []float64{0.9, 0.0001, 0.5, 0.003}
+	for _, proc := range []Procedure{Holm{}, Hochberg{}, BenjaminiHochberg{}, BenjaminiYekutieli{}, Simes{}} {
+		rej, err := proc.Apply(p, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rej[0] {
+			t.Errorf("%s rejected the 0.9 p-value", proc.Name())
+		}
+		if !rej[1] {
+			t.Errorf("%s failed to reject the 0.0001 p-value", proc.Name())
+		}
+	}
+}
+
+func TestFWERControlUnderCompleteNullSimulation(t *testing.T) {
+	// Empirical check: under the complete null, Bonferroni and Holm keep the
+	// probability of any false rejection at or below ~alpha.
+	rng := rand.New(rand.NewSource(2024))
+	const reps = 2000
+	const m = 20
+	alpha := 0.05
+	falseAny := map[string]int{}
+	for r := 0; r < reps; r++ {
+		p := make([]float64, m)
+		for i := range p {
+			p[i] = rng.Float64()
+		}
+		for _, proc := range []Procedure{Bonferroni{}, Holm{}, Hochberg{}, Sidak{}} {
+			rej, err := proc.Apply(p, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if countTrue(rej) > 0 {
+				falseAny[proc.Name()]++
+			}
+		}
+	}
+	for name, count := range falseAny {
+		fwer := float64(count) / reps
+		if fwer > alpha+0.02 {
+			t.Errorf("%s empirical FWER %v exceeds alpha", name, fwer)
+		}
+	}
+}
+
+func TestBHControlsFDRSimulation(t *testing.T) {
+	// 75% true nulls with uniform p-values, 25% false nulls with tiny
+	// p-values; BH should keep average FDP near alpha * pi0 <= alpha.
+	rng := rand.New(rand.NewSource(7))
+	const reps = 1000
+	const m = 40
+	alpha := 0.05
+	var outcomes []Outcome
+	for r := 0; r < reps; r++ {
+		p := make([]float64, m)
+		trueNull := make([]bool, m)
+		for i := range p {
+			if i%4 == 0 { // 25% false nulls
+				p[i] = rng.Float64() * 1e-4
+			} else {
+				trueNull[i] = true
+				p[i] = rng.Float64()
+			}
+		}
+		rej, err := BenjaminiHochberg{}.Apply(p, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := Evaluate(rej, trueNull)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outcomes = append(outcomes, o)
+	}
+	agg := Summarize(outcomes)
+	if agg.AvgFDR > alpha+0.01 {
+		t.Errorf("BH average FDR %v exceeds alpha %v", agg.AvgFDR, alpha)
+	}
+	if agg.AvgPower < 0.95 {
+		t.Errorf("BH power %v unexpectedly low for huge effects", agg.AvgPower)
+	}
+}

@@ -1,0 +1,155 @@
+package simulation
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aware/internal/multcomp"
+	"aware/internal/stats"
+)
+
+// HoldoutMeasurement reports the Section 4.1 hold-out analysis: the power of a
+// single test over the full data versus the power of the "confirm on a
+// hold-out" procedure, at the paper's parameters (mu difference 1, sigma 4,
+// i.e. standardized effect 0.25).
+type HoldoutMeasurement struct {
+	SamplesPerGroup int
+	FullDataPower   float64
+	SplitHalfPower  float64
+	HoldoutPower    float64
+	Theoretical     struct {
+		FullDataPower  float64
+		SplitHalfPower float64
+		HoldoutPower   float64
+	}
+}
+
+// HoldoutExperiment simulates the Section 4.1 example: for each replication,
+// draw n records per population (mu 0 vs 1, sigma 4), test once on the full
+// sample and once under the split-and-confirm procedure, and report the
+// empirical powers next to the closed-form values.
+func HoldoutExperiment(samplesPerGroup, replications int, seed int64) (HoldoutMeasurement, error) {
+	if samplesPerGroup < 4 {
+		return HoldoutMeasurement{}, fmt.Errorf("simulation: holdout needs at least 4 samples per group, got %d", samplesPerGroup)
+	}
+	if replications <= 0 {
+		return HoldoutMeasurement{}, fmt.Errorf("simulation: replications must be positive")
+	}
+	const sigma = 4.0
+	const diff = 1.0
+	rng := stats.NewRNG(seed)
+	var fullHits, holdoutHits, halfHits int
+	for r := 0; r < replications; r++ {
+		xs := make([]float64, samplesPerGroup)
+		ys := make([]float64, samplesPerGroup)
+		for i := range xs {
+			xs[i] = sigma * rng.NormFloat64()
+			ys[i] = diff + sigma*rng.NormFloat64()
+		}
+		full, err := stats.WelchTTest(ys, xs, stats.Greater)
+		if err != nil {
+			return HoldoutMeasurement{}, err
+		}
+		if full.PValue <= PaperAlpha {
+			fullHits++
+		}
+		half := samplesPerGroup / 2
+		explore, err := stats.WelchTTest(ys[:half], xs[:half], stats.Greater)
+		if err != nil {
+			return HoldoutMeasurement{}, err
+		}
+		validate, err := stats.WelchTTest(ys[half:], xs[half:], stats.Greater)
+		if err != nil {
+			return HoldoutMeasurement{}, err
+		}
+		if explore.PValue <= PaperAlpha {
+			halfHits++
+		}
+		if explore.PValue <= PaperAlpha && validate.PValue <= PaperAlpha {
+			holdoutHits++
+		}
+	}
+	m := HoldoutMeasurement{SamplesPerGroup: samplesPerGroup}
+	m.FullDataPower = float64(fullHits) / float64(replications)
+	m.SplitHalfPower = float64(halfHits) / float64(replications)
+	m.HoldoutPower = float64(holdoutHits) / float64(replications)
+
+	d := diff / sigma
+	fullTheory, err := stats.TwoSampleTTestPower(samplesPerGroup, d, PaperAlpha, stats.Greater)
+	if err != nil {
+		return HoldoutMeasurement{}, err
+	}
+	halfTheory, err := stats.TwoSampleTTestPower(samplesPerGroup/2, d, PaperAlpha, stats.Greater)
+	if err != nil {
+		return HoldoutMeasurement{}, err
+	}
+	m.Theoretical.FullDataPower = fullTheory
+	m.Theoretical.SplitHalfPower = halfTheory
+	m.Theoretical.HoldoutPower = halfTheory * halfTheory
+	return m, nil
+}
+
+// SubsetExperimentResult reports the empirical check of Theorem 1: selecting a
+// random (p-value-independent) subset of the discoveries preserves the FDR
+// level of the full discovery set.
+type SubsetExperimentResult struct {
+	FullFDR    float64
+	SubsetFDR  float64
+	SubsetFrac float64
+	Reps       int
+}
+
+// SubsetExperiment runs BH over synthetic streams, then selects each discovery
+// into the "important" subset independently with probability subsetFraction
+// (mimicking a user starring hypotheses without looking at p-values), and
+// compares the realized FDR of the subset against the full set.
+func SubsetExperiment(m int, nullProportion, subsetFraction float64, replications int, seed int64) (SubsetExperimentResult, error) {
+	if subsetFraction <= 0 || subsetFraction > 1 {
+		return SubsetExperimentResult{}, fmt.Errorf("simulation: subset fraction must be in (0, 1], got %v", subsetFraction)
+	}
+	if replications <= 0 {
+		return SubsetExperimentResult{}, fmt.Errorf("simulation: replications must be positive")
+	}
+	rng := stats.NewRNG(seed)
+	var fullOutcomes, subsetOutcomes []multcomp.Outcome
+	for r := 0; r < replications; r++ {
+		stream, err := GenerateSynthetic(DefaultSyntheticConfig(m, nullProportion), stats.SplitRNG(rng))
+		if err != nil {
+			return SubsetExperimentResult{}, err
+		}
+		rejections, err := multcomp.BenjaminiHochberg{}.Apply(stream.PValues, PaperAlpha)
+		if err != nil {
+			return SubsetExperimentResult{}, err
+		}
+		full, err := multcomp.Evaluate(rejections, stream.TrueNull)
+		if err != nil {
+			return SubsetExperimentResult{}, err
+		}
+		fullOutcomes = append(fullOutcomes, full)
+
+		subset := subsetRejections(rejections, subsetFraction, rng)
+		sub, err := multcomp.Evaluate(subset, stream.TrueNull)
+		if err != nil {
+			return SubsetExperimentResult{}, err
+		}
+		subsetOutcomes = append(subsetOutcomes, sub)
+	}
+	return SubsetExperimentResult{
+		FullFDR:    multcomp.Summarize(fullOutcomes).AvgFDR,
+		SubsetFDR:  multcomp.Summarize(subsetOutcomes).AvgFDR,
+		SubsetFrac: subsetFraction,
+		Reps:       replications,
+	}, nil
+}
+
+// subsetRejections keeps each rejection independently with the given
+// probability.
+func subsetRejections(rejections []bool, fraction float64, rng *rand.Rand) []bool {
+	out := make([]bool, len(rejections))
+	for i, r := range rejections {
+		if r && rng.Float64() < fraction {
+			out[i] = true
+		}
+	}
+	return out
+}

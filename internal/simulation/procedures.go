@@ -1,0 +1,113 @@
+package simulation
+
+import (
+	"fmt"
+
+	"aware/internal/investing"
+	"aware/internal/multcomp"
+)
+
+// Runner is a named multiple-hypothesis procedure that can be replayed over a
+// Stream. Batch procedures and α-investing policies are both adapted to this
+// interface so the experiment runner can treat them uniformly.
+type Runner interface {
+	// Name returns the label used in the report tables.
+	Name() string
+	// Run returns the per-hypothesis rejection decisions for one stream.
+	Run(s Stream, alpha float64) ([]bool, error)
+}
+
+// batchRunner adapts a multcomp.Procedure.
+type batchRunner struct {
+	proc multcomp.Procedure
+}
+
+// BatchRunner wraps a static procedure (Bonferroni, BHFDR, PCER, SeqFDR, ...).
+func BatchRunner(proc multcomp.Procedure) Runner { return batchRunner{proc: proc} }
+
+// Name implements Runner.
+func (b batchRunner) Name() string { return b.proc.Name() }
+
+// Run implements Runner.
+func (b batchRunner) Run(s Stream, alpha float64) ([]bool, error) {
+	return b.proc.Apply(s.PValues, alpha)
+}
+
+// PolicyFactory builds a fresh policy instance for one replication; investing
+// policies are stateful, so each replication needs its own.
+type PolicyFactory func(cfg investing.Config) (investing.Policy, error)
+
+// investingRunner adapts an α-investing policy factory.
+type investingRunner struct {
+	name    string
+	factory PolicyFactory
+}
+
+// InvestingRunner wraps an α-investing rule.
+func InvestingRunner(name string, factory PolicyFactory) Runner {
+	return investingRunner{name: name, factory: factory}
+}
+
+// Name implements Runner.
+func (r investingRunner) Name() string { return r.name }
+
+// Run implements Runner.
+func (r investingRunner) Run(s Stream, alpha float64) ([]bool, error) {
+	cfg, err := investing.NewConfig(alpha)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := r.factory(cfg)
+	if err != nil {
+		return nil, err
+	}
+	inv, err := investing.NewInvestor(cfg, policy)
+	if err != nil {
+		return nil, err
+	}
+	return inv.Run(s.PValues, s.Contexts)
+}
+
+// StaticRunners returns the procedures compared in Exp. 1a (Figure 3).
+func StaticRunners() []Runner {
+	return []Runner{
+		BatchRunner(multcomp.PCER{}),
+		BatchRunner(multcomp.Bonferroni{}),
+		BatchRunner(multcomp.BenjaminiHochberg{}),
+	}
+}
+
+// IncrementalRunners returns the procedures compared in Exp. 1b/1c/2
+// (Figures 4–6): Sequential FDR plus the five α-investing rules with the
+// paper's parameters.
+func IncrementalRunners() []Runner {
+	return []Runner{
+		BatchRunner(multcomp.SequentialFDR{}),
+		InvestingRunner("beta-farsighted", func(cfg investing.Config) (investing.Policy, error) {
+			return investing.NewFarsighted(0.25, cfg.Alpha)
+		}),
+		InvestingRunner("gamma-fixed", func(cfg investing.Config) (investing.Policy, error) {
+			return investing.NewFixed(10, cfg.InitialWealth())
+		}),
+		InvestingRunner("delta-hopeful", func(cfg investing.Config) (investing.Policy, error) {
+			return investing.NewHopeful(10, cfg.Alpha, cfg.InitialWealth())
+		}),
+		InvestingRunner("epsilon-hybrid", func(cfg investing.Config) (investing.Policy, error) {
+			return investing.NewHybrid(0.5, 10, 10, cfg.Alpha, cfg.InitialWealth(), 0)
+		}),
+		InvestingRunner("psi-support", func(cfg investing.Config) (investing.Policy, error) {
+			return investing.NewSupport(0.5, 10, cfg.InitialWealth())
+		}),
+	}
+}
+
+// RunnerByName returns the runner with the given name from the union of
+// static and incremental runners.
+func RunnerByName(name string) (Runner, error) {
+	for _, r := range append(StaticRunners(), IncrementalRunners()...) {
+		if r.Name() == name {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("simulation: unknown procedure %q", name)
+}

@@ -1,0 +1,107 @@
+package simulation
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WriteReport renders a sweep of measurements as the plain-text analogue of
+// one paper figure: one block per metric, one row per x value, one column per
+// procedure. xLabel names the swept parameter ("hypotheses" or "sample size").
+func WriteReport(w io.Writer, title, xLabel string, ms []Measurement) error {
+	if len(ms) == 0 {
+		_, err := fmt.Fprintf(w, "%s: no measurements\n", title)
+		return err
+	}
+	procedures := uniqueProcedures(ms)
+	xs := uniqueXs(ms)
+	index := make(map[string]map[float64]Measurement)
+	for _, m := range ms {
+		if index[m.Procedure] == nil {
+			index[m.Procedure] = make(map[float64]Measurement)
+		}
+		index[m.Procedure][m.X] = m
+	}
+
+	if _, err := fmt.Fprintf(w, "== %s ==\n", title); err != nil {
+		return err
+	}
+	metrics := []struct {
+		name string
+		get  func(Measurement) float64
+		ci   func(Measurement) float64
+	}{
+		{"avg discoveries", func(m Measurement) float64 { return m.AvgDiscoveries }, func(m Measurement) float64 { return m.CIDiscoveries }},
+		{"avg FDR", func(m Measurement) float64 { return m.AvgFDR }, func(m Measurement) float64 { return m.CIFDR }},
+		{"avg power", func(m Measurement) float64 { return m.AvgPower }, func(m Measurement) float64 { return m.CIPower }},
+		{"mFDR", func(m Measurement) float64 { return m.MarginalFDR }, nil},
+	}
+	for _, metric := range metrics {
+		if _, err := fmt.Fprintf(w, "\n-- %s --\n", metric.name); err != nil {
+			return err
+		}
+		// Header.
+		cols := []string{fmt.Sprintf("%-12s", xLabel)}
+		for _, p := range procedures {
+			cols = append(cols, fmt.Sprintf("%18s", p))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cols, " ")); err != nil {
+			return err
+		}
+		for _, x := range xs {
+			row := []string{fmt.Sprintf("%-12g", x)}
+			for _, p := range procedures {
+				m, ok := index[p][x]
+				if !ok {
+					row = append(row, fmt.Sprintf("%18s", "-"))
+					continue
+				}
+				v := metric.get(m)
+				if math.IsNaN(v) {
+					row = append(row, fmt.Sprintf("%18s", "n/a"))
+					continue
+				}
+				cell := fmt.Sprintf("%.3f", v)
+				if metric.ci != nil {
+					cell += fmt.Sprintf("±%.3f", metric.ci(m))
+				}
+				row = append(row, fmt.Sprintf("%18s", cell))
+			}
+			if _, err := fmt.Fprintln(w, strings.Join(row, " ")); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// uniqueProcedures returns the procedure names in first-appearance order.
+func uniqueProcedures(ms []Measurement) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, m := range ms {
+		if !seen[m.Procedure] {
+			seen[m.Procedure] = true
+			out = append(out, m.Procedure)
+		}
+	}
+	return out
+}
+
+// uniqueXs returns the sorted distinct x values.
+func uniqueXs(ms []Measurement) []float64 {
+	seen := make(map[float64]bool)
+	var out []float64
+	for _, m := range ms {
+		if !seen[m.X] {
+			seen[m.X] = true
+			out = append(out, m.X)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}

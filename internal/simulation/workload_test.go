@@ -1,0 +1,166 @@
+package simulation
+
+import (
+	"math"
+	"testing"
+
+	"aware/internal/stats"
+)
+
+func TestSyntheticConfigValidation(t *testing.T) {
+	good := DefaultSyntheticConfig(16, 0.75)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []SyntheticConfig{
+		{Hypotheses: 0, NullProportion: 0.5, EffectMin: 1, EffectMax: 2, Sigma: 1, BaseSamplesPerGroup: 1},
+		{Hypotheses: 10, NullProportion: -0.1, EffectMin: 1, EffectMax: 2, Sigma: 1, BaseSamplesPerGroup: 1},
+		{Hypotheses: 10, NullProportion: 0.5, EffectMin: 0, EffectMax: 2, Sigma: 1, BaseSamplesPerGroup: 1},
+		{Hypotheses: 10, NullProportion: 0.5, EffectMin: 3, EffectMax: 2, Sigma: 1, BaseSamplesPerGroup: 1},
+		{Hypotheses: 10, NullProportion: 0.5, EffectMin: 1, EffectMax: 2, Sigma: 0, BaseSamplesPerGroup: 1},
+		{Hypotheses: 10, NullProportion: 0.5, EffectMin: 1, EffectMax: 2, Sigma: 1, BaseSamplesPerGroup: 0},
+		{Hypotheses: 10, NullProportion: 0.5, EffectMin: 1, EffectMax: 2, Sigma: 1, BaseSamplesPerGroup: 1, SampleFraction: 2},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+	if _, err := GenerateSynthetic(good, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	if _, err := GenerateSynthetic(SyntheticConfig{}, stats.NewRNG(1)); err == nil {
+		t.Error("zero config should fail")
+	}
+}
+
+func TestGenerateSyntheticShape(t *testing.T) {
+	cfg := DefaultSyntheticConfig(64, 0.75)
+	s, err := GenerateSynthetic(cfg, stats.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.PValues) != 64 || len(s.TrueNull) != 64 || len(s.Contexts) != 64 {
+		t.Fatalf("stream lengths %d/%d/%d", len(s.PValues), len(s.TrueNull), len(s.Contexts))
+	}
+	for i, p := range s.PValues {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Errorf("p[%d] = %v", i, p)
+		}
+		if s.Contexts[i].SupportSize <= 0 || s.Contexts[i].PopulationSize < s.Contexts[i].SupportSize {
+			t.Errorf("context[%d] = %+v", i, s.Contexts[i])
+		}
+	}
+}
+
+func TestGenerateSyntheticNullPValuesAreUniform(t *testing.T) {
+	// Under the complete null, p-values should be approximately uniform: mean
+	// ~0.5 and about 5% below 0.05.
+	cfg := DefaultSyntheticConfig(64, 1.0)
+	rng := stats.NewRNG(7)
+	var all []float64
+	for r := 0; r < 200; r++ {
+		s, err := GenerateSynthetic(cfg, stats.SplitRNG(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tn := range s.TrueNull {
+			if !tn {
+				t.Fatal("complete null stream contains a false null")
+			}
+			all = append(all, s.PValues[i])
+		}
+	}
+	mean, _ := stats.Mean(all)
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("null p-value mean = %v", mean)
+	}
+	below := 0
+	for _, p := range all {
+		if p <= 0.05 {
+			below++
+		}
+	}
+	rate := float64(below) / float64(len(all))
+	if math.Abs(rate-0.05) > 0.01 {
+		t.Errorf("P(p <= 0.05) = %v under the null", rate)
+	}
+}
+
+func TestGenerateSyntheticSignalIsDetectable(t *testing.T) {
+	// With 25% nulls and the paper's effect range, false-null p-values should
+	// be clearly smaller than true-null ones.
+	cfg := DefaultSyntheticConfig(64, 0.25)
+	s, err := GenerateSynthetic(cfg, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nullPs, altPs []float64
+	for i, tn := range s.TrueNull {
+		if tn {
+			nullPs = append(nullPs, s.PValues[i])
+		} else {
+			altPs = append(altPs, s.PValues[i])
+		}
+	}
+	if len(altPs) == 0 || len(nullPs) == 0 {
+		t.Skip("degenerate draw")
+	}
+	meanNull, _ := stats.Mean(nullPs)
+	meanAlt, _ := stats.Mean(altPs)
+	if meanAlt >= meanNull {
+		t.Errorf("alternative p-values (mean %v) should be smaller than null ones (mean %v)", meanAlt, meanNull)
+	}
+}
+
+func TestGenerateSyntheticSampleFractionLowersPower(t *testing.T) {
+	// Smaller support should produce larger p-values for false nulls.
+	rng := stats.NewRNG(11)
+	meanAt := func(fraction float64) float64 {
+		cfg := DefaultSyntheticConfig(64, 0)
+		cfg.BaseSamplesPerGroup = 10
+		cfg.SampleFraction = fraction
+		cfg.EffectMin, cfg.EffectMax = 0.5, 1
+		var ps []float64
+		for r := 0; r < 50; r++ {
+			s, err := GenerateSynthetic(cfg, stats.SplitRNG(rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps = append(ps, s.PValues...)
+		}
+		m, _ := stats.Mean(ps)
+		return m
+	}
+	small := meanAt(0.1)
+	large := meanAt(0.9)
+	if large >= small {
+		t.Errorf("p-values should shrink with more data: mean %v at 10%% vs %v at 90%%", small, large)
+	}
+}
+
+func TestIntroExampleNumbers(t *testing.T) {
+	e := Intro()
+	if math.Abs(e.ExpectedTrue-8) > 1e-12 {
+		t.Errorf("expected true discoveries = %v", e.ExpectedTrue)
+	}
+	if math.Abs(e.ExpectedFalse-4.5) > 1e-12 {
+		t.Errorf("expected false discoveries = %v", e.ExpectedFalse)
+	}
+	// The paper says ~13 discoveries of which ~40% are bogus.
+	if total := e.ExpectedTrue + e.ExpectedFalse; math.Abs(total-12.5) > 1e-9 {
+		t.Errorf("total discoveries = %v", total)
+	}
+	if e.FalseShare < 0.3 || e.FalseShare > 0.45 {
+		t.Errorf("false share = %v, paper says about 40%%", e.FalseShare)
+	}
+	if math.Abs(e.InflationTwo-0.0975) > 1e-9 {
+		t.Errorf("two-hypothesis inflation = %v", e.InflationTwo)
+	}
+	if math.Abs(e.InflationFour-0.18549375) > 1e-9 {
+		t.Errorf("four-hypothesis inflation = %v", e.InflationFour)
+	}
+	if e.String() == "" {
+		t.Error("String should render")
+	}
+}

@@ -1,0 +1,227 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmptySample is returned when a computation requires at least one (or two)
+// observations and the sample is too small.
+var ErrEmptySample = errors.New("stats: sample too small")
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return math.NaN(), ErrEmptySample
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased (n-1 denominator) sample variance of xs.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return math.NaN(), ErrEmptySample
+	}
+	m, _ := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1), nil
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return math.NaN(), err
+	}
+	return math.Sqrt(v), nil
+}
+
+// MeanVariance returns both mean and unbiased variance in one pass over xs
+// using Welford's algorithm, which is numerically stable for large samples.
+func MeanVariance(xs []float64) (mean, variance float64, err error) {
+	if len(xs) < 2 {
+		return math.NaN(), math.NaN(), ErrEmptySample
+	}
+	var m, m2 float64
+	for i, x := range xs {
+		delta := x - m
+		m += delta / float64(i+1)
+		m2 += delta * (x - m)
+	}
+	return m, m2 / float64(len(xs)-1), nil
+}
+
+// Median returns the median of xs.
+func Median(xs []float64) (float64, error) {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-th sample quantile of xs (linear interpolation
+// between order statistics, the "type 7" definition used by R and NumPy).
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return math.NaN(), ErrEmptySample
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN(), ErrDomain
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// MinMax returns the smallest and largest values of xs.
+func MinMax(xs []float64) (min, max float64, err error) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN(), ErrEmptySample
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, nil
+}
+
+// Covariance returns the unbiased sample covariance of paired samples xs, ys.
+func Covariance(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return math.NaN(), errors.New("stats: covariance requires samples of equal length")
+	}
+	if len(xs) < 2 {
+		return math.NaN(), ErrEmptySample
+	}
+	mx, _ := Mean(xs)
+	my, _ := Mean(ys)
+	sum := 0.0
+	for i := range xs {
+		sum += (xs[i] - mx) * (ys[i] - my)
+	}
+	return sum / float64(len(xs)-1), nil
+}
+
+// Correlation returns the Pearson correlation coefficient of xs and ys.
+func Correlation(xs, ys []float64) (float64, error) {
+	cov, err := Covariance(xs, ys)
+	if err != nil {
+		return math.NaN(), err
+	}
+	sx, err := StdDev(xs)
+	if err != nil {
+		return math.NaN(), err
+	}
+	sy, err := StdDev(ys)
+	if err != nil {
+		return math.NaN(), err
+	}
+	if sx == 0 || sy == 0 {
+		return math.NaN(), errors.New("stats: correlation undefined for constant sample")
+	}
+	return cov / (sx * sy), nil
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Histogram is a simple fixed-width binned histogram over a float sample.
+type Histogram struct {
+	Edges  []float64 // len(Counts)+1 bin edges, ascending
+	Counts []int     // observations per bin
+}
+
+// NewHistogram bins xs into bins equal-width bins spanning [min, max].
+func NewHistogram(xs []float64, bins int) (*Histogram, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmptySample
+	}
+	if bins <= 0 {
+		return nil, ErrDomain
+	}
+	min, max, _ := MinMax(xs)
+	if min == max {
+		max = min + 1
+	}
+	h := &Histogram{
+		Edges:  make([]float64, bins+1),
+		Counts: make([]int, bins),
+	}
+	width := (max - min) / float64(bins)
+	for i := 0; i <= bins; i++ {
+		h.Edges[i] = min + float64(i)*width
+	}
+	for _, x := range xs {
+		idx := int((x - min) / width)
+		if idx >= bins {
+			idx = bins - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		h.Counts[idx]++
+	}
+	return h, nil
+}
+
+// Total returns the number of observations in the histogram.
+func (h *Histogram) Total() int {
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	return total
+}
+
+// Proportions returns the per-bin fraction of observations.
+func (h *Histogram) Proportions() []float64 {
+	total := h.Total()
+	props := make([]float64, len(h.Counts))
+	if total == 0 {
+		return props
+	}
+	for i, c := range h.Counts {
+		props[i] = float64(c) / float64(total)
+	}
+	return props
+}
+
+// ConfidenceInterval95 returns the half-width of a normal-approximation 95%
+// confidence interval for the mean of xs: 1.96 * s / sqrt(n).
+func ConfidenceInterval95(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, ErrEmptySample
+	}
+	s, err := StdDev(xs)
+	if err != nil {
+		return 0, err
+	}
+	return 1.959963984540054 * s / math.Sqrt(float64(len(xs))), nil
+}

@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceBasics(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, err := Mean(xs)
+	if err != nil || m != 5 {
+		t.Fatalf("Mean = %v, %v", m, err)
+	}
+	v, err := Variance(xs)
+	if err != nil || !approxEqual(v, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v, %v", v, err)
+	}
+	s, err := StdDev(xs)
+	if err != nil || !approxEqual(s, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("StdDev = %v, %v", s, err)
+	}
+	m2, v2, err := MeanVariance(xs)
+	if err != nil || !approxEqual(m2, m, 1e-12) || !approxEqual(v2, v, 1e-12) {
+		t.Fatalf("MeanVariance = %v, %v, %v", m2, v2, err)
+	}
+}
+
+func TestMeanVarianceErrors(t *testing.T) {
+	if _, err := Mean(nil); !errors.Is(err, ErrEmptySample) {
+		t.Error("Mean(nil) should fail")
+	}
+	if _, err := Variance([]float64{1}); !errors.Is(err, ErrEmptySample) {
+		t.Error("Variance of single value should fail")
+	}
+	if _, _, err := MeanVariance([]float64{1}); !errors.Is(err, ErrEmptySample) {
+		t.Error("MeanVariance of single value should fail")
+	}
+}
+
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = math.Mod(v, 1e6)
+			if math.IsNaN(xs[i]) {
+				xs[i] = 0
+			}
+		}
+		m1, _ := Mean(xs)
+		v1, _ := Variance(xs)
+		m2, v2, _ := MeanVariance(xs)
+		return approxEqual(m1, m2, 1e-9) && approxEqual(v1, v2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianAndQuantile(t *testing.T) {
+	xs := []float64{7, 1, 3, 9, 5}
+	med, err := Median(xs)
+	if err != nil || med != 5 {
+		t.Fatalf("Median = %v, %v", med, err)
+	}
+	even := []float64{1, 2, 3, 4}
+	med, _ = Median(even)
+	if med != 2.5 {
+		t.Fatalf("even Median = %v", med)
+	}
+	q, _ := Quantile([]float64{10, 20, 30, 40, 50}, 0.25)
+	if q != 20 {
+		t.Fatalf("Quantile(0.25) = %v", q)
+	}
+	if _, err := Quantile(xs, 1.5); !errors.Is(err, ErrDomain) {
+		t.Error("expected domain error for q > 1")
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmptySample) {
+		t.Error("expected empty-sample error")
+	}
+	single, _ := Quantile([]float64{42}, 0.9)
+	if single != 42 {
+		t.Fatalf("single-element quantile = %v", single)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -2, 8, 0})
+	if err != nil || min != -2 || max != 8 {
+		t.Fatalf("MinMax = %v, %v, %v", min, max, err)
+	}
+	if _, _, err := MinMax(nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+}
+
+func TestCovarianceCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	cov, err := Covariance(xs, ys)
+	if err != nil || !approxEqual(cov, 5, 1e-12) {
+		t.Fatalf("Covariance = %v, %v", cov, err)
+	}
+	r, err := Correlation(xs, ys)
+	if err != nil || !approxEqual(r, 1, 1e-12) {
+		t.Fatalf("Correlation = %v, %v", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Correlation(xs, neg)
+	if !approxEqual(r, -1, 1e-12) {
+		t.Fatalf("negative Correlation = %v", r)
+	}
+	if _, err := Correlation(xs, []float64{1, 1, 1, 1, 1}); err == nil {
+		t.Error("expected error for constant sample")
+	}
+	if _, err := Covariance(xs, []float64{1}); err == nil {
+		t.Error("expected error for mismatched lengths")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.1, 0.2, 0.5, 0.6, 0.9, 1.0}
+	h, err := NewHistogram(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != len(xs) {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Counts[0] != 3 || h.Counts[1] != 4 {
+		t.Fatalf("Counts = %v", h.Counts)
+	}
+	props := h.Proportions()
+	if !approxEqual(props[0]+props[1], 1, 1e-12) {
+		t.Fatalf("Proportions = %v", props)
+	}
+	if _, err := NewHistogram(nil, 3); err == nil {
+		t.Error("expected error for empty sample")
+	}
+	if _, err := NewHistogram(xs, 0); err == nil {
+		t.Error("expected error for zero bins")
+	}
+	// Constant sample should still produce a valid histogram.
+	hc, err := NewHistogram([]float64{5, 5, 5}, 4)
+	if err != nil || hc.Total() != 3 {
+		t.Fatalf("constant histogram: %v, %v", hc, err)
+	}
+}
+
+func TestConfidenceInterval95(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	ci, err := ConfidenceInterval95(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := StdDev(xs)
+	want := 1.959963984540054 * s / 10
+	if !approxEqual(ci, want, 1e-12) {
+		t.Fatalf("CI = %v, want %v", ci, want)
+	}
+	if _, err := ConfidenceInterval95([]float64{1}); err == nil {
+		t.Error("expected error for tiny sample")
+	}
+}
+
+func TestSum(t *testing.T) {
+	if Sum([]float64{1.5, 2.5, -1}) != 3 {
+		t.Error("Sum mismatch")
+	}
+	if Sum(nil) != 0 {
+		t.Error("Sum(nil) should be 0")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			xs[i] = math.Mod(v, 1e9)
+		}
+		q25, _ := Quantile(xs, 0.25)
+		q50, _ := Quantile(xs, 0.5)
+		q75, _ := Quantile(xs, 0.75)
+		return q25 <= q50 && q50 <= q75
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Binomial is the binomial distribution with N trials and success
+// probability P.
+type Binomial struct {
+	N int
+	P float64
+}
+
+// PMF returns P(X = k).
+func (b Binomial) PMF(k int) float64 {
+	if b.N < 0 || b.P < 0 || b.P > 1 || k < 0 || k > b.N {
+		return 0
+	}
+	if b.P == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if b.P == 1 {
+		if k == b.N {
+			return 1
+		}
+		return 0
+	}
+	lg := LogGamma(float64(b.N+1)) - LogGamma(float64(k+1)) - LogGamma(float64(b.N-k+1))
+	return math.Exp(lg + float64(k)*math.Log(b.P) + float64(b.N-k)*math.Log(1-b.P))
+}
+
+// CDF returns P(X <= k).
+func (b Binomial) CDF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= b.N {
+		return 1
+	}
+	// P(X <= k) = I_{1-p}(n-k, k+1).
+	v, err := BetaRegularized(float64(b.N-k), float64(k+1), 1-b.P)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+// Mean returns n*p.
+func (b Binomial) Mean() float64 { return float64(b.N) * b.P }
+
+// Variance returns n*p*(1-p).
+func (b Binomial) Variance() float64 { return float64(b.N) * b.P * (1 - b.P) }
+
+// Rand draws a sample using the supplied random source.
+func (b Binomial) Rand(rng *rand.Rand) int {
+	count := 0
+	for i := 0; i < b.N; i++ {
+		if rng.Float64() < b.P {
+			count++
+		}
+	}
+	return count
+}
+
+// Uniform is the continuous uniform distribution on [A, B].
+type Uniform struct {
+	A float64
+	B float64
+}
+
+// PDF returns the probability density at x.
+func (u Uniform) PDF(x float64) float64 {
+	if u.B <= u.A {
+		return math.NaN()
+	}
+	if x < u.A || x > u.B {
+		return 0
+	}
+	return 1 / (u.B - u.A)
+}
+
+// CDF returns P(X <= x).
+func (u Uniform) CDF(x float64) float64 {
+	if u.B <= u.A {
+		return math.NaN()
+	}
+	switch {
+	case x < u.A:
+		return 0
+	case x > u.B:
+		return 1
+	default:
+		return (x - u.A) / (u.B - u.A)
+	}
+}
+
+// Quantile returns the value x such that CDF(x) = p.
+func (u Uniform) Quantile(p float64) (float64, error) {
+	if u.B <= u.A || p < 0 || p > 1 || math.IsNaN(p) {
+		return math.NaN(), ErrDomain
+	}
+	return u.A + p*(u.B-u.A), nil
+}
+
+// Rand draws a sample using the supplied random source.
+func (u Uniform) Rand(rng *rand.Rand) float64 {
+	return u.A + rng.Float64()*(u.B-u.A)
+}
+
+// Mean returns the distribution mean.
+func (u Uniform) Mean() float64 { return (u.A + u.B) / 2 }
+
+// Variance returns the distribution variance.
+func (u Uniform) Variance() float64 { return (u.B - u.A) * (u.B - u.A) / 12 }
+
+// Categorical is a discrete distribution over len(Weights) categories with
+// probabilities proportional to Weights.
+type Categorical struct {
+	Weights []float64
+	cum     []float64
+	total   float64
+}
+
+// NewCategorical builds a categorical distribution from non-negative weights.
+func NewCategorical(weights []float64) (*Categorical, error) {
+	if len(weights) == 0 {
+		return nil, ErrDomain
+	}
+	c := &Categorical{Weights: append([]float64(nil), weights...)}
+	c.cum = make([]float64, len(weights))
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, ErrDomain
+		}
+		c.total += w
+		c.cum[i] = c.total
+	}
+	if c.total <= 0 {
+		return nil, ErrDomain
+	}
+	return c, nil
+}
+
+// Prob returns the probability of category i.
+func (c *Categorical) Prob(i int) float64 {
+	if i < 0 || i >= len(c.Weights) {
+		return 0
+	}
+	return c.Weights[i] / c.total
+}
+
+// Rand draws a category index using the supplied random source.
+func (c *Categorical) Rand(rng *rand.Rand) int {
+	u := rng.Float64() * c.total
+	for i, cv := range c.cum {
+		if u < cv {
+			return i
+		}
+	}
+	return len(c.cum) - 1
+}
+
+// Len returns the number of categories.
+func (c *Categorical) Len() int { return len(c.Weights) }

@@ -1,0 +1,326 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	n := StandardNormal()
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+		{2.5758293035489004, 0.995},
+		{-3, 0.0013498980316300933},
+	}
+	for _, c := range cases {
+		if got := n.CDF(c.x); !approxEqual(got, c.want, 1e-10) {
+			t.Errorf("Normal.CDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	n := Normal{Mu: 3, Sigma: 2}
+	for _, p := range []float64{0.001, 0.025, 0.1, 0.5, 0.9, 0.975, 0.999} {
+		x, err := n.Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := n.CDF(x); !approxEqual(got, p, 1e-10) {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestNormalSurvivalComplement(t *testing.T) {
+	n := StandardNormal()
+	f := func(x float64) bool {
+		x = math.Mod(x, 6)
+		return approxEqual(n.CDF(x)+n.Survival(x), 1, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalPDFIntegratesToCDF(t *testing.T) {
+	// Trapezoidal integration of the PDF should approximate the CDF.
+	n := Normal{Mu: -1, Sigma: 1.5}
+	lo, hi := -10.0, 1.0
+	steps := 20000
+	sum := 0.0
+	h := (hi - lo) / float64(steps)
+	for i := 0; i < steps; i++ {
+		x0 := lo + float64(i)*h
+		sum += (n.PDF(x0) + n.PDF(x0+h)) / 2 * h
+	}
+	if !approxEqual(sum, n.CDF(hi), 1e-6) {
+		t.Errorf("integral %v vs CDF %v", sum, n.CDF(hi))
+	}
+}
+
+func TestNormalInvalidSigma(t *testing.T) {
+	n := Normal{Mu: 0, Sigma: 0}
+	if !math.IsNaN(n.PDF(0)) || !math.IsNaN(n.CDF(0)) {
+		t.Error("expected NaN for sigma <= 0")
+	}
+}
+
+func TestStudentTCDFKnownValues(t *testing.T) {
+	cases := []struct {
+		df, x, want float64
+	}{
+		{1, 0, 0.5},
+		{1, 1, 0.75}, // Cauchy
+		{2, 1, 0.7886751345948129},
+		{10, 2.228138851986273, 0.975}, // t crit for df=10
+		{30, 1.6972608943617378, 0.95},
+		{5, -2.015048372669157, 0.05},
+	}
+	for _, c := range cases {
+		if got := (StudentT{DF: c.df}).CDF(c.x); !approxEqual(got, c.want, 1e-8) {
+			t.Errorf("StudentT{%v}.CDF(%v) = %v, want %v", c.df, c.x, got, c.want)
+		}
+	}
+}
+
+func TestStudentTQuantileRoundTrip(t *testing.T) {
+	for _, df := range []float64{1, 2, 5, 10, 30, 120, 3.7} {
+		dist := StudentT{DF: df}
+		for _, p := range []float64{0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99} {
+			x, err := dist.Quantile(p)
+			if err != nil {
+				t.Fatalf("df=%v p=%v: %v", df, p, err)
+			}
+			if got := dist.CDF(x); !approxEqual(got, p, 1e-7) {
+				t.Errorf("df=%v: CDF(Quantile(%v)) = %v", df, p, got)
+			}
+		}
+	}
+}
+
+func TestStudentTSymmetry(t *testing.T) {
+	dist := StudentT{DF: 7}
+	f := func(x float64) bool {
+		x = math.Mod(x, 10)
+		return approxEqual(dist.CDF(x), 1-dist.CDF(-x), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStudentTApproachesNormal(t *testing.T) {
+	// For large df the t distribution converges to the standard normal.
+	tDist := StudentT{DF: 1e6}
+	n := StandardNormal()
+	for _, x := range []float64{-2, -1, 0, 0.5, 1.5, 2.5} {
+		if !approxEqual(tDist.CDF(x), n.CDF(x), 1e-4) {
+			t.Errorf("t(1e6).CDF(%v) = %v, normal = %v", x, tDist.CDF(x), n.CDF(x))
+		}
+	}
+}
+
+func TestChiSquaredCDFKnownValues(t *testing.T) {
+	cases := []struct {
+		df, x, want float64
+	}{
+		{1, 3.841458820694124, 0.95},
+		{2, 5.991464547107979, 0.95},
+		{5, 11.070497693516351, 0.95},
+		{10, 18.307038053275146, 0.95},
+		{1, 6.634896601021213, 0.99},
+		{4, 4, 0.5939941502901618},
+	}
+	for _, c := range cases {
+		if got := (ChiSquared{DF: c.df}).CDF(c.x); !approxEqual(got, c.want, 1e-8) {
+			t.Errorf("ChiSquared{%v}.CDF(%v) = %v, want %v", c.df, c.x, got, c.want)
+		}
+	}
+}
+
+func TestChiSquaredQuantileRoundTrip(t *testing.T) {
+	for _, df := range []float64{1, 2, 3, 7, 20, 64} {
+		dist := ChiSquared{DF: df}
+		for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999} {
+			x, err := dist.Quantile(p)
+			if err != nil {
+				t.Fatalf("df=%v p=%v: %v", df, p, err)
+			}
+			if got := dist.CDF(x); !approxEqual(got, p, 1e-8) {
+				t.Errorf("df=%v: CDF(Quantile(%v)) = %v", df, p, got)
+			}
+		}
+	}
+}
+
+func TestChiSquaredSurvivalComplement(t *testing.T) {
+	dist := ChiSquared{DF: 6}
+	for _, x := range []float64{0.1, 1, 5, 10, 30} {
+		if !approxEqual(dist.CDF(x)+dist.Survival(x), 1, 1e-12) {
+			t.Errorf("CDF+Survival != 1 at %v", x)
+		}
+	}
+}
+
+func TestFDistributionKnownValues(t *testing.T) {
+	// Critical values F(0.95; d1, d2).
+	cases := []struct {
+		d1, d2, crit float64
+	}{
+		{1, 10, 4.964602743730711},
+		{5, 20, 2.7108898146239264},
+		{10, 10, 2.9782370947247945},
+	}
+	for _, c := range cases {
+		dist := FDistribution{D1: c.d1, D2: c.d2}
+		if got := dist.CDF(c.crit); !approxEqual(got, 0.95, 1e-6) {
+			t.Errorf("F(%v,%v).CDF(%v) = %v, want 0.95", c.d1, c.d2, c.crit, got)
+		}
+		q, err := dist.Quantile(0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approxEqual(q, c.crit, 1e-5) {
+			t.Errorf("F(%v,%v).Quantile(0.95) = %v, want %v", c.d1, c.d2, q, c.crit)
+		}
+	}
+}
+
+func TestFDistributionTSquaredRelationship(t *testing.T) {
+	// If T ~ t(df) then T^2 ~ F(1, df).
+	df := 9.0
+	tDist := StudentT{DF: df}
+	fDist := FDistribution{D1: 1, D2: df}
+	for _, x := range []float64{0.5, 1, 2, 3} {
+		pt := 1 - 2*tDist.Survival(x) // P(|T| <= x)
+		pf := fDist.CDF(x * x)
+		if !approxEqual(pt, pf, 1e-9) {
+			t.Errorf("x=%v: P(|T|<=x)=%v, P(F<=x^2)=%v", x, pt, pf)
+		}
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	b := Binomial{N: 20, P: 0.3}
+	sum := 0.0
+	for k := 0; k <= 20; k++ {
+		sum += b.PMF(k)
+	}
+	if !approxEqual(sum, 1, 1e-10) {
+		t.Errorf("PMF sums to %v", sum)
+	}
+	if !approxEqual(b.CDF(20), 1, 1e-12) {
+		t.Errorf("CDF(n) = %v", b.CDF(20))
+	}
+	if !approxEqual(b.CDF(5), b.PMF(0)+b.PMF(1)+b.PMF(2)+b.PMF(3)+b.PMF(4)+b.PMF(5), 1e-10) {
+		t.Error("CDF(5) does not match cumulative PMF")
+	}
+}
+
+func TestUniformBasics(t *testing.T) {
+	u := Uniform{A: 2, B: 6}
+	if got := u.CDF(4); !approxEqual(got, 0.5, 1e-15) {
+		t.Errorf("CDF(4) = %v", got)
+	}
+	if got := u.PDF(3); !approxEqual(got, 0.25, 1e-15) {
+		t.Errorf("PDF(3) = %v", got)
+	}
+	if got := u.CDF(1); got != 0 {
+		t.Errorf("CDF below support = %v", got)
+	}
+	if got := u.CDF(7); got != 1 {
+		t.Errorf("CDF above support = %v", got)
+	}
+	q, err := u.Quantile(0.25)
+	if err != nil || !approxEqual(q, 3, 1e-15) {
+		t.Errorf("Quantile(0.25) = %v, %v", q, err)
+	}
+}
+
+func TestCategoricalDistribution(t *testing.T) {
+	c, err := NewCategorical([]float64{1, 3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEqual(c.Prob(0), 0.1, 1e-15) || !approxEqual(c.Prob(2), 0.6, 1e-15) {
+		t.Errorf("unexpected probabilities %v %v", c.Prob(0), c.Prob(2))
+	}
+	if c.Prob(-1) != 0 || c.Prob(3) != 0 {
+		t.Error("out-of-range probability should be 0")
+	}
+	if _, err := NewCategorical(nil); err == nil {
+		t.Error("expected error for empty weights")
+	}
+	if _, err := NewCategorical([]float64{0, 0}); err == nil {
+		t.Error("expected error for all-zero weights")
+	}
+	if _, err := NewCategorical([]float64{1, -1}); err == nil {
+		t.Error("expected error for negative weight")
+	}
+	rng := NewRNG(1)
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[c.Rand(rng)]++
+	}
+	for i, want := range []float64{0.1, 0.3, 0.6} {
+		got := float64(counts[i]) / 30000
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("category %d frequency %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestSamplingMatchesMoments(t *testing.T) {
+	rng := NewRNG(42)
+	const n = 60000
+
+	t.Run("normal", func(t *testing.T) {
+		dist := Normal{Mu: 2, Sigma: 3}
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = dist.Rand(rng)
+		}
+		m, v, _ := MeanVariance(xs)
+		if math.Abs(m-2) > 0.05 || math.Abs(v-9) > 0.3 {
+			t.Errorf("normal sample moments mean=%v var=%v", m, v)
+		}
+	})
+	t.Run("chisquared", func(t *testing.T) {
+		dist := ChiSquared{DF: 5}
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = dist.Rand(rng)
+		}
+		m, v, _ := MeanVariance(xs)
+		if math.Abs(m-5) > 0.1 || math.Abs(v-10) > 0.6 {
+			t.Errorf("chi2 sample moments mean=%v var=%v", m, v)
+		}
+	})
+	t.Run("studentt", func(t *testing.T) {
+		dist := StudentT{DF: 12}
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = dist.Rand(rng)
+		}
+		m, v, _ := MeanVariance(xs)
+		if math.Abs(m) > 0.05 || math.Abs(v-1.2) > 0.15 {
+			t.Errorf("t sample moments mean=%v var=%v", m, v)
+		}
+	})
+	t.Run("fractional chisquared", func(t *testing.T) {
+		dist := ChiSquared{DF: 0.7}
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = dist.Rand(rng)
+		}
+		m, _, _ := MeanVariance(xs)
+		if math.Abs(m-0.7) > 0.05 {
+			t.Errorf("chi2(0.7) sample mean=%v", m)
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// FDistribution is the Fisher–Snedecor F distribution with D1 numerator and D2
+// denominator degrees of freedom.
+type FDistribution struct {
+	D1 float64
+	D2 float64
+}
+
+// PDF returns the probability density at x.
+func (f FDistribution) PDF(x float64) float64 {
+	if f.D1 <= 0 || f.D2 <= 0 || x < 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		if f.D1 < 2 {
+			return math.Inf(1)
+		}
+		if f.D1 == 2 {
+			return 1
+		}
+		return 0
+	}
+	d1, d2 := f.D1, f.D2
+	logNum := d1/2*math.Log(d1*x) + d2/2*math.Log(d2) - (d1+d2)/2*math.Log(d1*x+d2)
+	logBeta := LogGamma(d1/2) + LogGamma(d2/2) - LogGamma((d1+d2)/2)
+	return math.Exp(logNum-logBeta) / x
+}
+
+// CDF returns P(F <= x).
+func (f FDistribution) CDF(x float64) float64 {
+	if f.D1 <= 0 || f.D2 <= 0 {
+		return math.NaN()
+	}
+	if x <= 0 {
+		return 0
+	}
+	v, err := BetaRegularized(f.D1/2, f.D2/2, f.D1*x/(f.D1*x+f.D2))
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+// Survival returns P(F > x).
+func (f FDistribution) Survival(x float64) float64 {
+	if f.D1 <= 0 || f.D2 <= 0 {
+		return math.NaN()
+	}
+	if x <= 0 {
+		return 1
+	}
+	v, err := BetaRegularized(f.D2/2, f.D1/2, f.D2/(f.D1*x+f.D2))
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+// Quantile returns the value x such that CDF(x) = p.
+func (f FDistribution) Quantile(p float64) (float64, error) {
+	if f.D1 <= 0 || f.D2 <= 0 || p < 0 || p >= 1 || math.IsNaN(p) {
+		if p == 1 {
+			return math.Inf(1), nil
+		}
+		return math.NaN(), ErrDomain
+	}
+	if p == 0 {
+		return 0, nil
+	}
+	y, err := InverseBetaRegularized(f.D1/2, f.D2/2, p)
+	if err != nil {
+		return math.NaN(), err
+	}
+	if y >= 1 {
+		return math.Inf(1), nil
+	}
+	return f.D2 * y / (f.D1 * (1 - y)), nil
+}
+
+// Rand draws a sample using the supplied random source.
+func (f FDistribution) Rand(rng *rand.Rand) float64 {
+	num := ChiSquared{DF: f.D1}.Rand(rng) / f.D1
+	den := ChiSquared{DF: f.D2}.Rand(rng) / f.D2
+	return num / den
+}
+
+// Mean returns the distribution mean (defined for D2 > 2).
+func (f FDistribution) Mean() float64 {
+	if f.D2 > 2 {
+		return f.D2 / (f.D2 - 2)
+	}
+	return math.NaN()
+}

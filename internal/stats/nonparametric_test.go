@@ -1,0 +1,220 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMannWhitneyUDetectsShift(t *testing.T) {
+	rng := NewRNG(3)
+	xs := make([]float64, 80)
+	ys := make([]float64, 80)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = 1 + rng.NormFloat64()
+	}
+	res, err := MannWhitneyU(ys, xs, Greater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-4 {
+		t.Errorf("shifted samples should be detected, p = %v", res.PValue)
+	}
+	if res.EffectSize <= 0 {
+		t.Errorf("rank-biserial correlation should be positive, got %v", res.EffectSize)
+	}
+}
+
+func TestMannWhitneyUNull(t *testing.T) {
+	rng := NewRNG(5)
+	rejections := 0
+	const reps = 400
+	for r := 0; r < reps; r++ {
+		xs := make([]float64, 30)
+		ys := make([]float64, 30)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		res, err := MannWhitneyU(xs, ys, TwoSided)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PValue <= 0.05 {
+			rejections++
+		}
+	}
+	rate := float64(rejections) / reps
+	if rate > 0.09 {
+		t.Errorf("null rejection rate %v clearly above 0.05", rate)
+	}
+}
+
+func TestMannWhitneyUAgainstReference(t *testing.T) {
+	// Small worked example (no ties): xs = {1,2,3}, ys = {4,5,6}; U = 0 for xs.
+	xs := []float64{1, 2, 3}
+	ys := []float64{4, 5, 6}
+	res, err := MannWhitneyU(xs, ys, TwoSided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statistic != 0 {
+		t.Errorf("U = %v, want 0", res.Statistic)
+	}
+	if res.EffectSize != -1 {
+		t.Errorf("rank-biserial = %v, want -1", res.EffectSize)
+	}
+}
+
+func TestMannWhitneyUHandlesTies(t *testing.T) {
+	xs := []float64{1, 1, 2, 2, 3}
+	ys := []float64{2, 2, 3, 3, 4}
+	res, err := MannWhitneyU(xs, ys, TwoSided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.PValue) || res.PValue <= 0 || res.PValue > 1 {
+		t.Errorf("p = %v", res.PValue)
+	}
+	if _, err := MannWhitneyU([]float64{1, 1}, []float64{1, 1}, TwoSided); err == nil {
+		t.Error("all-tied samples should error")
+	}
+	if _, err := MannWhitneyU(nil, ys, TwoSided); err == nil {
+		t.Error("empty sample should error")
+	}
+}
+
+func TestKolmogorovSmirnovIdenticalAndShifted(t *testing.T) {
+	rng := NewRNG(11)
+	xs := make([]float64, 150)
+	ys := make([]float64, 150)
+	zs := make([]float64, 150)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64()
+		zs[i] = 1.2 + rng.NormFloat64()
+	}
+	same, err := KolmogorovSmirnov(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.PValue < 0.01 {
+		t.Errorf("identical distributions should not be rejected, p = %v", same.PValue)
+	}
+	diff, err := KolmogorovSmirnov(xs, zs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.PValue > 1e-6 {
+		t.Errorf("shifted distribution should be strongly rejected, p = %v", diff.PValue)
+	}
+	if diff.Statistic <= same.Statistic {
+		t.Errorf("D statistic should be larger for the shifted pair: %v vs %v", diff.Statistic, same.Statistic)
+	}
+	if _, err := KolmogorovSmirnov(nil, xs); err == nil {
+		t.Error("empty sample should error")
+	}
+}
+
+func TestKolmogorovSurvivalBounds(t *testing.T) {
+	if got := kolmogorovSurvival(0); got != 1 {
+		t.Errorf("Q(0) = %v", got)
+	}
+	if got := kolmogorovSurvival(5); got > 1e-10 {
+		t.Errorf("Q(5) = %v, should be ~0", got)
+	}
+	// Known value: Q(1.0) ~= 0.27.
+	if got := kolmogorovSurvival(1.0); math.Abs(got-0.27) > 0.01 {
+		t.Errorf("Q(1.0) = %v, want ~0.27", got)
+	}
+}
+
+func TestFisherExactKnownValue(t *testing.T) {
+	// Classic "lady tasting tea" style table.
+	res, err := FisherExact([2][2]int{{3, 1}, {1, 3}}, Greater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PValue-0.24285714285714288) > 1e-9 {
+		t.Errorf("one-sided p = %v, want 0.2429", res.PValue)
+	}
+	two, err := FisherExact([2][2]int{{3, 1}, {1, 3}}, TwoSided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(two.PValue-0.48571428571428577) > 1e-9 {
+		t.Errorf("two-sided p = %v, want 0.4857", two.PValue)
+	}
+	// Strong association.
+	strong, err := FisherExact([2][2]int{{20, 2}, {3, 25}}, TwoSided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strong.PValue > 1e-6 {
+		t.Errorf("strong association p = %v", strong.PValue)
+	}
+	if strong.EffectSize < 10 {
+		t.Errorf("odds ratio = %v, expected large", strong.EffectSize)
+	}
+}
+
+func TestFisherExactAgreementWithChiSquared(t *testing.T) {
+	// For a large balanced table the exact and chi-squared p-values should be
+	// in the same ballpark.
+	table := [2][2]int{{60, 40}, {40, 60}}
+	exact, err := FisherExact(table, TwoSided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chi, err := ChiSquaredIndependence([][]int{{60, 40}, {40, 60}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.PValue > 0.05 || chi.PValue > 0.05 {
+		t.Errorf("both tests should reject: exact %v, chi2 %v", exact.PValue, chi.PValue)
+	}
+	ratio := exact.PValue / chi.PValue
+	if ratio < 0.2 || ratio > 5 {
+		t.Errorf("exact (%v) and chi-squared (%v) p-values should be comparable", exact.PValue, chi.PValue)
+	}
+}
+
+func TestFisherExactErrorsAndEdges(t *testing.T) {
+	if _, err := FisherExact([2][2]int{{0, 0}, {0, 0}}, TwoSided); err == nil {
+		t.Error("empty table should error")
+	}
+	if _, err := FisherExact([2][2]int{{-1, 1}, {1, 1}}, TwoSided); err == nil {
+		t.Error("negative count should error")
+	}
+	// Zero off-diagonal cells give an infinite odds ratio but a valid p-value.
+	res, err := FisherExact([2][2]int{{5, 0}, {0, 5}}, TwoSided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.EffectSize, 1) {
+		t.Errorf("odds ratio = %v, want +Inf", res.EffectSize)
+	}
+	if res.PValue > 0.01 {
+		t.Errorf("perfect separation p = %v", res.PValue)
+	}
+	less, err := FisherExact([2][2]int{{1, 3}, {3, 1}}, Less)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if less.PValue > 0.3 {
+		t.Errorf("less-tail p = %v", less.PValue)
+	}
+}
+
+func TestRankWithTies(t *testing.T) {
+	ranks, correction := rankWithTies([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Errorf("rank[%d] = %v, want %v", i, ranks[i], want[i])
+		}
+	}
+	if correction != 6 { // one tie group of size 2: 2^3 - 2 = 6
+		t.Errorf("tie correction = %v, want 6", correction)
+	}
+}

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PermutationTest performs a Monte-Carlo permutation test for a difference in
+// means between xs and ys. It repeatedly shuffles the pooled sample,
+// recomputes the mean difference, and reports the fraction of permutations at
+// least as extreme as the observed difference. rounds controls the number of
+// permutations; rng supplies randomness (it must not be nil).
+//
+// The paper (Section 4.4) notes that permutation tests are impractical for
+// large-scale exploration because of their cost; the implementation exists
+// both for completeness and so the benchmark suite can quantify that cost.
+func PermutationTest(xs, ys []float64, alt Alternative, rounds int, rng *rand.Rand) (TestResult, error) {
+	const method = "permutation test (difference in means)"
+	if len(xs) == 0 || len(ys) == 0 {
+		return TestResult{}, errSampleTooSmall(method, minInt(len(xs), len(ys)))
+	}
+	if rounds <= 0 {
+		return TestResult{}, fmt.Errorf("stats: permutation test requires a positive number of rounds: %w", ErrDomain)
+	}
+	if rng == nil {
+		return TestResult{}, fmt.Errorf("stats: permutation test requires a random source: %w", ErrDomain)
+	}
+	mx, _ := Mean(xs)
+	my, _ := Mean(ys)
+	observed := mx - my
+
+	pooled := make([]float64, 0, len(xs)+len(ys))
+	pooled = append(pooled, xs...)
+	pooled = append(pooled, ys...)
+	nx := len(xs)
+
+	extreme := 0
+	for r := 0; r < rounds; r++ {
+		rng.Shuffle(len(pooled), func(i, j int) { pooled[i], pooled[j] = pooled[j], pooled[i] })
+		var sumX float64
+		for i := 0; i < nx; i++ {
+			sumX += pooled[i]
+		}
+		var sumY float64
+		for i := nx; i < len(pooled); i++ {
+			sumY += pooled[i]
+		}
+		diff := sumX/float64(nx) - sumY/float64(len(pooled)-nx)
+		switch alt {
+		case Greater:
+			if diff >= observed {
+				extreme++
+			}
+		case Less:
+			if diff <= observed {
+				extreme++
+			}
+		default:
+			if math.Abs(diff) >= math.Abs(observed) {
+				extreme++
+			}
+		}
+	}
+	// Add-one smoothing keeps the p-value strictly positive, the standard
+	// Monte-Carlo correction.
+	p := (float64(extreme) + 1) / (float64(rounds) + 1)
+	vx, _ := Variance(xs)
+	vy, _ := Variance(ys)
+	d := cohensDFromStats(mx, my, vx, vy, float64(len(xs)), float64(len(ys)))
+	return TestResult{Statistic: observed, PValue: p, DF: 0, EffectSize: d, N: len(xs) + len(ys), Method: method}, nil
+}

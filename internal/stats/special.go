@@ -1,0 +1,335 @@
+// Package stats provides the statistical substrate used by the AWARE
+// reproduction: special functions, probability distributions, descriptive
+// statistics, hypothesis tests, effect sizes and power analysis.
+//
+// Everything is implemented from scratch on top of the standard library so
+// that the module has no external dependencies. Accuracy targets are the
+// usual double-precision series/continued-fraction implementations found in
+// Numerical Recipes-style references: relative error around 1e-10 over the
+// parameter ranges exercised by the tests, which is far tighter than what a
+// p-value comparison at α = 0.05 requires.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrDomain is returned (or wrapped) by functions that receive arguments
+// outside their mathematical domain.
+var ErrDomain = errors.New("stats: argument outside function domain")
+
+const (
+	// maxSeriesIterations bounds the series and continued-fraction loops in the
+	// incomplete gamma and beta implementations.
+	maxSeriesIterations = 500
+
+	// seriesEpsilon is the relative convergence tolerance of those loops.
+	seriesEpsilon = 1e-15
+
+	// tinyFloat guards continued-fraction denominators against division by zero.
+	tinyFloat = 1e-300
+)
+
+// LogGamma returns the natural logarithm of the absolute value of the Gamma
+// function at x. It delegates to math.Lgamma and drops the sign, which is the
+// standard convention for the positive arguments used throughout this package.
+func LogGamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// GammaRegularizedLower returns P(a, x), the regularized lower incomplete
+// gamma function: P(a, x) = γ(a, x) / Γ(a). It requires a > 0 and x >= 0.
+func GammaRegularizedLower(a, x float64) (float64, error) {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return math.NaN(), ErrDomain
+	}
+	if x == 0 {
+		return 0, nil
+	}
+	if math.IsInf(x, 1) {
+		return 1, nil
+	}
+	if x < a+1 {
+		p, err := lowerGammaSeries(a, x)
+		return p, err
+	}
+	q, err := upperGammaContinuedFraction(a, x)
+	if err != nil {
+		return math.NaN(), err
+	}
+	return 1 - q, nil
+}
+
+// GammaRegularizedUpper returns Q(a, x) = 1 - P(a, x), the regularized upper
+// incomplete gamma function.
+func GammaRegularizedUpper(a, x float64) (float64, error) {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return math.NaN(), ErrDomain
+	}
+	if x == 0 {
+		return 1, nil
+	}
+	if math.IsInf(x, 1) {
+		return 0, nil
+	}
+	if x < a+1 {
+		p, err := lowerGammaSeries(a, x)
+		if err != nil {
+			return math.NaN(), err
+		}
+		return 1 - p, nil
+	}
+	return upperGammaContinuedFraction(a, x)
+}
+
+// lowerGammaSeries evaluates P(a, x) by its power series, accurate for x < a+1.
+func lowerGammaSeries(a, x float64) (float64, error) {
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < maxSeriesIterations; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*seriesEpsilon {
+			return sum * math.Exp(-x+a*math.Log(x)-LogGamma(a)), nil
+		}
+	}
+	return math.NaN(), errors.New("stats: lower incomplete gamma series did not converge")
+}
+
+// upperGammaContinuedFraction evaluates Q(a, x) by the Lentz continued
+// fraction, accurate for x >= a+1.
+func upperGammaContinuedFraction(a, x float64) (float64, error) {
+	b := x + 1 - a
+	c := 1 / tinyFloat
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxSeriesIterations; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tinyFloat {
+			d = tinyFloat
+		}
+		c = b + an/c
+		if math.Abs(c) < tinyFloat {
+			c = tinyFloat
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < seriesEpsilon {
+			return math.Exp(-x+a*math.Log(x)-LogGamma(a)) * h, nil
+		}
+	}
+	return math.NaN(), errors.New("stats: upper incomplete gamma continued fraction did not converge")
+}
+
+// BetaRegularized returns I_x(a, b), the regularized incomplete beta function,
+// for a, b > 0 and x in [0, 1].
+func BetaRegularized(a, b, x float64) (float64, error) {
+	if a <= 0 || b <= 0 || x < 0 || x > 1 || math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(x) {
+		return math.NaN(), ErrDomain
+	}
+	if x == 0 {
+		return 0, nil
+	}
+	if x == 1 {
+		return 1, nil
+	}
+	front := math.Exp(LogGamma(a+b) - LogGamma(a) - LogGamma(b) + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		cf, err := betaContinuedFraction(a, b, x)
+		if err != nil {
+			return math.NaN(), err
+		}
+		return front * cf / a, nil
+	}
+	cf, err := betaContinuedFraction(b, a, 1-x)
+	if err != nil {
+		return math.NaN(), err
+	}
+	return 1 - front*cf/b, nil
+}
+
+// betaContinuedFraction evaluates the continued fraction used by
+// BetaRegularized (Lentz's method).
+func betaContinuedFraction(a, b, x float64) (float64, error) {
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tinyFloat {
+		d = tinyFloat
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxSeriesIterations; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tinyFloat {
+			d = tinyFloat
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tinyFloat {
+			c = tinyFloat
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tinyFloat {
+			d = tinyFloat
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tinyFloat {
+			c = tinyFloat
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < seriesEpsilon {
+			return h, nil
+		}
+	}
+	return math.NaN(), errors.New("stats: incomplete beta continued fraction did not converge")
+}
+
+// InverseBetaRegularized returns x such that I_x(a, b) = p, for p in [0, 1].
+// It uses bisection refined by Newton steps; accuracy is about 1e-12.
+func InverseBetaRegularized(a, b, p float64) (float64, error) {
+	if a <= 0 || b <= 0 || p < 0 || p > 1 || math.IsNaN(p) {
+		return math.NaN(), ErrDomain
+	}
+	if p == 0 {
+		return 0, nil
+	}
+	if p == 1 {
+		return 1, nil
+	}
+	lo, hi := 0.0, 1.0
+	x := 0.5
+	for i := 0; i < 200; i++ {
+		v, err := BetaRegularized(a, b, x)
+		if err != nil {
+			return math.NaN(), err
+		}
+		if v > p {
+			hi = x
+		} else {
+			lo = x
+		}
+		// Newton refinement using the beta density as derivative.
+		dens := math.Exp(LogGamma(a+b) - LogGamma(a) - LogGamma(b) +
+			(a-1)*math.Log(math.Max(x, tinyFloat)) + (b-1)*math.Log(math.Max(1-x, tinyFloat)))
+		next := x
+		if dens > 0 {
+			next = x - (v-p)/dens
+		}
+		if next <= lo || next >= hi || math.IsNaN(next) {
+			next = (lo + hi) / 2
+		}
+		if math.Abs(next-x) < 1e-14 {
+			return next, nil
+		}
+		x = next
+	}
+	return x, nil
+}
+
+// ErfInverse returns the inverse error function of x in (-1, 1) using the
+// Giles (2012) polynomial approximation refined with two Newton iterations,
+// giving roughly double precision accuracy.
+func ErfInverse(x float64) (float64, error) {
+	if x <= -1 || x >= 1 || math.IsNaN(x) {
+		return math.NaN(), ErrDomain
+	}
+	if x == 0 {
+		return 0, nil
+	}
+	w := -math.Log((1 - x) * (1 + x))
+	var p float64
+	if w < 6.25 {
+		w -= 3.125
+		p = -3.6444120640178196996e-21
+		p = -1.685059138182016589e-19 + p*w
+		p = 1.2858480715256400167e-18 + p*w
+		p = 1.115787767802518096e-17 + p*w
+		p = -1.333171662854620906e-16 + p*w
+		p = 2.0972767875968561637e-17 + p*w
+		p = 6.6376381343583238325e-15 + p*w
+		p = -4.0545662729752068639e-14 + p*w
+		p = -8.1519341976054721522e-14 + p*w
+		p = 2.6335093153082322977e-12 + p*w
+		p = -1.2975133253453532498e-11 + p*w
+		p = -5.4154120542946279317e-11 + p*w
+		p = 1.051212273321532285e-09 + p*w
+		p = -4.1126339803469836976e-09 + p*w
+		p = -2.9070369957882005086e-08 + p*w
+		p = 4.2347877827932403518e-07 + p*w
+		p = -1.3654692000834678645e-06 + p*w
+		p = -1.3882523362786468719e-05 + p*w
+		p = 0.0001867342080340571352 + p*w
+		p = -0.00074070253416626697512 + p*w
+		p = -0.0060336708714301490533 + p*w
+		p = 0.24015818242558961693 + p*w
+		p = 1.6536545626831027356 + p*w
+	} else if w < 16 {
+		w = math.Sqrt(w) - 3.25
+		p = 2.2137376921775787049e-09
+		p = 9.0756561938885390979e-08 + p*w
+		p = -2.7517406297064545428e-07 + p*w
+		p = 1.8239629214389227755e-08 + p*w
+		p = 1.5027403968909827627e-06 + p*w
+		p = -4.013867526981545969e-06 + p*w
+		p = 2.9234449089955446044e-06 + p*w
+		p = 1.2475304481671778723e-05 + p*w
+		p = -4.7318229009055733981e-05 + p*w
+		p = 6.8284851459573175448e-05 + p*w
+		p = 2.4031110387097893999e-05 + p*w
+		p = -0.0003550375203628474796 + p*w
+		p = 0.00095328937973738049703 + p*w
+		p = -0.0016882755560235047313 + p*w
+		p = 0.0024914420961078508066 + p*w
+		p = -0.0037512085075692412107 + p*w
+		p = 0.005370914553590063617 + p*w
+		p = 1.0052589676941592334 + p*w
+		p = 3.0838856104922207635 + p*w
+	} else {
+		w = math.Sqrt(w) - 5
+		p = -2.7109920616438573243e-11
+		p = -2.5556418169965252055e-10 + p*w
+		p = 1.5076572693500548083e-09 + p*w
+		p = -3.7894654401267369937e-09 + p*w
+		p = 7.6157012080783393804e-09 + p*w
+		p = -1.4960026627149240478e-08 + p*w
+		p = 2.9147953450901080826e-08 + p*w
+		p = -6.7711997758452339498e-08 + p*w
+		p = 2.2900482228026654717e-07 + p*w
+		p = -9.9298272942317002539e-07 + p*w
+		p = 4.5260625972231537039e-06 + p*w
+		p = -1.9681778105531670567e-05 + p*w
+		p = 7.5995277030017761139e-05 + p*w
+		p = -0.00021503011930044477347 + p*w
+		p = -0.00013871931833623122026 + p*w
+		p = 1.0103004648645343977 + p*w
+		p = 4.8499064014085844221 + p*w
+	}
+	r := p * x
+	// Two Newton refinement steps against math.Erf.
+	for i := 0; i < 2; i++ {
+		e := math.Erf(r) - x
+		d := 2 / math.SqrtPi * math.Exp(-r*r)
+		if d == 0 {
+			break
+		}
+		r -= e / d
+	}
+	return r, nil
+}

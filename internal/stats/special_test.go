@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// approxEqual reports whether a and b agree to within tol absolutely or
+// relatively (whichever is looser).
+func approxEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}
+
+func TestGammaRegularizedLowerKnownValues(t *testing.T) {
+	cases := []struct {
+		a, x, want float64
+	}{
+		// Reference values from the chi-squared relationship P(k/2, x/2).
+		{0.5, 0.5, 0.6826894921370859}, // chi2 CDF(1 df, x=1)
+		{1, 1, 0.6321205588285577},     // exponential CDF at 1
+		{2.5, 2.5, 0.5841198130044458}, // chi2 CDF(5 df, x=5)
+		{5, 2, 0.052653017343711174},   // lower tail
+		{3, 10, 0.9972306042844884},    // upper region
+		{10, 10, 0.5420702855281478},   // a == x
+		{0.5, 1.92072941 / 2, 0.834},   // chi2(1) at ~1.92 ≈ 0.834
+	}
+	for _, c := range cases {
+		got, err := GammaRegularizedLower(c.a, c.x)
+		if err != nil {
+			t.Fatalf("GammaRegularizedLower(%v,%v) error: %v", c.a, c.x, err)
+		}
+		if !approxEqual(got, c.want, 1e-3) {
+			t.Errorf("GammaRegularizedLower(%v,%v) = %v, want %v", c.a, c.x, got, c.want)
+		}
+	}
+}
+
+func TestGammaRegularizedBounds(t *testing.T) {
+	if p, err := GammaRegularizedLower(3, 0); err != nil || p != 0 {
+		t.Errorf("P(3,0) = %v, %v; want 0, nil", p, err)
+	}
+	if q, err := GammaRegularizedUpper(3, 0); err != nil || q != 1 {
+		t.Errorf("Q(3,0) = %v, %v; want 1, nil", q, err)
+	}
+	if _, err := GammaRegularizedLower(-1, 2); err == nil {
+		t.Error("expected domain error for negative shape")
+	}
+	if _, err := GammaRegularizedLower(2, -1); err == nil {
+		t.Error("expected domain error for negative x")
+	}
+}
+
+func TestGammaRegularizedComplementProperty(t *testing.T) {
+	f := func(aRaw, xRaw float64) bool {
+		a := 0.1 + math.Mod(math.Abs(aRaw), 50)
+		x := math.Mod(math.Abs(xRaw), 100)
+		p, err1 := GammaRegularizedLower(a, x)
+		q, err2 := GammaRegularizedUpper(a, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return approxEqual(p+q, 1, 1e-9) && p >= -1e-12 && p <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBetaRegularizedKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, x, want float64
+	}{
+		{1, 1, 0.3, 0.3},     // uniform
+		{2, 2, 0.5, 0.5},     // symmetric
+		{2, 5, 0.2, 0.34464}, // reference
+		{0.5, 0.5, 0.5, 0.5}, // arcsine distribution median
+		{5, 2, 0.8, 0.65536}, // mirror of {2,5,0.2}
+		{10, 10, 0.5, 0.5},   // symmetric
+	}
+	for _, c := range cases {
+		got, err := BetaRegularized(c.a, c.b, c.x)
+		if err != nil {
+			t.Fatalf("BetaRegularized(%v,%v,%v) error: %v", c.a, c.b, c.x, err)
+		}
+		if !approxEqual(got, c.want, 1e-4) {
+			t.Errorf("BetaRegularized(%v,%v,%v) = %v, want %v", c.a, c.b, c.x, got, c.want)
+		}
+	}
+}
+
+func TestBetaRegularizedSymmetryProperty(t *testing.T) {
+	// I_x(a,b) = 1 - I_{1-x}(b,a).
+	f := func(aRaw, bRaw, xRaw float64) bool {
+		a := 0.1 + math.Mod(math.Abs(aRaw), 20)
+		b := 0.1 + math.Mod(math.Abs(bRaw), 20)
+		x := math.Mod(math.Abs(xRaw), 1)
+		v1, err1 := BetaRegularized(a, b, x)
+		v2, err2 := BetaRegularized(b, a, 1-x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return approxEqual(v1, 1-v2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInverseBetaRegularizedRoundTrip(t *testing.T) {
+	params := []struct{ a, b float64 }{{2, 3}, {0.5, 0.5}, {10, 2}, {1, 1}, {5, 5}}
+	for _, pr := range params {
+		for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			x, err := InverseBetaRegularized(pr.a, pr.b, p)
+			if err != nil {
+				t.Fatalf("InverseBetaRegularized(%v,%v,%v) error: %v", pr.a, pr.b, p, err)
+			}
+			back, err := BetaRegularized(pr.a, pr.b, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !approxEqual(back, p, 1e-8) {
+				t.Errorf("round trip (%v,%v) p=%v: x=%v back=%v", pr.a, pr.b, p, x, back)
+			}
+		}
+	}
+}
+
+func TestInverseBetaRegularizedEdges(t *testing.T) {
+	if x, err := InverseBetaRegularized(2, 3, 0); err != nil || x != 0 {
+		t.Errorf("inverse at p=0: got %v, %v", x, err)
+	}
+	if x, err := InverseBetaRegularized(2, 3, 1); err != nil || x != 1 {
+		t.Errorf("inverse at p=1: got %v, %v", x, err)
+	}
+	if _, err := InverseBetaRegularized(2, 3, -0.1); err == nil {
+		t.Error("expected domain error for p < 0")
+	}
+}
+
+func TestErfInverseRoundTrip(t *testing.T) {
+	for _, x := range []float64{-0.999, -0.9, -0.5, -0.1, 0, 0.1, 0.5, 0.9, 0.999, 0.9999999} {
+		r, err := ErfInverse(x)
+		if err != nil {
+			t.Fatalf("ErfInverse(%v) error: %v", x, err)
+		}
+		if !approxEqual(math.Erf(r), x, 1e-12) {
+			t.Errorf("Erf(ErfInverse(%v)) = %v", x, math.Erf(r))
+		}
+	}
+}
+
+func TestErfInverseDomain(t *testing.T) {
+	for _, x := range []float64{-1, 1, 1.5, math.NaN()} {
+		if _, err := ErfInverse(x); err == nil {
+			t.Errorf("ErfInverse(%v): expected error", x)
+		}
+	}
+}
+
+func TestLogGammaMatchesFactorial(t *testing.T) {
+	fact := 1.0
+	for n := 1; n <= 12; n++ {
+		if n > 1 {
+			fact *= float64(n - 1)
+		}
+		if got := LogGamma(float64(n)); !approxEqual(got, math.Log(fact), 1e-12) {
+			t.Errorf("LogGamma(%d) = %v, want %v", n, got, math.Log(fact))
+		}
+	}
+}

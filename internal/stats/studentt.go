@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// StudentT is Student's t distribution with DF degrees of freedom. DF does not
+// have to be an integer; Welch's test produces fractional degrees of freedom.
+type StudentT struct {
+	DF float64
+}
+
+// PDF returns the probability density at x.
+func (t StudentT) PDF(x float64) float64 {
+	if t.DF <= 0 {
+		return math.NaN()
+	}
+	v := t.DF
+	lg := LogGamma((v+1)/2) - LogGamma(v/2) - 0.5*math.Log(v*math.Pi)
+	return math.Exp(lg - (v+1)/2*math.Log(1+x*x/v))
+}
+
+// CDF returns P(T <= x).
+func (t StudentT) CDF(x float64) float64 {
+	if t.DF <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0.5
+	}
+	ib, err := BetaRegularized(t.DF/2, 0.5, t.DF/(t.DF+x*x))
+	if err != nil {
+		return math.NaN()
+	}
+	if x > 0 {
+		return 1 - 0.5*ib
+	}
+	return 0.5 * ib
+}
+
+// Survival returns P(T > x).
+func (t StudentT) Survival(x float64) float64 {
+	return t.CDF(-x)
+}
+
+// Quantile returns the value x such that CDF(x) = p for p in (0, 1).
+func (t StudentT) Quantile(p float64) (float64, error) {
+	if t.DF <= 0 || p <= 0 || p >= 1 || math.IsNaN(p) {
+		if p == 0 {
+			return math.Inf(-1), nil
+		}
+		if p == 1 {
+			return math.Inf(1), nil
+		}
+		return math.NaN(), ErrDomain
+	}
+	if p == 0.5 {
+		return 0, nil
+	}
+	// Invert via the incomplete beta relationship.
+	tail := p
+	negate := true
+	if p > 0.5 {
+		tail = 1 - p
+		negate = false
+	}
+	x, err := InverseBetaRegularized(t.DF/2, 0.5, 2*tail)
+	if err != nil {
+		return math.NaN(), err
+	}
+	val := math.Sqrt(t.DF * (1 - x) / math.Max(x, tinyFloat))
+	if negate {
+		val = -val
+	}
+	return val, nil
+}
+
+// Rand draws a sample using the supplied random source (ratio of a normal to
+// the square root of a scaled chi-squared variate).
+func (t StudentT) Rand(rng *rand.Rand) float64 {
+	z := rng.NormFloat64()
+	c := ChiSquared{DF: t.DF}.Rand(rng)
+	return z / math.Sqrt(c/t.DF)
+}
+
+// Mean returns the distribution mean (0 for DF > 1, NaN otherwise).
+func (t StudentT) Mean() float64 {
+	if t.DF > 1 {
+		return 0
+	}
+	return math.NaN()
+}
+
+// Variance returns the distribution variance (DF/(DF-2) for DF > 2).
+func (t StudentT) Variance() float64 {
+	if t.DF > 2 {
+		return t.DF / (t.DF - 2)
+	}
+	return math.NaN()
+}
