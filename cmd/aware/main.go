@@ -106,24 +106,7 @@ func loadTable(csvPath string, rows int, seed int64) (*dataset.Table, error) {
 
 // buildPolicy constructs the named investing rule with the paper's parameters.
 func buildPolicy(name string, alpha float64) (investing.Policy, error) {
-	cfg, err := investing.NewConfig(alpha)
-	if err != nil {
-		return nil, err
-	}
-	switch name {
-	case "beta-farsighted":
-		return investing.NewFarsighted(0.25, cfg.Alpha)
-	case "gamma-fixed":
-		return investing.NewFixed(10, cfg.InitialWealth())
-	case "delta-hopeful":
-		return investing.NewHopeful(10, cfg.Alpha, cfg.InitialWealth())
-	case "epsilon-hybrid":
-		return investing.NewHybrid(0.5, 10, 10, cfg.Alpha, cfg.InitialWealth(), 0)
-	case "psi-support":
-		return investing.NewSupport(0.5, 10, cfg.InitialWealth())
-	default:
-		return nil, fmt.Errorf("unknown policy %q", name)
-	}
+	return investing.NewNamedPolicy(name, alpha)
 }
 
 // execute runs a single REPL command.

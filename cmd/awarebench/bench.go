@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"aware/internal/census"
+	"aware/internal/core"
+	"aware/internal/dataset"
+)
+
+// BenchEntry is one operation's measurement in BENCH_core.json. The file is
+// the machine-readable perf trajectory of the core interactive loop: future
+// optimisation PRs compare their run against the committed baseline.
+type BenchEntry struct {
+	// Op names the measured operation.
+	Op string `json:"op"`
+	// NsPerOp is the mean wall time per operation in nanoseconds.
+	NsPerOp int64 `json:"ns_per_op"`
+	// AllocsPerOp is the mean number of heap allocations per operation.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// BytesPerOp is the mean number of heap bytes allocated per operation.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// Iterations is how many times the operation ran.
+	Iterations int `json:"iterations"`
+}
+
+// runBenchCore measures the hot operations of the interactive loop against a
+// census table of the given size (the -rows flag; the paper scale of 30000 by
+// default) and writes the results as JSON to outPath.
+func runBenchCore(outPath string, seed int64, rows int) error {
+	table, err := census.Generate(census.Config{Rows: rows, Seed: seed, SignalStrength: 1})
+	if err != nil {
+		return err
+	}
+	filter := dataset.And{Terms: []dataset.Predicate{
+		dataset.Equals{Column: census.ColSalaryOver50K, Value: "true"},
+		dataset.Range{Column: census.ColAge, Low: 30, High: 50},
+	}}
+	filterJSON, err := dataset.MarshalPredicate(filter)
+	if err != nil {
+		return err
+	}
+
+	// newSession must be cheap enough to call inside per-iteration setup.
+	newSession := func() *core.Session {
+		sess, err := core.NewSession(table, core.Options{})
+		if err != nil {
+			panic(err)
+		}
+		return sess
+	}
+	// explored returns a session with an accumulated hypothesis history, the
+	// state gauge and report rendering have to walk.
+	explored := func() *core.Session {
+		sess := newSession()
+		for i := 0; i < 10; i++ {
+			lo := float64(20 + 3*i)
+			if _, _, err := sess.AddVisualization(census.ColGender, dataset.Range{
+				Column: census.ColAge, Low: lo, High: lo + 5,
+			}); err != nil {
+				panic(err)
+			}
+		}
+		return sess
+	}
+
+	benchmarks := []struct {
+		op string
+		fn func(b *testing.B)
+	}{
+		{"session_create", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				newSession()
+			}
+		}},
+		{"add_visualization", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sess := newSession()
+				b.StartTimer()
+				if _, _, err := sess.AddVisualization(census.ColGender, filter); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"gauge_snapshot", func(b *testing.B) {
+			sess := explored()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sess.Gauge()
+			}
+		}},
+		{"report_build", func(b *testing.B) {
+			sess := explored()
+			now := time.Now()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sess.Report(now)
+			}
+		}},
+		{"table_filter", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := table.Filter(filter); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"count_where", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := table.CountWhere(filter); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"predicate_marshal", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := dataset.MarshalPredicate(filter); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"predicate_unmarshal", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := dataset.UnmarshalPredicate(filterJSON); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	entries := make([]BenchEntry, 0, len(benchmarks))
+	fmt.Printf("== core operation benchmarks (census %d rows) ==\n", rows)
+	for _, bm := range benchmarks {
+		res := testing.Benchmark(bm.fn)
+		entry := BenchEntry{
+			Op:          bm.op,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Iterations:  res.N,
+		}
+		entries = append(entries, entry)
+		fmt.Printf("%-20s %12d ns/op %10d allocs/op %12d B/op (%d iterations)\n",
+			entry.Op, entry.NsPerOp, entry.AllocsPerOp, entry.BytesPerOp, entry.Iterations)
+	}
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(entries); err != nil {
+		return fmt.Errorf("writing %s: %w", outPath, err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunBenchCore runs the core benchmark suite against a tiny census and
+// checks the BENCH_core.json format contract: an array of {op, ns_per_op,
+// allocs_per_op, bytes_per_op, iterations} entries.
+func TestRunBenchCore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark harness is slow in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_core.json")
+	if err := run("bench", 0, 1, -1, 300, 0, false, out); err != nil {
+		t.Fatalf("run(bench): %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []BenchEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatalf("BENCH_core.json is not a valid entry array: %v", err)
+	}
+	wantOps := map[string]bool{
+		"session_create": false, "add_visualization": false, "gauge_snapshot": false,
+		"report_build": false, "table_filter": false, "count_where": false,
+		"predicate_marshal": false, "predicate_unmarshal": false,
+	}
+	for _, e := range entries {
+		if _, ok := wantOps[e.Op]; ok {
+			wantOps[e.Op] = true
+		}
+		if e.NsPerOp <= 0 {
+			t.Errorf("op %q has non-positive ns_per_op %d", e.Op, e.NsPerOp)
+		}
+		if e.Iterations <= 0 {
+			t.Errorf("op %q has non-positive iterations %d", e.Op, e.Iterations)
+		}
+	}
+	for op, seen := range wantOps {
+		if !seen {
+			t.Errorf("BENCH_core.json is missing op %q", op)
+		}
+	}
+}

@@ -12,6 +12,7 @@
 //	awarebench -exp intro               # Section 1 / 2.4 numbers
 //	awarebench -exp holdout             # Section 4.1 hold-out analysis
 //	awarebench -exp subsets             # Theorem 1 empirical check
+//	awarebench -exp bench               # core-op timings -> BENCH_core.json
 package main
 
 import (
@@ -31,17 +32,20 @@ func main() {
 		rows       = flag.Int("rows", 30000, "census rows for experiment 2")
 		hypotheses = flag.Int("hypotheses", 115, "workflow hypotheses for experiment 2")
 		randomized = flag.Bool("randomized", false, "use the randomized census for experiment 2")
+		benchOut   = flag.String("benchout", "BENCH_core.json", "output path for the machine-readable core benchmarks (-exp bench)")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *reps, *seed, *nullProp, *rows, *hypotheses, *randomized); err != nil {
+	if err := run(*exp, *reps, *seed, *nullProp, *rows, *hypotheses, *randomized, *benchOut); err != nil {
 		fmt.Fprintf(os.Stderr, "awarebench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, reps int, seed int64, nullProp float64, rows, hypotheses int, randomized bool) error {
+func run(exp string, reps int, seed int64, nullProp float64, rows, hypotheses int, randomized bool, benchOut string) error {
 	switch exp {
+	case "bench":
+		return runBenchCore(benchOut, seed, rows)
 	case "1a":
 		return runExp1a(reps, seed, nullProp)
 	case "1b":

@@ -1,0 +1,137 @@
+// Command awared is the AWARE service daemon: the always-on, multi-session
+// backend the paper ran behind the Vizdom front-end. It preloads the
+// synthetic census dataset, optionally registers CSV datasets from disk, and
+// serves the interactive exploration loop as a JSON HTTP API (see
+// internal/server for the endpoint list).
+//
+// Usage:
+//
+//	awared                                    # serve the census on :8080
+//	awared -addr :9090 -rows 100000           # bigger census, custom port
+//	awared -dataset sales=sales.csv           # also serve a CSV (repeatable)
+//	awared -session-ttl 10m -sweep 30s        # reclaim idle sessions faster
+//
+// A minimal exploration from the command line:
+//
+//	curl -s -X POST localhost:8080/sessions -d '{"dataset": "census"}'
+//	curl -s -X POST localhost:8080/sessions/1/visualizations \
+//	    -d '{"target": "gender", "predicate": {"type": "equals", "column": "salary_over_50k", "value": "true"}}'
+//	curl -s localhost:8080/sessions/1/gauge
+//	curl -s localhost:8080/sessions/1/report
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, letting in-flight
+// requests finish.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"aware/internal/census"
+	"aware/internal/dataset"
+	"aware/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		rows     = flag.Int("rows", 30000, "rows of the preloaded synthetic census (0 disables preloading)")
+		seed     = flag.Int64("seed", 1, "seed for the synthetic census")
+		ttl      = flag.Duration("session-ttl", 30*time.Minute, "idle time before a session is reclaimed (0 = never)")
+		sweep    = flag.Duration("sweep", time.Minute, "how often the idle-session sweeper runs")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
+	)
+	datasets := make(map[string]string)
+	flag.Func("dataset", "register a CSV dataset as name=path (repeatable; columns import as categorical)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		datasets[name] = path
+		return nil
+	})
+	flag.Parse()
+
+	if err := run(*addr, *rows, *seed, *ttl, *sweep, *logLevel, datasets); err != nil {
+		fmt.Fprintf(os.Stderr, "awared: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, rows int, seed int64, ttl, sweep time.Duration, logLevel string, datasets map[string]string) error {
+	level, err := parseLevel(logLevel)
+	if err != nil {
+		return err
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	srv := server.New(server.Config{
+		Logger:        logger,
+		SessionTTL:    ttl,
+		SweepInterval: sweep,
+	})
+	if err := registerDatasets(srv.Registry(), rows, seed, datasets); err != nil {
+		return err
+	}
+	for _, info := range srv.Registry().List() {
+		logger.Info("dataset ready", "name", info.Name, "rows", info.Rows, "columns", len(info.Columns))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	return srv.Run(ctx, addr)
+}
+
+// registerDatasets preloads the synthetic census and any CSV files named on
+// the command line.
+func registerDatasets(registry *server.DatasetRegistry, rows int, seed int64, datasets map[string]string) error {
+	if rows > 0 {
+		table, err := census.Generate(census.Config{Rows: rows, Seed: seed, SignalStrength: 1})
+		if err != nil {
+			return err
+		}
+		if err := registry.Register("census", table); err != nil {
+			return err
+		}
+	}
+	for name, path := range datasets {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("dataset %q: %w", name, err)
+		}
+		table, err := dataset.ReadCSV(f, nil)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("dataset %q: %w", name, err)
+		}
+		if err := registry.Register(name, table); err != nil {
+			return err
+		}
+	}
+	if len(registry.List()) == 0 {
+		return fmt.Errorf("no datasets to serve (census disabled and no -dataset flags)")
+	}
+	return nil
+}
+
+func parseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q", s)
+	}
+}

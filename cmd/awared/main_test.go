@@ -1,0 +1,66 @@
+package main
+
+import (
+	"log/slog"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aware/internal/server"
+)
+
+func TestRegisterDatasets(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "pets.csv")
+	if err := os.WriteFile(csvPath, []byte("species,sound\ncat,meow\ndog,woof\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	registry := server.NewDatasetRegistry()
+	err := registerDatasets(registry, 100, 1, map[string]string{"pets": csvPath})
+	if err != nil {
+		t.Fatalf("registerDatasets: %v", err)
+	}
+	infos := registry.List()
+	if len(infos) != 2 {
+		t.Fatalf("registered %d datasets, want 2 (census + pets)", len(infos))
+	}
+	censusTable, err := registry.Get("census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if censusTable.NumRows() != 100 {
+		t.Errorf("census has %d rows, want 100", censusTable.NumRows())
+	}
+	pets, err := registry.Get("pets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pets.NumRows() != 2 {
+		t.Errorf("pets has %d rows, want 2", pets.NumRows())
+	}
+}
+
+func TestRegisterDatasetsErrors(t *testing.T) {
+	if err := registerDatasets(server.NewDatasetRegistry(), 0, 1, nil); err == nil {
+		t.Error("no datasets at all should be an error")
+	}
+	err := registerDatasets(server.NewDatasetRegistry(), 0, 1, map[string]string{"gone": "/no/such/file.csv"})
+	if err == nil {
+		t.Error("missing CSV file should be an error")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for name, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "warn": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := parseLevel(name)
+		if err != nil || got != want {
+			t.Errorf("parseLevel(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := parseLevel("loud"); err == nil {
+		t.Error("parseLevel(\"loud\") should fail")
+	}
+}

@@ -1,0 +1,41 @@
+// Package examples holds runnable example programs; this build-only smoke
+// test compiles each of them so facade refactors cannot silently break the
+// documented entry points.
+package examples
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func TestExamplesBuild(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outDir := t.TempDir()
+	count := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		count++
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command(goBin, "build", "-o", filepath.Join(outDir, name), "./"+name)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				t.Errorf("example %s does not build: %v\n%s", name, err, out)
+			}
+		})
+	}
+	if count < 6 {
+		t.Errorf("found only %d example programs, expected at least 6", count)
+	}
+}

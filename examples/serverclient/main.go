@@ -1,0 +1,232 @@
+// Serverclient demonstrates awared's multi-session HTTP service layer: it
+// starts the server in-process on a loopback port, then lets several
+// scripted analysts explore the synthetic census concurrently, each in their
+// own FDR-controlled session. Every analyst follows the paper's interactive
+// loop — filtered visualizations become auto-tracked hypotheses, the risk
+// gauge reports the shrinking α-wealth, a promising finding is re-validated
+// on a hold-out split, and the session ends with an exportable report.
+//
+// Run with:
+//
+//	go run ./examples/serverclient
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+
+	"aware/internal/census"
+	"aware/internal/server"
+)
+
+// analyst scripts one user's exploration: a filter chain to drill into and a
+// numeric attribute to validate on the hold-out split.
+type analyst struct {
+	name      string
+	target    string
+	predicate string
+	holdout   string
+}
+
+var analysts = []analyst{
+	{"amber", "gender", `{"type": "equals", "column": "salary_over_50k", "value": "true"}`, "age"},
+	{"bruno", "education", `{"type": "gt", "column": "hours_per_week", "threshold": 45}`, "age"},
+	{"carol", "marital_status", `{"type": "range", "column": "age", "low": 25, "high": 35}`, "hours_per_week"},
+	{"dilip", "salary_over_50k", `{"type": "in", "column": "education", "values": ["Master", "PhD"]}`, "hours_per_week"},
+	{"erika", "occupation", `{"type": "not", "term": {"type": "equals", "column": "gender", "value": "Male"}}`, "age"},
+	{"fabio", "gender", `{"type": "and", "terms": [
+		{"type": "equals", "column": "education", "value": "PhD"},
+		{"type": "gt", "column": "hours_per_week", "threshold": 40}]}`, "hours_per_week"},
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "serverclient: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Start awared's service layer in-process on a random loopback port.
+	srv := server.New(server.Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	table, err := census.Generate(census.Config{Rows: 10000, Seed: 1, SignalStrength: 1})
+	if err != nil {
+		return err
+	}
+	if err := srv.Registry().Register("census", table); err != nil {
+		return err
+	}
+	listener, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpServer := &http.Server{Handler: srv.Handler()}
+	go httpServer.Serve(listener)
+	defer httpServer.Close()
+	base := "http://" + listener.Addr().String()
+	fmt.Printf("awared serving the census (%d rows) at %s\n\n", table.NumRows(), base)
+
+	// Each analyst explores concurrently in a private session.
+	results := make([]string, len(analysts))
+	var wg sync.WaitGroup
+	for i, a := range analysts {
+		wg.Add(1)
+		go func(i int, a analyst) {
+			defer wg.Done()
+			summary, err := explore(base, a)
+			if err != nil {
+				summary = fmt.Sprintf("%-6s FAILED: %v", a.name, err)
+			}
+			results[i] = summary
+		}(i, a)
+	}
+	wg.Wait()
+
+	for _, line := range results {
+		fmt.Println(line)
+	}
+
+	// The service tracked every session independently.
+	var health struct {
+		Sessions int `json:"sessions"`
+	}
+	if err := getJSON(base+"/healthz", &health); err != nil {
+		return err
+	}
+	fmt.Printf("\nserver health: %d live sessions, one risk gauge each — no\n", health.Sessions)
+	fmt.Println("analyst's discoveries inflate any other's false discovery rate.")
+	return nil
+}
+
+// explore drives one analyst through the full interactive loop and returns a
+// one-line summary.
+func explore(base string, a analyst) (string, error) {
+	// 1. Open a session.
+	var session struct {
+		ID int64 `json:"id"`
+	}
+	err := postJSON(base+"/sessions", map[string]any{"dataset": "census"}, &session)
+	if err != nil {
+		return "", fmt.Errorf("creating session: %w", err)
+	}
+	sessionURL := fmt.Sprintf("%s/sessions/%d", base, session.ID)
+
+	// 2. A filtered visualization: rule 2 turns it into a tracked hypothesis.
+	var viz struct {
+		Hypothesis *struct {
+			ID       int     `json:"id"`
+			PValue   float64 `json:"p_value"`
+			Rejected bool    `json:"rejected"`
+		} `json:"hypothesis"`
+	}
+	err = postJSON(sessionURL+"/visualizations", map[string]any{
+		"target":    a.target,
+		"predicate": json.RawMessage(a.predicate),
+	}, &viz)
+	if err != nil {
+		return "", fmt.Errorf("adding visualization: %w", err)
+	}
+
+	// 3. Star the discovery, if there was one.
+	if viz.Hypothesis != nil && viz.Hypothesis.Rejected {
+		starURL := fmt.Sprintf("%s/hypotheses/%d/star", sessionURL, viz.Hypothesis.ID)
+		if err := postJSON(starURL, map[string]any{"starred": true}, nil); err != nil {
+			return "", fmt.Errorf("starring: %w", err)
+		}
+	}
+
+	// 4. Check the risk gauge.
+	var gauge struct {
+		RemainingWealth float64 `json:"remaining_wealth"`
+		Tests           int     `json:"tests"`
+		Discoveries     int     `json:"discoveries"`
+	}
+	if err := getJSON(sessionURL+"/gauge", &gauge); err != nil {
+		return "", fmt.Errorf("reading gauge: %w", err)
+	}
+
+	// 5. Re-validate the subgroup's mean on a hold-out split.
+	var holdout struct {
+		Confirmed bool `json:"confirmed"`
+	}
+	err = postJSON(sessionURL+"/holdout/validate", map[string]any{
+		"attribute": a.holdout,
+		"predicate": json.RawMessage(a.predicate),
+	}, &holdout)
+	if err != nil {
+		return "", fmt.Errorf("holdout validation: %w", err)
+	}
+
+	// 6. Export the report.
+	var report struct {
+		Discoveries int `json:"discoveries"`
+		Hypotheses  []struct {
+			Null string `json:"null"`
+		} `json:"hypotheses"`
+	}
+	if err := getJSON(sessionURL+"/report", &report); err != nil {
+		return "", fmt.Errorf("fetching report: %w", err)
+	}
+
+	confirmed := "not confirmed"
+	if holdout.Confirmed {
+		confirmed = "CONFIRMED"
+	}
+	return fmt.Sprintf("%-6s session %d: %d test(s), %d discovery(ies), wealth %.4f; holdout mean %s on %s: %s",
+		a.name, session.ID, gauge.Tests, gauge.Discoveries, gauge.RemainingWealth, a.holdout, describeShort(a.predicate), confirmed), nil
+}
+
+// describeShort renders the predicate JSON compactly for the summary line.
+func describeShort(predicate string) string {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, []byte(predicate)); err != nil {
+		return predicate
+	}
+	s := buf.String()
+	if len(s) > 48 {
+		s = s[:45] + "..."
+	}
+	return s
+}
+
+func postJSON(url string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, out)
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, out)
+}
+
+func decodeResponse(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, raw)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}

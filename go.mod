@@ -1,0 +1,3 @@
+module aware
+
+go 1.22

@@ -55,6 +55,34 @@ type ReportEntry struct {
 	Starred        bool    `json:"starred"`
 }
 
+// Entry converts the hypothesis into its serializable report form. It is used
+// by Session.Report and by the HTTP gauge endpoint of internal/server, which
+// must render hypotheses without handing out internal pointers.
+func (h *Hypothesis) Entry() ReportEntry {
+	entry := ReportEntry{
+		ID:             h.ID,
+		Null:           h.Null,
+		Alternative:    h.Alternative,
+		Source:         h.Source.String(),
+		Status:         h.Status.String(),
+		Method:         h.Test.Method,
+		PValue:         h.Test.PValue,
+		AlphaInvested:  h.AlphaInvested,
+		Rejected:       h.Rejected,
+		EffectSize:     h.Test.EffectSize,
+		EffectLabel:    string(h.EffectLabel()),
+		SupportSize:    h.SupportSize,
+		PopulationSize: h.PopulationSize,
+		Starred:        h.Starred,
+	}
+	if math.IsInf(h.DataMultiplier, 1) || math.IsNaN(h.DataMultiplier) {
+		entry.DataMultiplier = -1
+	} else {
+		entry.DataMultiplier = h.DataMultiplier
+	}
+	return entry
+}
+
 // Report builds the exportable snapshot of the session. now supplies the
 // timestamp; pass time.Now in production code and a fixed value in tests.
 func (s *Session) Report(now time.Time) Report {
@@ -67,28 +95,7 @@ func (s *Session) Report(now time.Time) Report {
 		Rows:            s.data.NumRows(),
 	}
 	for _, h := range s.hypotheses {
-		entry := ReportEntry{
-			ID:             h.ID,
-			Null:           h.Null,
-			Alternative:    h.Alternative,
-			Source:         h.Source.String(),
-			Status:         h.Status.String(),
-			Method:         h.Test.Method,
-			PValue:         h.Test.PValue,
-			AlphaInvested:  h.AlphaInvested,
-			Rejected:       h.Rejected,
-			EffectSize:     h.Test.EffectSize,
-			EffectLabel:    string(h.EffectLabel()),
-			SupportSize:    h.SupportSize,
-			PopulationSize: h.PopulationSize,
-			Starred:        h.Starred,
-		}
-		if math.IsInf(h.DataMultiplier, 1) || math.IsNaN(h.DataMultiplier) {
-			entry.DataMultiplier = -1
-		} else {
-			entry.DataMultiplier = h.DataMultiplier
-		}
-		r.Hypotheses = append(r.Hypotheses, entry)
+		r.Hypotheses = append(r.Hypotheses, h.Entry())
 		if h.Status == StatusActive && h.Rejected {
 			r.Discoveries++
 			if h.Starred {

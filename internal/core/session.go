@@ -27,8 +27,16 @@ type Options struct {
 // α-investing procedure that decides, incrementally and irrevocably, which
 // null hypotheses are rejected.
 //
-// Session is not safe for concurrent use; an interactive front-end drives it
-// from a single event loop.
+// Session is not safe for concurrent use: every exported method either
+// mutates session state (AddVisualization, CompareVisualizations,
+// TestAgainstExpectation, CompareMeans, CompareDistributions,
+// DeclareDescriptive, Star) or reads state those methods mutate (Gauge,
+// Report, the accessors). Accessors return copied slices, but the
+// *Visualization and *Hypothesis elements point at live session state, so
+// even "read-only" use must be serialized with writers. A single-user
+// front-end drives a Session from one event loop; a multi-session service
+// must own each Session behind a per-session lock and finish serializing
+// snapshots before releasing it, as internal/server.SessionManager does.
 type Session struct {
 	data     *dataset.Table
 	investor *investing.Investor

@@ -350,28 +350,52 @@ func PaperPolicies(cfg Config) ([]Policy, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	w0 := cfg.InitialWealth()
-	farsighted, err := NewFarsighted(0.25, cfg.Alpha)
+	out := make([]Policy, 0, len(PolicyNames))
+	for _, name := range PolicyNames {
+		p, err := namedPolicy(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// PolicyNames lists the names accepted by NewNamedPolicy, in the paper's
+// order.
+var PolicyNames = []string{
+	"beta-farsighted", "gamma-fixed", "delta-hopeful", "epsilon-hybrid", "psi-support",
+}
+
+// NewNamedPolicy constructs the investing rule with the given name using the
+// paper's default parameters at control level alpha. It backs every front-end
+// that selects a rule by name (the aware CLI's -policy flag, awared's
+// "policy" session field).
+func NewNamedPolicy(name string, alpha float64) (Policy, error) {
+	cfg, err := NewConfig(alpha)
 	if err != nil {
 		return nil, err
 	}
-	fixed, err := NewFixed(10, w0)
-	if err != nil {
-		return nil, err
+	return namedPolicy(name, cfg)
+}
+
+// namedPolicy is the single source of the paper's per-rule parameters, shared
+// by NewNamedPolicy and PaperPolicies.
+func namedPolicy(name string, cfg Config) (Policy, error) {
+	switch name {
+	case "beta-farsighted":
+		return NewFarsighted(0.25, cfg.Alpha)
+	case "gamma-fixed":
+		return NewFixed(10, cfg.InitialWealth())
+	case "delta-hopeful":
+		return NewHopeful(10, cfg.Alpha, cfg.InitialWealth())
+	case "epsilon-hybrid":
+		return NewHybrid(0.5, 10, 10, cfg.Alpha, cfg.InitialWealth(), 0)
+	case "psi-support":
+		return NewSupport(0.5, 10, cfg.InitialWealth())
+	default:
+		return nil, fmt.Errorf("%w: unknown policy %q (want one of %v)", ErrInvalidParameter, name, PolicyNames)
 	}
-	hopeful, err := NewHopeful(10, cfg.Alpha, w0)
-	if err != nil {
-		return nil, err
-	}
-	hybrid, err := NewHybrid(0.5, 10, 10, cfg.Alpha, w0, 0)
-	if err != nil {
-		return nil, err
-	}
-	support, err := NewSupport(0.5, 10, w0)
-	if err != nil {
-		return nil, err
-	}
-	return []Policy{farsighted, fixed, hopeful, hybrid, support}, nil
 }
 
 // affordEpsilon absorbs floating-point rounding in the affordability checks of

@@ -1,0 +1,599 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"aware/internal/core"
+	"aware/internal/dataset"
+	"aware/internal/investing"
+	"aware/internal/stats"
+)
+
+// maxUploadBytes bounds CSV uploads (32 MiB).
+const maxUploadBytes = 32 << 20
+
+// routes builds the API's ServeMux. The method-and-pattern routing needs
+// go >= 1.22.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /datasets", s.handleListDatasets)
+	mux.HandleFunc("POST /datasets", s.handleUploadDataset)
+	mux.HandleFunc("POST /sessions", s.handleCreateSession)
+	mux.HandleFunc("GET /sessions", s.handleListSessions)
+	mux.HandleFunc("GET /sessions/{id}", s.handleGetSession)
+	mux.HandleFunc("DELETE /sessions/{id}", s.handleDeleteSession)
+	mux.HandleFunc("POST /sessions/{id}/visualizations", s.handleCreateVisualization)
+	mux.HandleFunc("POST /sessions/{id}/compare", s.handleCompare)
+	mux.HandleFunc("POST /sessions/{id}/hypotheses/{hid}/star", s.handleStar)
+	mux.HandleFunc("GET /sessions/{id}/gauge", s.handleGauge)
+	mux.HandleFunc("POST /sessions/{id}/holdout/validate", s.handleHoldoutValidate)
+	mux.HandleFunc("GET /sessions/{id}/report", s.handleReport)
+	return mux
+}
+
+// --- encoding helpers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// writeErr maps a domain error onto an HTTP status. Requests reach the domain
+// layer only after routing, so unmapped errors are treated as bad input
+// rather than server faults.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrSessionNotFound),
+		errors.Is(err, ErrDatasetNotFound),
+		errors.Is(err, core.ErrUnknownVisualization),
+		errors.Is(err, core.ErrUnknownHypothesis):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrDatasetExists):
+		status = http.StatusConflict
+	case errors.Is(err, core.ErrWealthExhausted):
+		// The session is still alive but cannot fund further tests; the
+		// client should stop exploring (Section 5.8 of the paper).
+		status = http.StatusConflict
+	}
+	writeError(w, status, err.Error())
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxUploadBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
+func sessionID(r *http.Request) (int64, error) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid session id %q", r.PathValue("id"))
+	}
+	return id, nil
+}
+
+// decodePredicateField parses an optional predicate field; absent or null
+// means "no filter".
+func decodePredicateField(raw json.RawMessage) (dataset.Predicate, error) {
+	if len(raw) == 0 || string(raw) == "null" {
+		return nil, nil
+	}
+	return dataset.UnmarshalPredicate(raw)
+}
+
+// testResultJSON is the wire form of a stats.TestResult.
+type testResultJSON struct {
+	Method     string  `json:"method"`
+	Statistic  float64 `json:"statistic"`
+	PValue     float64 `json:"p_value"`
+	DF         float64 `json:"df"`
+	EffectSize float64 `json:"effect_size"`
+	N          int     `json:"n"`
+}
+
+func toTestResultJSON(t stats.TestResult) testResultJSON {
+	return testResultJSON{
+		Method:     t.Method,
+		Statistic:  t.Statistic,
+		PValue:     t.PValue,
+		DF:         t.DF,
+		EffectSize: t.EffectSize,
+		N:          t.N,
+	}
+}
+
+// vizJSON is the wire form of a visualization.
+type vizJSON struct {
+	ID           int    `json:"id"`
+	Target       string `json:"target"`
+	Filter       string `json:"filter"`
+	HypothesisID int    `json:"hypothesis_id,omitempty"`
+}
+
+func toVizJSON(v *core.Visualization) vizJSON {
+	out := vizJSON{ID: v.ID, Target: v.Target, Filter: "all", HypothesisID: v.HypothesisID}
+	if v.Filter != nil {
+		out.Filter = v.Filter.Describe()
+	}
+	return out
+}
+
+// --- health and datasets ---
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"sessions": s.manager.Len(),
+		"datasets": len(s.registry.List()),
+	})
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.registry.List()})
+}
+
+// handleUploadDataset registers a CSV body under ?name=. Column types default
+// to categorical; override per column with the comma-separated query
+// parameters ?float=, ?int= and ?bool=.
+func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing ?name= for the uploaded dataset")
+		return
+	}
+	var specs []dataset.ColumnSpec
+	seen := make(map[string]string)
+	for _, override := range []struct {
+		param string
+		typ   dataset.ColumnType
+	}{
+		{"float", dataset.Float64},
+		{"int", dataset.Int64},
+		{"bool", dataset.Bool},
+	} {
+		for _, col := range strings.Split(r.URL.Query().Get(override.param), ",") {
+			if col = strings.TrimSpace(col); col == "" {
+				continue
+			}
+			if prev, dup := seen[col]; dup {
+				writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("column %q typed by both ?%s= and ?%s=", col, prev, override.param))
+				return
+			}
+			seen[col] = override.param
+			specs = append(specs, dataset.ColumnSpec{Name: col, Type: override.typ})
+		}
+	}
+	table, err := dataset.ReadCSV(http.MaxBytesReader(w, r.Body, maxUploadBytes), specs)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.registry.Register(name, table); err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.log.Info("dataset registered", "name", name, "rows", table.NumRows(), "columns", table.NumColumns())
+	writeJSON(w, http.StatusCreated, DatasetInfo{Name: name, Rows: table.NumRows(), Columns: table.ColumnNames()})
+}
+
+// --- session lifecycle ---
+
+type createSessionRequest struct {
+	// Dataset names a registered dataset.
+	Dataset string `json:"dataset"`
+	// Alpha is the mFDR control level; 0 means the paper default 0.05.
+	Alpha float64 `json:"alpha,omitempty"`
+	// Policy selects the investing rule by name (see investing.PolicyNames);
+	// empty means the paper's ε-hybrid default.
+	Policy string `json:"policy,omitempty"`
+	// TargetPower tunes the n_H1 annotation; 0 means 0.8.
+	TargetPower float64 `json:"target_power,omitempty"`
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req createSessionRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.Dataset == "" {
+		writeError(w, http.StatusBadRequest, "missing dataset name")
+		return
+	}
+	table, err := s.registry.Get(req.Dataset)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	opts := core.Options{Alpha: req.Alpha, TargetPower: req.TargetPower}
+	if req.Policy != "" {
+		alpha := req.Alpha
+		if alpha == 0 {
+			alpha = investing.DefaultAlpha
+		}
+		policy, err := investing.NewNamedPolicy(req.Policy, alpha)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		opts.Policy = policy
+	}
+	info, err := s.manager.Create(req.Dataset, table, opts)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.log.Info("session created", "id", info.ID, "dataset", info.Dataset, "policy", info.Policy, "alpha", info.Alpha)
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": s.manager.List()})
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	id, err := sessionID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	info, err := s.manager.Info(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id, err := sessionID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if !s.manager.Delete(id) {
+		writeErr(w, fmt.Errorf("%w: %d", ErrSessionNotFound, id))
+		return
+	}
+	s.log.Info("session deleted", "id", id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- the interactive loop ---
+
+type createVizRequest struct {
+	// Target is the visualized attribute.
+	Target string `json:"target"`
+	// Predicate is the filter chain in the dataset predicate JSON format;
+	// absent or null means the whole dataset (rule 1: descriptive, no
+	// hypothesis).
+	Predicate json.RawMessage `json:"predicate,omitempty"`
+}
+
+type createVizResponse struct {
+	Visualization vizJSON `json:"visualization"`
+	// Hypothesis is the auto-created rule-2 hypothesis, or null for an
+	// unfiltered (descriptive) visualization.
+	Hypothesis      *core.ReportEntry `json:"hypothesis"`
+	RemainingWealth float64           `json:"remaining_wealth"`
+}
+
+func (s *Server) handleCreateVisualization(w http.ResponseWriter, r *http.Request) {
+	id, err := sessionID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req createVizRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	pred, err := decodePredicateField(req.Predicate)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var resp createVizResponse
+	err = s.manager.With(id, func(sess *core.Session) error {
+		viz, hyp, err := sess.AddVisualization(req.Target, pred)
+		if err != nil {
+			return err
+		}
+		resp.Visualization = toVizJSON(viz)
+		if hyp != nil {
+			entry := hyp.Entry()
+			resp.Hypothesis = &entry
+		}
+		resp.RemainingWealth = sess.Wealth()
+		return nil
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+type compareRequest struct {
+	// A and B are the visualization IDs to compare (rule 3).
+	A int `json:"a"`
+	B int `json:"b"`
+	// MeansOf switches to an explicit Welch t-test on this numeric attribute.
+	MeansOf string `json:"means_of,omitempty"`
+	// DistributionsOf switches to a two-sample Kolmogorov–Smirnov test.
+	DistributionsOf string `json:"distributions_of,omitempty"`
+}
+
+type hypothesisResponse struct {
+	Hypothesis      core.ReportEntry `json:"hypothesis"`
+	RemainingWealth float64          `json:"remaining_wealth"`
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	id, err := sessionID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req compareRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.MeansOf != "" && req.DistributionsOf != "" {
+		writeError(w, http.StatusBadRequest, "means_of and distributions_of are mutually exclusive")
+		return
+	}
+	var resp hypothesisResponse
+	err = s.manager.With(id, func(sess *core.Session) error {
+		var hyp *core.Hypothesis
+		var err error
+		switch {
+		case req.MeansOf != "":
+			hyp, err = sess.CompareMeans(req.MeansOf, req.A, req.B)
+		case req.DistributionsOf != "":
+			hyp, err = sess.CompareDistributions(req.DistributionsOf, req.A, req.B)
+		default:
+			hyp, err = sess.CompareVisualizations(req.A, req.B)
+		}
+		if err != nil {
+			return err
+		}
+		resp.Hypothesis = hyp.Entry()
+		resp.RemainingWealth = sess.Wealth()
+		return nil
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+type starRequest struct {
+	Starred bool `json:"starred"`
+}
+
+func (s *Server) handleStar(w http.ResponseWriter, r *http.Request) {
+	id, err := sessionID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	hid, err := strconv.Atoi(r.PathValue("hid"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid hypothesis id %q", r.PathValue("hid")))
+		return
+	}
+	var req starRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	err = s.manager.With(id, func(sess *core.Session) error {
+		return sess.Star(hid, req.Starred)
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": hid, "starred": req.Starred})
+}
+
+// gaugeResponse is the wire form of the risk gauge (Figure 2 A).
+type gaugeResponse struct {
+	Alpha           float64            `json:"alpha"`
+	Policy          string             `json:"policy"`
+	InitialWealth   float64            `json:"initial_wealth"`
+	RemainingWealth float64            `json:"remaining_wealth"`
+	Tests           int                `json:"tests"`
+	Discoveries     int                `json:"discoveries"`
+	Starred         int                `json:"starred"`
+	Exhausted       bool               `json:"exhausted"`
+	Hypotheses      []core.ReportEntry `json:"hypotheses"`
+	// Rendered is the textual gauge of the CLI front-end, for human clients.
+	Rendered string `json:"rendered"`
+}
+
+func (s *Server) handleGauge(w http.ResponseWriter, r *http.Request) {
+	id, err := sessionID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var resp gaugeResponse
+	err = s.manager.With(id, func(sess *core.Session) error {
+		g := sess.Gauge()
+		resp = gaugeResponse{
+			Alpha:           g.Alpha,
+			Policy:          g.Policy,
+			InitialWealth:   g.InitialWealth,
+			RemainingWealth: g.RemainingWealth,
+			Tests:           g.Tests,
+			Discoveries:     g.Discoveries,
+			Starred:         g.Starred,
+			Exhausted:       g.Exhausted,
+			Hypotheses:      make([]core.ReportEntry, 0, len(g.Hypotheses)),
+			Rendered:        g.Render(),
+		}
+		for _, h := range g.Hypotheses {
+			resp.Hypotheses = append(resp.Hypotheses, h.Entry())
+		}
+		return nil
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type holdoutRequest struct {
+	// Attribute is the numeric attribute whose means are compared between the
+	// filtered sub-population and its complement.
+	Attribute string `json:"attribute"`
+	// Predicate selects the sub-population, in the predicate JSON format.
+	Predicate json.RawMessage `json:"predicate"`
+	// ExplorationFraction is the share of rows in the exploration half;
+	// 0 means 0.5.
+	ExplorationFraction float64 `json:"exploration_fraction,omitempty"`
+	// Alpha is the per-half significance level; 0 means the session's level.
+	Alpha float64 `json:"alpha,omitempty"`
+	// Seed drives the random split; 0 means 1, so repeated calls validate on
+	// the same split unless the client asks otherwise.
+	Seed int64 `json:"seed,omitempty"`
+	// Alternative is "two-sided" (default), "greater" or "less".
+	Alternative string `json:"alternative,omitempty"`
+}
+
+type holdoutResponse struct {
+	Confirmed       bool           `json:"confirmed"`
+	Alpha           float64        `json:"alpha"`
+	ExplorationRows int            `json:"exploration_rows"`
+	ValidationRows  int            `json:"validation_rows"`
+	Exploration     testResultJSON `json:"exploration"`
+	Validation      testResultJSON `json:"validation"`
+}
+
+func parseAlternative(s string) (stats.Alternative, error) {
+	switch s {
+	case "", "two-sided":
+		return stats.TwoSided, nil
+	case "greater":
+		return stats.Greater, nil
+	case "less":
+		return stats.Less, nil
+	default:
+		return stats.TwoSided, fmt.Errorf("invalid alternative %q (want two-sided, greater or less)", s)
+	}
+}
+
+// handleHoldoutValidate re-tests a mean-comparison finding on a fresh
+// exploration/validation split of the session's dataset (Section 4.1): the
+// finding is confirmed only when both halves independently reject.
+func (s *Server) handleHoldoutValidate(w http.ResponseWriter, r *http.Request) {
+	id, err := sessionID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req holdoutRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.Attribute == "" {
+		writeError(w, http.StatusBadRequest, "missing attribute to validate")
+		return
+	}
+	pred, err := decodePredicateField(req.Predicate)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if pred == nil {
+		writeError(w, http.StatusBadRequest, "holdout validation requires a predicate selecting the sub-population")
+		return
+	}
+	alt, err := parseAlternative(req.Alternative)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	fraction := req.ExplorationFraction
+	if fraction == 0 {
+		fraction = 0.5
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	var resp holdoutResponse
+	err = s.manager.With(id, func(sess *core.Session) error {
+		alpha := req.Alpha
+		if alpha == 0 {
+			alpha = sess.Alpha()
+		}
+		validator, err := core.NewHoldoutValidator(sess.Data(), fraction, alpha, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return err
+		}
+		result, err := validator.CompareMeans(req.Attribute, pred, alt)
+		if err != nil {
+			return err
+		}
+		resp = holdoutResponse{
+			Confirmed:       result.Confirmed,
+			Alpha:           result.Alpha,
+			ExplorationRows: validator.Exploration().NumRows(),
+			ValidationRows:  validator.Validation().NumRows(),
+			Exploration:     toTestResultJSON(result.Exploration),
+			Validation:      toTestResultJSON(result.Validation),
+		}
+		return nil
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	id, err := sessionID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var report core.Report
+	err = s.manager.With(id, func(sess *core.Session) error {
+		report = sess.Report(time.Now())
+		return nil
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, report)
+}

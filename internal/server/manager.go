@@ -1,0 +1,196 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aware/internal/core"
+	"aware/internal/dataset"
+)
+
+// ErrSessionNotFound is returned when a session ID does not exist (never
+// created, deleted, or expired by the idle sweeper).
+var ErrSessionNotFound = errors.New("server: session not found")
+
+// SessionInfo is the lock-free summary of a managed session used in listings
+// and creation responses.
+type SessionInfo struct {
+	ID         int64     `json:"id"`
+	Dataset    string    `json:"dataset"`
+	Alpha      float64   `json:"alpha"`
+	Policy     string    `json:"policy"`
+	CreatedAt  time.Time `json:"created_at"`
+	LastActive time.Time `json:"last_active"`
+}
+
+// managedSession pairs a core.Session with the lock that serializes access to
+// it. core.Session is single-threaded by contract (see its doc comment); the
+// manager guarantees that at most one request operates on a session at a
+// time while leaving distinct sessions fully concurrent. lastActive is
+// atomic (not guarded by mu) so the idle sweeper and listings can read it
+// without waiting behind a long-running request.
+type managedSession struct {
+	id        int64
+	dataset   string
+	alpha     float64
+	policy    string
+	createdAt time.Time
+
+	mu         sync.Mutex // serializes access to session
+	session    *core.Session
+	lastActive atomic.Int64 // UnixNano of the last request touching the session
+}
+
+func (m *managedSession) info() SessionInfo {
+	return SessionInfo{
+		ID:         m.id,
+		Dataset:    m.dataset,
+		Alpha:      m.alpha,
+		Policy:     m.policy,
+		CreatedAt:  m.createdAt,
+		LastActive: time.Unix(0, m.lastActive.Load()),
+	}
+}
+
+// SessionManager owns the live exploration sessions of the service: creation
+// with monotonically increasing IDs, per-session locking, listing, deletion
+// and idle-TTL expiry. All methods are safe for concurrent use.
+type SessionManager struct {
+	ttl time.Duration
+	now func() time.Time
+
+	mu       sync.Mutex
+	sessions map[int64]*managedSession
+	nextID   int64
+}
+
+// NewSessionManager builds a manager whose sessions expire after sitting idle
+// for ttl (0 disables expiry). now supplies the clock; pass nil for time.Now.
+func NewSessionManager(ttl time.Duration, now func() time.Time) *SessionManager {
+	if now == nil {
+		now = time.Now
+	}
+	return &SessionManager{
+		ttl:      ttl,
+		now:      now,
+		sessions: make(map[int64]*managedSession),
+	}
+}
+
+// Create opens a new session over the given table and returns its summary.
+// IDs are monotonic across the life of the manager: an ID is never reused,
+// even after the session is deleted, so clients can safely treat a 404 as
+// "session expired" rather than "someone else's session".
+func (sm *SessionManager) Create(datasetName string, table *dataset.Table, opts core.Options) (SessionInfo, error) {
+	sess, err := core.NewSession(table, opts)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	now := sm.now()
+	sm.mu.Lock()
+	sm.nextID++
+	ms := &managedSession{
+		id:        sm.nextID,
+		dataset:   datasetName,
+		alpha:     sess.Alpha(),
+		policy:    sess.PolicyName(),
+		createdAt: now,
+		session:   sess,
+	}
+	ms.lastActive.Store(now.UnixNano())
+	sm.sessions[ms.id] = ms
+	sm.mu.Unlock()
+	return ms.info(), nil
+}
+
+// With runs fn with exclusive access to the identified session and marks the
+// session active. The per-session lock is held for the whole call, so fn must
+// finish reading (or serializing) everything it needs from the session before
+// returning — retaining *Hypothesis or *Visualization pointers past the call
+// is a data race.
+func (sm *SessionManager) With(id int64, fn func(*core.Session) error) error {
+	sm.mu.Lock()
+	ms, ok := sm.sessions[id]
+	sm.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrSessionNotFound, id)
+	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	// Touch the activity clock on entry and again on exit, so a request that
+	// ran longer than the TTL still counts as fresh when it completes.
+	ms.lastActive.Store(sm.now().UnixNano())
+	defer func() { ms.lastActive.Store(sm.now().UnixNano()) }()
+	return fn(ms.session)
+}
+
+// Info returns the summary of one session.
+func (sm *SessionManager) Info(id int64) (SessionInfo, error) {
+	sm.mu.Lock()
+	ms, ok := sm.sessions[id]
+	sm.mu.Unlock()
+	if !ok {
+		return SessionInfo{}, fmt.Errorf("%w: %d", ErrSessionNotFound, id)
+	}
+	return ms.info(), nil
+}
+
+// List returns every live session, ordered by ID.
+func (sm *SessionManager) List() []SessionInfo {
+	sm.mu.Lock()
+	all := make([]*managedSession, 0, len(sm.sessions))
+	for _, ms := range sm.sessions {
+		all = append(all, ms)
+	}
+	sm.mu.Unlock()
+	out := make([]SessionInfo, len(all))
+	for i, ms := range all {
+		out[i] = ms.info()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of live sessions.
+func (sm *SessionManager) Len() int {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return len(sm.sessions)
+}
+
+// Delete removes a session, reporting whether it existed. An in-flight With
+// call on the session finishes normally; the session is simply no longer
+// reachable afterwards.
+func (sm *SessionManager) Delete(id int64) bool {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	_, ok := sm.sessions[id]
+	delete(sm.sessions, id)
+	return ok
+}
+
+// SweepIdle deletes every session idle for longer than the manager's TTL and
+// returns the IDs it removed. With a zero TTL it is a no-op.
+func (sm *SessionManager) SweepIdle() []int64 {
+	if sm.ttl <= 0 {
+		return nil
+	}
+	cutoff := sm.now().Add(-sm.ttl).UnixNano()
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	var expired []int64
+	for id, ms := range sm.sessions {
+		if ms.lastActive.Load() < cutoff {
+			expired = append(expired, id)
+		}
+	}
+	for _, id := range expired {
+		delete(sm.sessions, id)
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	return expired
+}

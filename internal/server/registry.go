@@ -1,0 +1,79 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"aware/internal/dataset"
+)
+
+// Registry errors.
+var (
+	// ErrDatasetNotFound is returned when a named dataset is not registered.
+	ErrDatasetNotFound = errors.New("server: dataset not found")
+	// ErrDatasetExists is returned when registering over an existing name.
+	ErrDatasetExists = errors.New("server: dataset already registered")
+)
+
+// DatasetInfo summarizes one registered dataset for listings.
+type DatasetInfo struct {
+	Name    string   `json:"name"`
+	Rows    int      `json:"rows"`
+	Columns []string `json:"columns"`
+}
+
+// DatasetRegistry holds the named tables that sessions explore. Tables are
+// immutable once registered — sessions across many goroutines read them
+// concurrently without locking, so the registry never hands out a table it
+// would later modify; replacing a dataset requires a new name.
+type DatasetRegistry struct {
+	mu     sync.RWMutex
+	tables map[string]*dataset.Table
+}
+
+// NewDatasetRegistry returns an empty registry.
+func NewDatasetRegistry() *DatasetRegistry {
+	return &DatasetRegistry{tables: make(map[string]*dataset.Table)}
+}
+
+// Register adds a table under a unique name.
+func (r *DatasetRegistry) Register(name string, t *dataset.Table) error {
+	if name == "" {
+		return fmt.Errorf("server: dataset name must not be empty")
+	}
+	if t == nil {
+		return fmt.Errorf("server: nil table for dataset %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.tables[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
+	}
+	r.tables[name] = t
+	return nil
+}
+
+// Get returns the named table.
+func (r *DatasetRegistry) Get(name string) (*dataset.Table, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrDatasetNotFound, name)
+	}
+	return t, nil
+}
+
+// List returns a summary of every registered dataset, sorted by name.
+func (r *DatasetRegistry) List() []DatasetInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]DatasetInfo, 0, len(r.tables))
+	for name, t := range r.tables {
+		out = append(out, DatasetInfo{Name: name, Rows: t.NumRows(), Columns: t.ColumnNames()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,138 @@
+// Package server is awared's concurrent multi-session service layer: the
+// always-on backend the AWARE paper describes running behind the Vizdom
+// pen-and-touch front-end. It owns a registry of named immutable datasets and
+// a manager of live exploration sessions, and exposes the paper's interactive
+// loop — create a session, turn predicates into visualizations and default
+// hypotheses, watch the risk gauge, validate findings on a hold-out split,
+// export the report — as a JSON HTTP API.
+//
+// Concurrency model: dataset tables are immutable and shared; each
+// core.Session (single-threaded by contract) is owned by the SessionManager
+// behind a per-session mutex, so requests on distinct sessions run fully in
+// parallel while requests on one session serialize. Idle sessions are
+// reclaimed by a TTL sweeper.
+package server
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Logger receives structured request and lifecycle logs; nil means
+	// slog.Default().
+	Logger *slog.Logger
+	// SessionTTL is how long a session may sit idle before the sweeper
+	// reclaims it; 0 disables expiry.
+	SessionTTL time.Duration
+	// SweepInterval is how often the idle sweeper runs; 0 means 1 minute.
+	SweepInterval time.Duration
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// Server wires the dataset registry, the session manager and the HTTP API
+// together.
+type Server struct {
+	log      *slog.Logger
+	registry *DatasetRegistry
+	manager  *SessionManager
+	sweep    time.Duration
+	handler  http.Handler
+}
+
+// New builds a server with an empty dataset registry; register at least one
+// dataset before serving.
+func New(cfg Config) *Server {
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	sweep := cfg.SweepInterval
+	if sweep <= 0 {
+		sweep = time.Minute
+	}
+	s := &Server{
+		log:      logger,
+		registry: NewDatasetRegistry(),
+		manager:  NewSessionManager(cfg.SessionTTL, cfg.now),
+		sweep:    sweep,
+	}
+	s.handler = withRecovery(logger, withRequestLog(logger, s.routes()))
+	return s
+}
+
+// Registry returns the dataset registry, for preloading tables.
+func (s *Server) Registry() *DatasetRegistry { return s.registry }
+
+// Manager returns the session manager.
+func (s *Server) Manager() *SessionManager { return s.manager }
+
+// Handler returns the fully-wrapped HTTP handler (routing, structured request
+// logging, panic recovery).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Run serves the API on addr until ctx is cancelled, then shuts down
+// gracefully: in-flight requests get shutdownGrace to finish before the
+// listener is torn down. The idle-session sweeper runs alongside the
+// listener. Run returns nil on a clean shutdown.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	httpServer := &http.Server{
+		Addr:              addr,
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The sweeper stops when ctx is cancelled OR when Run exits early (for
+	// example a failed listen) — otherwise an immediate bind error would
+	// leave Run waiting on a goroutine that never returns.
+	sweepCtx, stopSweeper := context.WithCancel(ctx)
+	defer stopSweeper()
+	sweepDone := make(chan struct{})
+	go func() {
+		defer close(sweepDone)
+		ticker := time.NewTicker(s.sweep)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-sweepCtx.Done():
+				return
+			case <-ticker.C:
+				if expired := s.manager.SweepIdle(); len(expired) > 0 {
+					s.log.Info("expired idle sessions", "ids", expired, "live", s.manager.Len())
+				}
+			}
+		}
+	}()
+
+	errc := make(chan error, 1)
+	go func() {
+		s.log.Info("awared listening", "addr", addr)
+		errc <- httpServer.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		stopSweeper()
+		<-sweepDone
+		return err
+	case <-ctx.Done():
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	s.log.Info("shutting down", "grace", shutdownGrace)
+	err := httpServer.Shutdown(shutdownCtx)
+	<-sweepDone
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return err
+}
+
+// shutdownGrace bounds how long Run waits for in-flight requests on shutdown.
+const shutdownGrace = 5 * time.Second
