@@ -25,6 +25,15 @@
 //	_ = viz
 //	_ = hyp
 //
+// Every mutation is equally expressible as a serializable Step command, and
+// the session journals each applied step, so an exploration can be recorded,
+// persisted and replayed deterministically:
+//
+//	res, _ := session.Apply(aware.CompareMeans{Attribute: "age", A: 1, B: 2})
+//	steps := aware.StepsFromLog(session.Log())
+//	twin, _ := aware.Replay(table, aware.SessionOptions{}, steps)
+//	_, _ = res, twin
+//
 // Everything is deterministic given explicit seeds and uses only the Go
 // standard library.
 package aware
@@ -53,7 +62,9 @@ type Visualization = core.Visualization
 // RiskGauge is the snapshot shown by the risk controller.
 type RiskGauge = core.RiskGauge
 
-// HoldoutValidator re-validates findings on a hold-out split (Section 4.1).
+// HoldoutValidator re-validates findings on a hold-out split (Section 4.1),
+// either one mean comparison at a time (CompareMeans) or a whole recorded
+// step log (ReplayLog).
 type HoldoutValidator = core.HoldoutValidator
 
 // NewSession opens an exploration session over a table.
@@ -63,6 +74,56 @@ func NewSession(data *Table, opts SessionOptions) (*Session, error) {
 
 // NewHoldoutValidator splits data into exploration/validation halves.
 var NewHoldoutValidator = core.NewHoldoutValidator
+
+// The Steps API: every session mutation is a serializable command value
+// dispatched through Session.Apply, journaled in order (Session.Log) and
+// deterministically replayable (Replay). The step types below form a closed
+// set; the exported Session methods are one-line wrappers over them.
+type (
+	// Step is one serializable exploration command.
+	Step = core.Step
+	// StepResult reports what applying a Step produced.
+	StepResult = core.StepResult
+	// AppliedStep is one journal entry: the step plus the IDs it produced.
+	AppliedStep = core.AppliedStep
+	// AddVisualization creates a chart (and, when filtered, its rule-2
+	// default hypothesis).
+	AddVisualization = core.AddVisualization
+	// CompareVisualizations is heuristic rule 3's side-by-side comparison.
+	CompareVisualizations = core.CompareVisualizations
+	// CompareMeans overrides a comparison with a Welch t-test on means.
+	CompareMeans = core.CompareMeans
+	// CompareDistributions overrides a comparison with a two-sample KS test.
+	CompareDistributions = core.CompareDistributions
+	// TestAgainstExpectation tests an observed distribution against stated
+	// expected proportions.
+	TestAgainstExpectation = core.TestAgainstExpectation
+	// DeclareDescriptive deletes the hypothesis attached to a visualization.
+	DeclareDescriptive = core.DeclareDescriptive
+	// Star marks a hypothesis as an important discovery.
+	Star = core.Star
+	// ReplayValidation is the outcome of re-validating a step log on a
+	// hold-out split.
+	ReplayValidation = core.ReplayValidation
+	// HypothesisValidation is one hypothesis' hold-out verdict.
+	HypothesisValidation = core.HypothesisValidation
+)
+
+// Step construction, codec and replay.
+var (
+	// Replay reconstructs a session deterministically from a step sequence.
+	Replay = core.Replay
+	// StepsFromLog strips a journal down to its replayable step sequence.
+	StepsFromLog = core.StepsFromLog
+	// MarshalStep serializes a step to its JSON wire format.
+	MarshalStep = core.MarshalStep
+	// UnmarshalStep parses the JSON wire format into a step (strict).
+	UnmarshalStep = core.UnmarshalStep
+)
+
+// ErrUnknownStep is returned by Session.Apply for steps outside the closed
+// step set.
+var ErrUnknownStep = core.ErrUnknownStep
 
 // Data substrate re-exports.
 type (

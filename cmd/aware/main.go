@@ -20,6 +20,8 @@
 //	star <hypothesis>             mark an important discovery
 //	delete <viz>                  declare a visualization descriptive
 //	gauge                         print the risk gauge
+//	log                           print the session's step journal (JSON lines,
+//	                              replayable with aware.Replay / awared)
 //	help                          this list
 //	quit                          exit
 package main
@@ -114,13 +116,24 @@ func execute(session *core.Session, line string, out *os.File) error {
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case "help":
-		fmt.Fprintln(out, "commands: cols | show <attr> | viz <attr> where <col>=<val> [and ...] | compare <a> <b> | means <numeric> <a> <b> | star <h> | delete <viz> | gauge | quit")
+		fmt.Fprintln(out, "commands: cols | show <attr> | viz <attr> where <col>=<val> [and ...] | compare <a> <b> | means <numeric> <a> <b> | star <h> | delete <viz> | gauge | log | quit")
 		return nil
 	case "cols":
 		fmt.Fprintln(out, strings.Join(session.Data().ColumnNames(), ", "))
 		return nil
 	case "gauge":
 		fmt.Fprint(out, session.Gauge().Render())
+		return nil
+	case "log":
+		// One step per line: the exact wire format POST /sessions/{id}/steps
+		// accepts, so a session transcript can be replayed against awared.
+		for _, entry := range session.Log() {
+			line, err := core.MarshalStep(entry.Step)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%s\n", line)
+		}
 		return nil
 	case "show":
 		if len(fields) != 2 {

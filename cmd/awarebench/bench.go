@@ -68,10 +68,7 @@ func runBenchCore(outPath string, seed int64, rows int) error {
 		return sess
 	}
 
-	benchmarks := []struct {
-		op string
-		fn func(b *testing.B)
-	}{
+	benchmarks := []namedBenchmark{
 		{"session_create", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -140,8 +137,20 @@ func runBenchCore(outPath string, seed int64, rows int) error {
 		}},
 	}
 
-	entries := make([]BenchEntry, 0, len(benchmarks))
 	fmt.Printf("== core operation benchmarks (census %d rows) ==\n", rows)
+	entries := measure(benchmarks)
+	return writeBenchEntries(outPath, entries)
+}
+
+// namedBenchmark pairs an operation name with its benchmark body.
+type namedBenchmark struct {
+	op string
+	fn func(b *testing.B)
+}
+
+// measure runs the benchmarks and prints one line per operation.
+func measure(benchmarks []namedBenchmark) []BenchEntry {
+	entries := make([]BenchEntry, 0, len(benchmarks))
 	for _, bm := range benchmarks {
 		res := testing.Benchmark(bm.fn)
 		entry := BenchEntry{
@@ -155,6 +164,34 @@ func runBenchCore(outPath string, seed int64, rows int) error {
 		fmt.Printf("%-20s %12d ns/op %10d allocs/op %12d B/op (%d iterations)\n",
 			entry.Op, entry.NsPerOp, entry.AllocsPerOp, entry.BytesPerOp, entry.Iterations)
 	}
+	return entries
+}
+
+// writeBenchEntries merges the measured entries into outPath: operations
+// already recorded there keep their position and are overwritten, new ones
+// are appended, and entries of other experiments are preserved — so `-exp
+// bench` and `-exp steps` can each refresh their slice of BENCH_core.json.
+func writeBenchEntries(outPath string, entries []BenchEntry) error {
+	var existing []BenchEntry
+	if data, err := os.ReadFile(outPath); err == nil {
+		if err := json.Unmarshal(data, &existing); err != nil {
+			return fmt.Errorf("parsing existing %s: %w", outPath, err)
+		}
+	}
+	merged := make([]BenchEntry, 0, len(existing)+len(entries))
+	seen := make(map[string]int)
+	for _, e := range existing {
+		seen[e.Op] = len(merged)
+		merged = append(merged, e)
+	}
+	for _, e := range entries {
+		if i, ok := seen[e.Op]; ok {
+			merged[i] = e
+		} else {
+			seen[e.Op] = len(merged)
+			merged = append(merged, e)
+		}
+	}
 
 	f, err := os.Create(outPath)
 	if err != nil {
@@ -163,7 +200,7 @@ func runBenchCore(outPath string, seed int64, rows int) error {
 	defer f.Close()
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(entries); err != nil {
+	if err := enc.Encode(merged); err != nil {
 		return fmt.Errorf("writing %s: %w", outPath, err)
 	}
 	fmt.Printf("wrote %s\n", outPath)

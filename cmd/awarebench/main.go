@@ -13,6 +13,8 @@
 //	awarebench -exp holdout             # Section 4.1 hold-out analysis
 //	awarebench -exp subsets             # Theorem 1 empirical check
 //	awarebench -exp bench               # core-op timings -> BENCH_core.json
+//	awarebench -exp steps               # step dispatch/replay -> BENCH_core.json
+//	awarebench -exp replay              # hold-out replay of a recorded step log
 package main
 
 import (
@@ -25,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run: 1a, 1b, 1c, 2, intro, holdout, subsets, all")
+		exp        = flag.String("exp", "all", "experiment to run: 1a, 1b, 1c, 2, intro, holdout, subsets, bench, steps, replay, all")
 		reps       = flag.Int("reps", 0, "replications per configuration (0 = paper defaults: 1000 synthetic, 20 census)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		nullProp   = flag.Float64("null", -1, "true-null proportion for 1a/1b/1c (-1 = run the paper's set)")
@@ -46,6 +48,10 @@ func run(exp string, reps int, seed int64, nullProp float64, rows, hypotheses in
 	switch exp {
 	case "bench":
 		return runBenchCore(benchOut, seed, rows)
+	case "steps":
+		return runBenchSteps(benchOut, seed, rows)
+	case "replay":
+		return runReplayHoldout(seed, rows, hypotheses)
 	case "1a":
 		return runExp1a(reps, seed, nullProp)
 	case "1b":
@@ -169,6 +175,23 @@ func runHoldout(reps int, seed int64) error {
 	fmt.Printf("full-data test power:      empirical %.3f, theoretical %.3f (paper: 0.99)\n", m.FullDataPower, m.Theoretical.FullDataPower)
 	fmt.Printf("half-data test power:      empirical %.3f, theoretical %.3f (paper: 0.87)\n", m.SplitHalfPower, m.Theoretical.SplitHalfPower)
 	fmt.Printf("hold-out confirm power:    empirical %.3f, theoretical %.3f (paper: 0.76)\n", m.HoldoutPower, m.Theoretical.HoldoutPower)
+	fmt.Println()
+	return nil
+}
+
+func runReplayHoldout(seed int64, rows, hypotheses int) error {
+	m, err := simulation.ReplayHoldoutExperiment(simulation.ReplayHoldoutConfig{
+		Rows:       rows,
+		Hypotheses: hypotheses,
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Section 4.1 generalized — hold-out replay of a recorded exploration log ==")
+	fmt.Printf("recorded steps:            %d (user-study workflow as core Steps)\n", m.StepsRecorded)
+	fmt.Printf("full-data session:         %d active hypotheses, %d discoveries\n", m.ActiveHypotheses, m.FullDiscoveries)
+	fmt.Printf("hold-out confirmation:     %d/%d active hypotheses (%.2f)\n", m.Confirmed, m.ActiveTotal, m.ConfirmationRate)
 	fmt.Println()
 	return nil
 }

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"aware/internal/census"
+	"aware/internal/core"
+)
+
+// runBenchSteps measures the Step dispatch layer introduced by the command
+// API: steps applied per second through Session.Apply, full-log replay
+// throughput, and the codec. The user-study workflow generator supplies a
+// realistic step mix (rule-2 visualizations and rule-3 comparisons). Results
+// merge into the same BENCH_core.json as -exp bench, so the dispatch
+// overhead is tracked against the core-op baseline from day one.
+func runBenchSteps(outPath string, seed int64, rows int) error {
+	table, err := census.Generate(census.Config{Rows: rows, Seed: seed, SignalStrength: 1})
+	if err != nil {
+		return err
+	}
+	workflow, err := census.GenerateWorkflow(table, census.WorkflowConfig{
+		Hypotheses: 40, Seed: seed + 2, MaxChainDepth: 3,
+	})
+	if err != nil {
+		return err
+	}
+	steps := workflow.CoreSteps()
+
+	newSession := func() *core.Session {
+		sess, err := core.NewSession(table, core.Options{})
+		if err != nil {
+			panic(err)
+		}
+		return sess
+	}
+
+	// Pre-record a replayable log: drive the workflow once, stopping at the
+	// first failed step (wealth exhaustion or a degenerate sub-population) —
+	// CoreSteps precomputes visualization IDs, so skipping a failed step
+	// would desynchronize the comparisons after it. The recorded prefix is
+	// guaranteed to replay cleanly.
+	recorder := newSession()
+	for _, step := range steps {
+		if _, err := recorder.Apply(step); err != nil {
+			break
+		}
+	}
+	recorded := core.StepsFromLog(recorder.Log())
+	if len(recorded) == 0 {
+		return fmt.Errorf("workflow produced no applicable steps on %d rows", rows)
+	}
+	logJSON := make([][]byte, len(recorded))
+	for i, step := range recorded {
+		if logJSON[i], err = core.MarshalStep(step); err != nil {
+			return err
+		}
+	}
+
+	benchmarks := []namedBenchmark{
+		{"step_apply", func(b *testing.B) {
+			b.ReportAllocs()
+			sess, idx := newSession(), 0
+			for i := 0; i < b.N; i++ {
+				if idx == len(recorded) {
+					b.StopTimer()
+					sess, idx = newSession(), 0
+					b.StartTimer()
+				}
+				if _, err := sess.Apply(recorded[idx]); err != nil {
+					b.Fatal(err)
+				}
+				idx++
+			}
+		}},
+		{"step_replay_log", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Replay(table, core.Options{}, recorded); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"step_marshal", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MarshalStep(recorded[i%len(recorded)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"step_unmarshal", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.UnmarshalStep(logJSON[i%len(logJSON)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	fmt.Printf("== step dispatch benchmarks (census %d rows, %d-step log) ==\n", rows, len(recorded))
+	entries := measure(benchmarks)
+	return writeBenchEntries(outPath, entries)
+}

@@ -10,6 +10,8 @@
 //	awared -addr :9090 -rows 100000           # bigger census, custom port
 //	awared -dataset sales=sales.csv           # also serve a CSV (repeatable)
 //	awared -session-ttl 10m -sweep 30s        # reclaim idle sessions faster
+//	awared -journal-dir /var/lib/awared       # durable sessions: journal every
+//	                                          # step and replay them on restart
 //
 // A minimal exploration from the command line:
 //
@@ -47,6 +49,7 @@ func main() {
 		ttl      = flag.Duration("session-ttl", 30*time.Minute, "idle time before a session is reclaimed (0 = never)")
 		sweep    = flag.Duration("sweep", time.Minute, "how often the idle-session sweeper runs")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		journal  = flag.String("journal-dir", "", "directory for per-session step journals; sessions survive restarts (empty = in-memory only)")
 	)
 	datasets := make(map[string]string)
 	flag.Func("dataset", "register a CSV dataset as name=path (repeatable; columns import as categorical)", func(v string) error {
@@ -59,29 +62,42 @@ func main() {
 	})
 	flag.Parse()
 
-	if err := run(*addr, *rows, *seed, *ttl, *sweep, *logLevel, datasets); err != nil {
+	if err := run(*addr, *rows, *seed, *ttl, *sweep, *logLevel, *journal, datasets); err != nil {
 		fmt.Fprintf(os.Stderr, "awared: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, rows int, seed int64, ttl, sweep time.Duration, logLevel string, datasets map[string]string) error {
+func run(addr string, rows int, seed int64, ttl, sweep time.Duration, logLevel, journalDir string, datasets map[string]string) error {
 	level, err := parseLevel(logLevel)
 	if err != nil {
 		return err
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Logger:        logger,
 		SessionTTL:    ttl,
 		SweepInterval: sweep,
+		JournalDir:    journalDir,
 	})
+	if err != nil {
+		return err
+	}
 	if err := registerDatasets(srv.Registry(), rows, seed, datasets); err != nil {
 		return err
 	}
 	for _, info := range srv.Registry().List() {
 		logger.Info("dataset ready", "name", info.Name, "rows", info.Rows, "columns", len(info.Columns))
+	}
+	// With journaling on, resurrect the sessions the previous run persisted;
+	// the datasets must be registered first so the journals can replay.
+	restored, err := srv.RestoreSessions()
+	if err != nil {
+		return err
+	}
+	if restored > 0 {
+		logger.Info("sessions restored from journal", "count", restored, "dir", journalDir)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

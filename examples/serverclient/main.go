@@ -55,7 +55,10 @@ func main() {
 
 func run() error {
 	// Start awared's service layer in-process on a random loopback port.
-	srv := server.New(server.Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	srv, err := server.New(server.Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	if err != nil {
+		return err
+	}
 	table, err := census.Generate(census.Config{Rows: 10000, Seed: 1, SignalStrength: 1})
 	if err != nil {
 		return err
@@ -118,20 +121,24 @@ func explore(base string, a analyst) (string, error) {
 	}
 	sessionURL := fmt.Sprintf("%s/sessions/%d", base, session.ID)
 
-	// 2. A filtered visualization: rule 2 turns it into a tracked hypothesis.
+	// 2. A filtered visualization, sent as a serializable step command: rule 2
+	// turns it into a tracked hypothesis and the step lands in the session's
+	// replayable journal.
 	var viz struct {
+		Seq        int `json:"seq"`
 		Hypothesis *struct {
 			ID       int     `json:"id"`
 			PValue   float64 `json:"p_value"`
 			Rejected bool    `json:"rejected"`
 		} `json:"hypothesis"`
 	}
-	err = postJSON(sessionURL+"/visualizations", map[string]any{
+	err = postJSON(sessionURL+"/steps", map[string]any{
+		"op":        "add_visualization",
 		"target":    a.target,
 		"predicate": json.RawMessage(a.predicate),
 	}, &viz)
 	if err != nil {
-		return "", fmt.Errorf("adding visualization: %w", err)
+		return "", fmt.Errorf("applying add_visualization step: %w", err)
 	}
 
 	// 3. Star the discovery, if there was one.
@@ -164,7 +171,17 @@ func explore(base string, a analyst) (string, error) {
 		return "", fmt.Errorf("holdout validation: %w", err)
 	}
 
-	// 6. Export the report.
+	// 6. Re-validate the whole recorded exploration on a hold-out split: the
+	// step log replays independently on both halves (Section 4.1 generalized).
+	var replay struct {
+		Confirmed   int `json:"confirmed"`
+		ActiveTotal int `json:"active_total"`
+	}
+	if err := postJSON(sessionURL+"/holdout/replay", map[string]any{}, &replay); err != nil {
+		return "", fmt.Errorf("holdout replay: %w", err)
+	}
+
+	// 7. Export the report.
 	var report struct {
 		Discoveries int `json:"discoveries"`
 		Hypotheses  []struct {
@@ -179,8 +196,8 @@ func explore(base string, a analyst) (string, error) {
 	if holdout.Confirmed {
 		confirmed = "CONFIRMED"
 	}
-	return fmt.Sprintf("%-6s session %d: %d test(s), %d discovery(ies), wealth %.4f; holdout mean %s on %s: %s",
-		a.name, session.ID, gauge.Tests, gauge.Discoveries, gauge.RemainingWealth, a.holdout, describeShort(a.predicate), confirmed), nil
+	return fmt.Sprintf("%-6s session %d: %d test(s), %d discovery(ies), wealth %.4f; holdout mean %s on %s: %s; log replay: %d/%d confirmed",
+		a.name, session.ID, gauge.Tests, gauge.Discoveries, gauge.RemainingWealth, a.holdout, describeShort(a.predicate), confirmed, replay.Confirmed, replay.ActiveTotal), nil
 }
 
 // describeShort renders the predicate JSON compactly for the summary line.

@@ -3,6 +3,7 @@ package census
 import (
 	"fmt"
 
+	"aware/internal/core"
 	"aware/internal/dataset"
 	"aware/internal/stats"
 )
@@ -25,59 +26,31 @@ type StepResult struct {
 // given table using the chi-squared tests that AWARE's default hypotheses
 // prescribe: a goodness-of-fit test against the population distribution for
 // FilterVsPopulation, and an independence test between the filtered and
-// complementary sub-populations for FilterVsComplement.
+// complementary sub-populations for FilterVsComplement. Both delegate to the
+// evaluation layer of internal/core, so the paper-figure harness runs the
+// exact tests an interactive session would run for the equivalent core.Step
+// sequence (see Workflow.CoreSteps).
 func EvaluateStep(t *dataset.Table, step WorkflowStep) (StepResult, error) {
 	if step.Filter == nil {
 		return StepResult{}, fmt.Errorf("census: step %d has no filter", step.ID)
 	}
-	cats, err := t.Categories(step.Target)
-	if err != nil {
-		return StepResult{}, fmt.Errorf("census: step %d target: %w", step.ID, err)
-	}
-	filtered, err := t.Filter(step.Filter)
-	if err != nil {
-		return StepResult{}, fmt.Errorf("census: step %d filter: %w", step.ID, err)
-	}
-	result := StepResult{Step: step, SupportSize: filtered.NumRows(), PopulationSize: t.NumRows()}
+	result := StepResult{Step: step, PopulationSize: t.NumRows()}
 
 	switch step.Kind {
 	case FilterVsPopulation:
-		observed, err := filtered.CountsFor(step.Target, cats)
-		if err != nil {
-			return StepResult{}, err
-		}
-		popCounts, err := t.CountsFor(step.Target, cats)
-		if err != nil {
-			return StepResult{}, err
-		}
-		expected := make([]float64, len(popCounts))
-		for i, c := range popCounts {
-			expected[i] = float64(c)
-		}
-		test, err := stats.ChiSquaredGoodnessOfFit(observed, expected)
+		test, support, err := core.FilterVsPopulationTest(t, step.Target, step.Filter)
 		if err != nil {
 			return StepResult{}, fmt.Errorf("census: step %d: %w", step.ID, err)
 		}
 		result.Test = test
+		result.SupportSize = support
 	case FilterVsComplement:
-		complement, err := t.Filter(dataset.Not{Inner: step.Filter})
-		if err != nil {
-			return StepResult{}, err
-		}
-		inCounts, err := filtered.CountsFor(step.Target, cats)
-		if err != nil {
-			return StepResult{}, err
-		}
-		outCounts, err := complement.CountsFor(step.Target, cats)
-		if err != nil {
-			return StepResult{}, err
-		}
-		table := [][]int{inCounts, outCounts}
-		test, err := stats.ChiSquaredIndependence(table)
+		test, support, _, err := core.ComparisonTest(t, step.Target, step.Filter, dataset.Not{Inner: step.Filter})
 		if err != nil {
 			return StepResult{}, fmt.Errorf("census: step %d: %w", step.ID, err)
 		}
 		result.Test = test
+		result.SupportSize = support
 	default:
 		return StepResult{}, fmt.Errorf("census: step %d has unknown kind %v", step.ID, step.Kind)
 	}

@@ -1,0 +1,82 @@
+package census
+
+import (
+	"testing"
+
+	"aware/internal/core"
+)
+
+// TestCoreStepsMatchEvaluateWorkflow is the shared-code-path guarantee of the
+// Steps port: driving the user-study workflow through a live core.Session (as
+// CoreSteps) must produce exactly the p-values the paper harness computes via
+// EvaluateWorkflow, because both run the identical evaluation functions in
+// internal/core.
+func TestCoreStepsMatchEvaluateWorkflow(t *testing.T) {
+	table, err := Generate(Config{Rows: 4000, Seed: 5, SignalStrength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workflow, err := GenerateWorkflow(table, WorkflowConfig{Hypotheses: 12, Seed: 9, MaxChainDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := EvaluateWorkflow(table, workflow)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := core.NewSession(table, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := workflow.CoreSteps()
+	next := 0 // cursor into steps
+	compared := 0
+	for i, ws := range workflow.Steps {
+		// Each workflow step lowered to 1 (rule 2) or 3 (rule 3) core steps;
+		// the last of them carries the hypothesis that corresponds to the
+		// workflow step.
+		n := 1
+		if ws.Kind == FilterVsComplement {
+			n = 3
+		}
+		var last core.StepResult
+		for j := 0; j < n; j++ {
+			res, err := sess.Apply(steps[next])
+			next++
+			if err != nil {
+				// Any failure would desynchronize the viz IDs CoreSteps
+				// precomputed; this workflow (4000 rows, depth-3 chains) must
+				// apply cleanly, so a failure here is a real regression.
+				t.Fatalf("workflow step %d, lowered step %d: %v", i+1, next, err)
+			}
+			last = res
+		}
+		if last.Hypothesis == nil {
+			t.Fatalf("workflow step %d produced no hypothesis", i+1)
+		}
+		if got, want := last.Hypothesis.Test.PValue, results[i].Test.PValue; got != want {
+			t.Errorf("workflow step %d (%s): session p = %v, harness p = %v",
+				i+1, ws.Kind, got, want)
+		}
+		if got, want := last.Hypothesis.Test.Statistic, results[i].Test.Statistic; got != want {
+			t.Errorf("workflow step %d (%s): session statistic = %v, harness statistic = %v",
+				i+1, ws.Kind, got, want)
+		}
+		compared++
+	}
+	if next != len(steps) {
+		t.Errorf("consumed %d lowered steps, CoreSteps produced %d", next, len(steps))
+	}
+	if compared < len(workflow.Steps)/2 {
+		t.Errorf("only %d/%d workflow steps were comparable", compared, len(workflow.Steps))
+	}
+	// Both kinds must actually appear, or the test proves less than it claims.
+	kinds := map[HypothesisKind]bool{}
+	for _, ws := range workflow.Steps {
+		kinds[ws.Kind] = true
+	}
+	if !kinds[FilterVsPopulation] || !kinds[FilterVsComplement] {
+		t.Errorf("workflow lacks a kind: %v", kinds)
+	}
+}

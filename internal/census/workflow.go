@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"aware/internal/core"
 	"aware/internal/dataset"
 )
 
@@ -59,6 +60,42 @@ type Workflow struct {
 
 // Len returns the number of hypotheses in the workflow.
 func (w *Workflow) Len() int { return len(w.Steps) }
+
+// CoreSteps lowers the workflow onto the closed command algebra of
+// internal/core, so that the same user-study exploration can drive a live
+// Session (directly, over the HTTP steps endpoint, or through core.Replay)
+// instead of only the raw p-value stream of EvaluateWorkflow:
+//
+//   - FilterVsPopulation becomes one AddVisualization step — heuristic
+//     rule 2's default hypothesis is exactly the step's test.
+//   - FilterVsComplement becomes two AddVisualization steps (the filter and
+//     its complement) followed by a CompareVisualizations step — rule 3's
+//     comparison supersedes the two intermediate rule-2 hypotheses, leaving
+//     one active hypothesis per workflow step.
+//
+// Note that a session additionally routes every hypothesis through
+// α-investing, so driving CoreSteps spends wealth on the intermediate rule-2
+// hypotheses too; the raw-stream evaluation path remains the harness for the
+// paper's procedure comparisons.
+func (w *Workflow) CoreSteps() []core.Step {
+	steps := make([]core.Step, 0, len(w.Steps))
+	vizCount := 0
+	for _, ws := range w.Steps {
+		switch ws.Kind {
+		case FilterVsComplement:
+			steps = append(steps,
+				core.AddVisualization{Target: ws.Target, Filter: ws.Filter},
+				core.AddVisualization{Target: ws.Target, Filter: dataset.Not{Inner: ws.Filter}},
+				core.CompareVisualizations{A: vizCount + 1, B: vizCount + 2},
+			)
+			vizCount += 2
+		default: // FilterVsPopulation
+			steps = append(steps, core.AddVisualization{Target: ws.Target, Filter: ws.Filter})
+			vizCount++
+		}
+	}
+	return steps
+}
 
 // WorkflowConfig controls GenerateWorkflow.
 type WorkflowConfig struct {

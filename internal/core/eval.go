@@ -1,0 +1,136 @@
+package core
+
+import (
+	"aware/internal/dataset"
+	"aware/internal/stats"
+)
+
+// This file holds the pure test-evaluation layer under the Session: the χ²
+// comparisons behind heuristic rules 2 and 3, computed against a fixed
+// reference table but independent of any session state or α-investing. The
+// Session routes its default hypotheses through these functions, and
+// internal/census evaluates the user-study workflows through the very same
+// ones, so the interactive service and the paper-figure harness share one
+// code path.
+
+// numericBins is the number of equal-width bins used when a visualization
+// targets a numeric attribute (the age histograms of Figure 1 D–F). Bin edges
+// are always derived from the full dataset so that filtered sub-populations
+// are compared on the same axes the user sees.
+const numericBins = 10
+
+// referenceCounts returns the per-category (or per-bin, for numeric targets)
+// counts of target within sub, using the reference table ref to fix the
+// category set / bin edges.
+func referenceCounts(ref, sub *dataset.Table, target string) ([]int, error) {
+	col, err := ref.Column(target)
+	if err != nil {
+		return nil, err
+	}
+	if col.Type == dataset.Categorical || col.Type == dataset.Bool {
+		cats, err := ref.Categories(target)
+		if err != nil {
+			return nil, err
+		}
+		return sub.CountsFor(target, cats)
+	}
+	// Numeric target: bin on edges computed over the reference table.
+	all, err := ref.Floats(target)
+	if err != nil {
+		return nil, err
+	}
+	hist, err := stats.NewHistogram(all, numericBins)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := sub.Floats(target)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int, len(hist.Counts))
+	lo := hist.Edges[0]
+	hi := hist.Edges[len(hist.Edges)-1]
+	width := (hi - lo) / float64(len(counts))
+	if width <= 0 {
+		// A constant (or denormal-range) column collapses every bin edge onto
+		// one point; dividing by the zero width would push int(NaN) through
+		// the index below. Fall back to a single bin holding everything.
+		counts[0] = len(vals)
+		return counts, nil
+	}
+	for _, v := range vals {
+		idx := int((v - lo) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(counts) {
+			idx = len(counts) - 1
+		}
+		counts[idx]++
+	}
+	return counts, nil
+}
+
+// FilterVsPopulationTest runs heuristic rule 2's default test: the
+// distribution of target under filter against its distribution over the whole
+// reference table, as a χ² goodness-of-fit test. It returns the test result
+// and the filtered support size.
+func FilterVsPopulationTest(ref *dataset.Table, target string, filter dataset.Predicate) (stats.TestResult, int, error) {
+	sub, err := ref.Filter(filter)
+	if err != nil {
+		return stats.TestResult{}, 0, err
+	}
+	observed, err := referenceCounts(ref, sub, target)
+	if err != nil {
+		return stats.TestResult{}, 0, err
+	}
+	popCounts, err := referenceCounts(ref, ref, target)
+	if err != nil {
+		return stats.TestResult{}, 0, err
+	}
+	expected := make([]float64, len(popCounts))
+	for i, c := range popCounts {
+		expected[i] = float64(c)
+	}
+	test, err := stats.ChiSquaredGoodnessOfFit(observed, expected)
+	if err != nil {
+		return stats.TestResult{}, 0, err
+	}
+	return test, sub.NumRows(), nil
+}
+
+// ComparisonTest runs heuristic rule 3's default test: a χ² independence test
+// between the distributions of target under filterA and under filterB, with
+// the category set / bin edges fixed by the reference table. It returns the
+// test result and the two support sizes.
+func ComparisonTest(ref *dataset.Table, target string, filterA, filterB dataset.Predicate) (stats.TestResult, int, int, error) {
+	subA, err := ref.Filter(filterA)
+	if err != nil {
+		return stats.TestResult{}, 0, 0, err
+	}
+	subB, err := ref.Filter(filterB)
+	if err != nil {
+		return stats.TestResult{}, 0, 0, err
+	}
+	countsA, err := referenceCounts(ref, subA, target)
+	if err != nil {
+		return stats.TestResult{}, 0, 0, err
+	}
+	countsB, err := referenceCounts(ref, subB, target)
+	if err != nil {
+		return stats.TestResult{}, 0, 0, err
+	}
+	test, err := stats.ChiSquaredIndependence([][]int{countsA, countsB})
+	if err != nil {
+		return stats.TestResult{}, 0, 0, err
+	}
+	return test, subA.NumRows(), subB.NumRows(), nil
+}
+
+// describeFilter renders a possibly-nil filter.
+func describeFilter(p dataset.Predicate) string {
+	if p == nil {
+		return "all"
+	}
+	return p.Describe()
+}

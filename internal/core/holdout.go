@@ -24,9 +24,12 @@ type HoldoutResult struct {
 }
 
 // HoldoutValidator splits a dataset into an exploration and a validation half
-// and re-tests mean-comparison findings on both, mirroring the paper's
-// Section 4.1 analysis. It exists so the hold-out experiment and bench can
-// quantify the power loss relative to testing on the full data.
+// and re-tests findings on both, mirroring the paper's Section 4.1 analysis.
+// CompareMeans re-validates a single mean comparison; ReplayLog generalizes
+// the procedure to whole exploration logs by replaying a recorded []Step on
+// each half and comparing the resulting hypothesis streams. It exists so the
+// hold-out experiment and bench can quantify the power loss relative to
+// testing on the full data.
 type HoldoutValidator struct {
 	exploration *dataset.Table
 	validation  *dataset.Table
@@ -90,4 +93,138 @@ func (h *HoldoutValidator) CompareMeans(numericAttr string, filter dataset.Predi
 		Confirmed:   explorationRes.PValue <= h.alpha && validationRes.PValue <= h.alpha,
 		Alpha:       h.alpha,
 	}, nil
+}
+
+// HypothesisValidation is the hold-out verdict on one hypothesis of a
+// replayed exploration log.
+type HypothesisValidation struct {
+	// Seq is the journal position of the step that created the hypothesis.
+	Seq int
+	// Kind is the step's wire name (e.g. "compare_means").
+	Kind string
+	// HypothesisID is the hypothesis's ID, identical in both replayed
+	// sessions because replay is structurally deterministic.
+	HypothesisID int
+	// Null echoes the hypothesis's null description from the exploration
+	// replay.
+	Null string
+	// Status is the hypothesis's final lifecycle status on the exploration
+	// half (superseded and deleted hypotheses are reported but typically
+	// filtered out by callers).
+	Status HypothesisStatus
+	// Exploration and Validation are the two independent test results.
+	Exploration stats.TestResult
+	Validation  stats.TestResult
+	// Validated reports whether the validation replay reached this
+	// hypothesis; it is false for hypotheses past the point where the
+	// validation half's α-wealth ran out.
+	Validated bool
+	// Confirmed is true when the hypothesis was validated and both halves
+	// reject at the validator's per-half alpha.
+	Confirmed bool
+}
+
+// ReplayValidation is the outcome of re-validating a whole exploration log on
+// a hold-out split.
+type ReplayValidation struct {
+	// Alpha is the per-half significance level that was used.
+	Alpha float64
+	// Hypotheses holds one verdict per hypothesis the log produced, in
+	// creation order (every step kind that tests — not just mean
+	// comparisons).
+	Hypotheses []HypothesisValidation
+	// Confirmed counts the active hypotheses confirmed by both halves.
+	Confirmed int
+	// ActiveTotal counts the active hypotheses of the exploration replay.
+	ActiveTotal int
+	// ExplorationApplied and ValidationApplied count the steps each half
+	// replayed before stopping. A recorded log can stop early on a half-size
+	// split — a filter that matched a handful of rows on the full data may
+	// select nothing here, and α-wealth runs out sooner — so a shortfall
+	// against len(steps) means "the verdicts cover a prefix", not an error.
+	ExplorationApplied int
+	ValidationApplied  int
+}
+
+// ReplayLog replays a recorded exploration log independently on the
+// exploration and validation halves and reports, for every hypothesis the log
+// produces, whether the validation half confirms it: both halves must reject
+// at the validator's per-half alpha (the Section 4.1 procedure, generalized
+// from single mean comparisons to arbitrary step sequences).
+//
+// Each half replays the longest step prefix it can: the first step that fails
+// on a half (degenerate sub-population, exhausted α-wealth) stops that half's
+// replay rather than failing the call — skipping individual steps would
+// desynchronize the visualization and hypothesis IDs later steps refer to.
+// The validation half replays at most the exploration half's prefix, which
+// keeps the two hypothesis streams index-aligned; hypotheses past the
+// validation prefix are reported with Validated == false.
+//
+// The two replays run sequentially and reset opts.Policy when they start, so
+// opts must not carry the Policy instance of a session that is still live —
+// pass a fresh policy, or leave it nil for the paper's default.
+func (h *HoldoutValidator) ReplayLog(opts Options, steps []Step) (ReplayValidation, error) {
+	replayPrefix := func(data *dataset.Table, limit int) (*Session, int, error) {
+		sess, err := NewSession(data, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		applied := 0
+		for _, step := range steps[:limit] {
+			if _, err := sess.Apply(step); err != nil {
+				break
+			}
+			applied++
+		}
+		return sess, applied, nil
+	}
+	exploration, explApplied, err := replayPrefix(h.exploration, len(steps))
+	if err != nil {
+		return ReplayValidation{}, err
+	}
+	validation, validApplied, err := replayPrefix(h.validation, explApplied)
+	if err != nil {
+		return ReplayValidation{}, err
+	}
+
+	explHyps := exploration.Hypotheses()
+	validHyps := validation.Hypotheses()
+	out := ReplayValidation{
+		Alpha:              h.alpha,
+		Hypotheses:         make([]HypothesisValidation, 0, len(explHyps)),
+		ExplorationApplied: explApplied,
+		ValidationApplied:  validApplied,
+	}
+	// Map each hypothesis back to the journal entry that created it.
+	seqOf := make(map[int]int, len(explHyps))
+	kindOf := make(map[int]string, len(explHyps))
+	for _, entry := range exploration.Log() {
+		if entry.HypothesisID != 0 {
+			seqOf[entry.HypothesisID] = entry.Seq
+			kindOf[entry.HypothesisID] = entry.Step.Kind()
+		}
+	}
+	for i, hyp := range explHyps {
+		hv := HypothesisValidation{
+			Seq:          seqOf[hyp.ID],
+			Kind:         kindOf[hyp.ID],
+			HypothesisID: hyp.ID,
+			Null:         hyp.Null,
+			Status:       hyp.Status,
+			Exploration:  hyp.Test,
+		}
+		if i < len(validHyps) {
+			hv.Validated = true
+			hv.Validation = validHyps[i].Test
+			hv.Confirmed = hyp.Test.PValue <= h.alpha && validHyps[i].Test.PValue <= h.alpha
+		}
+		out.Hypotheses = append(out.Hypotheses, hv)
+		if hyp.Status == StatusActive {
+			out.ActiveTotal++
+			if hv.Confirmed {
+				out.Confirmed++
+			}
+		}
+	}
+	return out, nil
 }

@@ -1,4 +1,4 @@
-package core
+package core_test
 
 import (
 	"bytes"
@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"aware/internal/census"
+	"aware/internal/core"
 	"aware/internal/dataset"
 )
 
@@ -55,7 +56,7 @@ func TestSessionReportRoundTrip(t *testing.T) {
 	if !strings.Contains(buf.String(), "\"alpha\": 0.05") {
 		t.Error("JSON missing alpha")
 	}
-	back, err := ReadReport(&buf)
+	back, err := core.ReadReport(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestSessionReportRoundTrip(t *testing.T) {
 	if back.Hypotheses[0].Null != report.Hypotheses[0].Null {
 		t.Error("entry text mismatch after round trip")
 	}
-	if _, err := ReadReport(strings.NewReader("{not json")); err == nil {
+	if _, err := core.ReadReport(strings.NewReader("{not json")); err == nil {
 		t.Error("invalid JSON should error")
 	}
 }

@@ -27,16 +27,21 @@ type Options struct {
 // α-investing procedure that decides, incrementally and irrevocably, which
 // null hypotheses are rejected.
 //
-// Session is not safe for concurrent use: every exported method either
-// mutates session state (AddVisualization, CompareVisualizations,
-// TestAgainstExpectation, CompareMeans, CompareDistributions,
-// DeclareDescriptive, Star) or reads state those methods mutate (Gauge,
-// Report, the accessors). Accessors return copied slices, but the
-// *Visualization and *Hypothesis elements point at live session state, so
-// even "read-only" use must be serialized with writers. A single-user
-// front-end drives a Session from one event loop; a multi-session service
-// must own each Session behind a per-session lock and finish serializing
-// snapshots before releasing it, as internal/server.SessionManager does.
+// Every mutation is a Step applied through Apply — the exported mutating
+// methods (AddVisualization, CompareVisualizations, TestAgainstExpectation,
+// CompareMeans, CompareDistributions, DeclareDescriptive, Star) are one-line
+// wrappers that build the corresponding Step — and every successful Step is
+// recorded in the append-only journal returned by Log, so a session can be
+// persisted and reconstructed deterministically with Replay.
+//
+// Session is not safe for concurrent use: every exported mutating method goes
+// through Apply, and the accessors read state Apply mutates. Accessors return
+// copied slices, but the *Visualization and *Hypothesis elements point at
+// live session state, so even "read-only" use must be serialized with
+// writers. A single-user front-end drives a Session from one event loop; a
+// multi-session service must own each Session behind a per-session lock and
+// finish serializing snapshots before releasing it, as
+// internal/server.SessionManager does.
 type Session struct {
 	data     *dataset.Table
 	investor *investing.Investor
@@ -45,6 +50,7 @@ type Session struct {
 
 	visualizations []*Visualization
 	hypotheses     []*Hypothesis
+	journal        []AppliedStep
 }
 
 // NewSession opens a session over the given table.
@@ -172,20 +178,11 @@ func (s *Session) hypothesis(id int) (*Hypothesis, error) {
 //     filter makes no difference compared to the distribution of the target
 //     over the whole dataset, tested with a χ² goodness-of-fit test.
 func (s *Session) AddVisualization(target string, filter dataset.Predicate) (*Visualization, *Hypothesis, error) {
-	if !s.data.HasColumn(target) {
-		return nil, nil, fmt.Errorf("%w: %q", dataset.ErrColumnNotFound, target)
-	}
-	viz := &Visualization{ID: len(s.visualizations) + 1, Target: target, Filter: filter}
-	s.visualizations = append(s.visualizations, viz)
-	if filter == nil {
-		return viz, nil, nil // Rule 1: descriptive.
-	}
-	hyp, err := s.testFilterVsPopulation(viz)
+	res, err := s.Apply(AddVisualization{Target: target, Filter: filter})
 	if err != nil {
 		return nil, nil, err
 	}
-	viz.HypothesisID = hyp.ID
-	return viz, hyp, nil
+	return res.Visualization, res.Hypothesis, nil
 }
 
 // CompareVisualizations applies heuristic rule 3: the two visualizations show
@@ -195,6 +192,96 @@ func (s *Session) AddVisualization(target string, filter dataset.Predicate) (*Vi
 // with a χ² independence test. Any rule-2 hypotheses previously attached to
 // the two visualizations are superseded.
 func (s *Session) CompareVisualizations(aID, bID int) (*Hypothesis, error) {
+	res, err := s.Apply(CompareVisualizations{A: aID, B: bID})
+	if err != nil {
+		return nil, err
+	}
+	return res.Hypothesis, nil
+}
+
+// TestAgainstExpectation attaches a user-defined hypothesis to an unfiltered
+// visualization (rule 1's escape hatch): the user states the proportions they
+// expected for the target's categories, and the system tests the observed
+// distribution against that expectation with a χ² goodness-of-fit test.
+// The expected map gives relative weights per category; missing categories
+// count as weight zero.
+func (s *Session) TestAgainstExpectation(vizID int, expected map[string]float64) (*Hypothesis, error) {
+	res, err := s.Apply(TestAgainstExpectation{Visualization: vizID, Expected: expected})
+	if err != nil {
+		return nil, err
+	}
+	return res.Hypothesis, nil
+}
+
+// CompareMeans overrides the default distribution comparison with a Welch
+// t-test on the means of a numeric attribute between two filtered
+// sub-populations — the explicit test of Figure 1 (F) where the user drags
+// two age charts together and the default hypothesis m4 is replaced by m4'
+// about the average age. Hypotheses previously attached to the two
+// visualizations are superseded.
+func (s *Session) CompareMeans(numericAttr string, aID, bID int) (*Hypothesis, error) {
+	res, err := s.Apply(CompareMeans{Attribute: numericAttr, A: aID, B: bID})
+	if err != nil {
+		return nil, err
+	}
+	return res.Hypothesis, nil
+}
+
+// CompareDistributions overrides the default comparison with a two-sample
+// Kolmogorov–Smirnov test on a numeric attribute between two filtered
+// sub-populations — useful when the analyst cares about the whole shape of
+// the distribution rather than its mean, or when the attribute is too skewed
+// for a t-test. Hypotheses previously attached to the two visualizations are
+// superseded, exactly as in CompareMeans.
+func (s *Session) CompareDistributions(numericAttr string, aID, bID int) (*Hypothesis, error) {
+	res, err := s.Apply(CompareDistributions{Attribute: numericAttr, A: aID, B: bID})
+	if err != nil {
+		return nil, err
+	}
+	return res.Hypothesis, nil
+}
+
+// DeclareDescriptive marks the hypothesis attached to a visualization as
+// deleted: the user states that the chart was purely descriptive (or only a
+// stepping stone, Section 2.4). The α-wealth already spent on it is not
+// refunded — refunding would break the mFDR guarantee — but the hypothesis no
+// longer appears among the session's findings.
+func (s *Session) DeclareDescriptive(vizID int) error {
+	_, err := s.Apply(DeclareDescriptive{Visualization: vizID})
+	return err
+}
+
+// Star marks or unmarks a hypothesis as an important discovery (Figure 2 E).
+func (s *Session) Star(hypothesisID int, starred bool) error {
+	_, err := s.Apply(Star{Hypothesis: hypothesisID, Starred: starred})
+	return err
+}
+
+// --- step implementations ---
+//
+// Each of the following performs all fallible work (lookups, statistics, the
+// α-investing decision) before mutating session state, so that a failed step
+// leaves the session exactly as it was: Apply's atomicity contract.
+
+func (s *Session) addVisualization(target string, filter dataset.Predicate) (*Visualization, *Hypothesis, error) {
+	if !s.data.HasColumn(target) {
+		return nil, nil, fmt.Errorf("%w: %q", dataset.ErrColumnNotFound, target)
+	}
+	viz := &Visualization{ID: len(s.visualizations) + 1, Target: target, Filter: filter}
+	if filter == nil {
+		s.visualizations = append(s.visualizations, viz)
+		return viz, nil, nil // Rule 1: descriptive.
+	}
+	hyp, err := s.testFilterVsPopulation(viz)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.visualizations = append(s.visualizations, viz)
+	viz.HypothesisID = hyp.ID
+	return viz, hyp, nil
+}
+
+func (s *Session) compareVisualizations(aID, bID int) (*Hypothesis, error) {
 	a, err := s.visualization(aID)
 	if err != nil {
 		return nil, err
@@ -206,25 +293,27 @@ func (s *Session) CompareVisualizations(aID, bID int) (*Hypothesis, error) {
 	if a.Target != b.Target {
 		return nil, fmt.Errorf("%w: %q vs %q", ErrNotComplementary, a.Target, b.Target)
 	}
+	test, nA, nB, err := ComparisonTest(s.data, a.Target, a.Filter, b.Filter)
+	if err != nil {
+		return nil, fmt.Errorf("core: comparison hypothesis for %q vs %q: %w", a.Describe(), b.Describe(), err)
+	}
+	hyp, err := s.record(test, Hypothesis{
+		Null:            fmt.Sprintf("%s = %s", a.Describe(), b.Describe()),
+		Alternative:     fmt.Sprintf("%s <> %s", a.Describe(), b.Describe()),
+		Source:          SourceRule3,
+		VisualizationID: a.ID,
+		SupportSize:     nA + nB,
+	})
+	if err != nil {
+		return nil, err
+	}
 	// Supersede the single-visualization hypotheses: the side-by-side
 	// comparison replaces them (Section 2.3, rule 3).
-	for _, viz := range []*Visualization{a, b} {
-		if viz.HypothesisID != 0 {
-			if prev, err := s.hypothesis(viz.HypothesisID); err == nil && prev.Status == StatusActive {
-				prev.Status = StatusSuperseded
-			}
-		}
-	}
-	return s.testComparison(a, b)
+	s.supersedeAttached(hyp, a, b)
+	return hyp, nil
 }
 
-// TestAgainstExpectation attaches a user-defined hypothesis to an unfiltered
-// visualization (rule 1's escape hatch): the user states the proportions they
-// expected for the target's categories, and the system tests the observed
-// distribution against that expectation with a χ² goodness-of-fit test.
-// The expected map gives relative weights per category; missing categories
-// count as weight zero.
-func (s *Session) TestAgainstExpectation(vizID int, expected map[string]float64) (*Hypothesis, error) {
+func (s *Session) testAgainstExpectation(vizID int, expected map[string]float64) (*Hypothesis, error) {
 	viz, err := s.visualization(vizID)
 	if err != nil {
 		return nil, err
@@ -259,43 +348,12 @@ func (s *Session) TestAgainstExpectation(vizID int, expected map[string]float64)
 	if err != nil {
 		return nil, err
 	}
-	if prevID := viz.HypothesisID; prevID != 0 {
-		if prev, err := s.hypothesis(prevID); err == nil && prev.Status == StatusActive {
-			prev.Status = StatusSuperseded
-		}
-	}
-	viz.HypothesisID = hyp.ID
+	s.supersedeAttached(hyp, viz)
 	return hyp, nil
 }
 
-// CompareMeans overrides the default distribution comparison with a Welch
-// t-test on the means of a numeric attribute between two filtered
-// sub-populations — the explicit test of Figure 1 (F) where the user drags
-// two age charts together and the default hypothesis m4 is replaced by m4'
-// about the average age. Hypotheses previously attached to the two
-// visualizations are superseded.
-func (s *Session) CompareMeans(numericAttr string, aID, bID int) (*Hypothesis, error) {
-	a, err := s.visualization(aID)
-	if err != nil {
-		return nil, err
-	}
-	b, err := s.visualization(bID)
-	if err != nil {
-		return nil, err
-	}
-	subA, err := s.data.Filter(a.Filter)
-	if err != nil {
-		return nil, err
-	}
-	subB, err := s.data.Filter(b.Filter)
-	if err != nil {
-		return nil, err
-	}
-	xs, err := subA.Floats(numericAttr)
-	if err != nil {
-		return nil, err
-	}
-	ys, err := subB.Floats(numericAttr)
+func (s *Session) compareMeans(numericAttr string, aID, bID int) (*Hypothesis, error) {
+	a, b, xs, ys, err := s.comparedFloats(numericAttr, aID, bID)
 	if err != nil {
 		return nil, err
 	}
@@ -303,56 +361,22 @@ func (s *Session) CompareMeans(numericAttr string, aID, bID int) (*Hypothesis, e
 	if err != nil {
 		return nil, fmt.Errorf("core: comparing means of %q: %w", numericAttr, err)
 	}
-	for _, viz := range []*Visualization{a, b} {
-		if viz.HypothesisID != 0 {
-			if prev, err := s.hypothesis(viz.HypothesisID); err == nil && prev.Status == StatusActive {
-				prev.Status = StatusSuperseded
-			}
-		}
-	}
 	hyp, err := s.record(test, Hypothesis{
 		Null:            fmt.Sprintf("mean %s | (%s) = mean %s | (%s)", numericAttr, describeFilter(a.Filter), numericAttr, describeFilter(b.Filter)),
 		Alternative:     fmt.Sprintf("mean %s | (%s) <> mean %s | (%s)", numericAttr, describeFilter(a.Filter), numericAttr, describeFilter(b.Filter)),
 		Source:          SourceUser,
 		VisualizationID: a.ID,
-		SupportSize:     subA.NumRows() + subB.NumRows(),
+		SupportSize:     len(xs) + len(ys),
 	})
 	if err != nil {
 		return nil, err
 	}
-	a.HypothesisID = hyp.ID
-	b.HypothesisID = hyp.ID
+	s.supersedeAttached(hyp, a, b)
 	return hyp, nil
 }
 
-// CompareDistributions overrides the default comparison with a two-sample
-// Kolmogorov–Smirnov test on a numeric attribute between two filtered
-// sub-populations — useful when the analyst cares about the whole shape of
-// the distribution rather than its mean, or when the attribute is too skewed
-// for a t-test. Hypotheses previously attached to the two visualizations are
-// superseded, exactly as in CompareMeans.
-func (s *Session) CompareDistributions(numericAttr string, aID, bID int) (*Hypothesis, error) {
-	a, err := s.visualization(aID)
-	if err != nil {
-		return nil, err
-	}
-	b, err := s.visualization(bID)
-	if err != nil {
-		return nil, err
-	}
-	subA, err := s.data.Filter(a.Filter)
-	if err != nil {
-		return nil, err
-	}
-	subB, err := s.data.Filter(b.Filter)
-	if err != nil {
-		return nil, err
-	}
-	xs, err := subA.Floats(numericAttr)
-	if err != nil {
-		return nil, err
-	}
-	ys, err := subB.Floats(numericAttr)
+func (s *Session) compareDistributions(numericAttr string, aID, bID int) (*Hypothesis, error) {
+	a, b, xs, ys, err := s.comparedFloats(numericAttr, aID, bID)
 	if err != nil {
 		return nil, err
 	}
@@ -360,34 +384,47 @@ func (s *Session) CompareDistributions(numericAttr string, aID, bID int) (*Hypot
 	if err != nil {
 		return nil, fmt.Errorf("core: comparing distributions of %q: %w", numericAttr, err)
 	}
-	for _, viz := range []*Visualization{a, b} {
-		if viz.HypothesisID != 0 {
-			if prev, err := s.hypothesis(viz.HypothesisID); err == nil && prev.Status == StatusActive {
-				prev.Status = StatusSuperseded
-			}
-		}
-	}
 	hyp, err := s.record(test, Hypothesis{
 		Null:            fmt.Sprintf("dist %s | (%s) = dist %s | (%s)", numericAttr, describeFilter(a.Filter), numericAttr, describeFilter(b.Filter)),
 		Alternative:     fmt.Sprintf("dist %s | (%s) <> dist %s | (%s)", numericAttr, describeFilter(a.Filter), numericAttr, describeFilter(b.Filter)),
 		Source:          SourceUser,
 		VisualizationID: a.ID,
-		SupportSize:     subA.NumRows() + subB.NumRows(),
+		SupportSize:     len(xs) + len(ys),
 	})
 	if err != nil {
 		return nil, err
 	}
-	a.HypothesisID = hyp.ID
-	b.HypothesisID = hyp.ID
+	s.supersedeAttached(hyp, a, b)
 	return hyp, nil
 }
 
-// DeclareDescriptive marks the hypothesis attached to a visualization as
-// deleted: the user states that the chart was purely descriptive (or only a
-// stepping stone, Section 2.4). The α-wealth already spent on it is not
-// refunded — refunding would break the mFDR guarantee — but the hypothesis no
-// longer appears among the session's findings.
-func (s *Session) DeclareDescriptive(vizID int) error {
+// comparedFloats resolves the two visualizations of an explicit comparison and
+// extracts the numeric attribute from their filtered sub-populations.
+func (s *Session) comparedFloats(numericAttr string, aID, bID int) (a, b *Visualization, xs, ys []float64, err error) {
+	if a, err = s.visualization(aID); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if b, err = s.visualization(bID); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	subA, err := s.data.Filter(a.Filter)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	subB, err := s.data.Filter(b.Filter)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if xs, err = subA.Floats(numericAttr); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if ys, err = subB.Floats(numericAttr); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return a, b, xs, ys, nil
+}
+
+func (s *Session) declareDescriptive(vizID int) error {
 	viz, err := s.visualization(vizID)
 	if err != nil {
 		return err
@@ -404,8 +441,7 @@ func (s *Session) DeclareDescriptive(vizID int) error {
 	return nil
 }
 
-// Star marks or unmarks a hypothesis as an important discovery (Figure 2 E).
-func (s *Session) Star(hypothesisID int, starred bool) error {
+func (s *Session) star(hypothesisID int, starred bool) error {
 	hyp, err := s.hypothesis(hypothesisID)
 	if err != nil {
 		return err
@@ -414,77 +450,23 @@ func (s *Session) Star(hypothesisID int, starred bool) error {
 	return nil
 }
 
-// numericBins is the number of equal-width bins used when a visualization
-// targets a numeric attribute (the age histograms of Figure 1 D–F). Bin edges
-// are always derived from the full dataset so that filtered sub-populations
-// are compared on the same axes the user sees.
-const numericBins = 10
-
-// distributionCounts returns the per-category (or per-bin, for numeric
-// targets) counts of target within sub, using the full dataset to fix the
-// category set / bin edges.
-func (s *Session) distributionCounts(target string, sub *dataset.Table) ([]int, error) {
-	col, err := s.data.Column(target)
-	if err != nil {
-		return nil, err
-	}
-	if col.Type == dataset.Categorical || col.Type == dataset.Bool {
-		cats, err := s.data.Categories(target)
-		if err != nil {
-			return nil, err
+// supersedeAttached marks the active hypotheses currently attached to the
+// visualizations as superseded and attaches the replacement in their place.
+func (s *Session) supersedeAttached(replacement *Hypothesis, vizzes ...*Visualization) {
+	for _, viz := range vizzes {
+		if viz.HypothesisID != 0 && viz.HypothesisID != replacement.ID {
+			if prev, err := s.hypothesis(viz.HypothesisID); err == nil && prev.Status == StatusActive {
+				prev.Status = StatusSuperseded
+			}
 		}
-		return sub.CountsFor(target, cats)
+		viz.HypothesisID = replacement.ID
 	}
-	// Numeric target: bin on edges computed over the whole dataset.
-	all, err := s.data.Floats(target)
-	if err != nil {
-		return nil, err
-	}
-	ref, err := stats.NewHistogram(all, numericBins)
-	if err != nil {
-		return nil, err
-	}
-	vals, err := sub.Floats(target)
-	if err != nil {
-		return nil, err
-	}
-	counts := make([]int, len(ref.Counts))
-	lo := ref.Edges[0]
-	hi := ref.Edges[len(ref.Edges)-1]
-	width := (hi - lo) / float64(len(counts))
-	for _, v := range vals {
-		idx := int((v - lo) / width)
-		if idx < 0 {
-			idx = 0
-		}
-		if idx >= len(counts) {
-			idx = len(counts) - 1
-		}
-		counts[idx]++
-	}
-	return counts, nil
 }
 
 // testFilterVsPopulation runs the rule-2 default hypothesis for a filtered
 // visualization.
 func (s *Session) testFilterVsPopulation(viz *Visualization) (*Hypothesis, error) {
-	sub, err := s.data.Filter(viz.Filter)
-	if err != nil {
-		return nil, err
-	}
-	observed, err := s.distributionCounts(viz.Target, sub)
-	if err != nil {
-		return nil, err
-	}
-	popCounts, err := s.distributionCounts(viz.Target, s.data)
-	if err != nil {
-		return nil, err
-	}
-	expected := make([]float64, len(popCounts))
-	for i, c := range popCounts {
-		expected[i] = float64(c)
-	}
-	test, err := stats.ChiSquaredGoodnessOfFit(observed, expected)
+	test, support, err := FilterVsPopulationTest(s.data, viz.Target, viz.Filter)
 	if err != nil {
 		return nil, fmt.Errorf("core: default hypothesis for %q: %w", viz.Describe(), err)
 	}
@@ -493,46 +475,8 @@ func (s *Session) testFilterVsPopulation(viz *Visualization) (*Hypothesis, error
 		Alternative:     fmt.Sprintf("%s <> %s", viz.Describe(), viz.Target),
 		Source:          SourceRule2,
 		VisualizationID: viz.ID,
-		SupportSize:     sub.NumRows(),
+		SupportSize:     support,
 	})
-}
-
-// testComparison runs the rule-3 hypothesis for two visualizations of the same
-// target.
-func (s *Session) testComparison(a, b *Visualization) (*Hypothesis, error) {
-	subA, err := s.data.Filter(a.Filter)
-	if err != nil {
-		return nil, err
-	}
-	subB, err := s.data.Filter(b.Filter)
-	if err != nil {
-		return nil, err
-	}
-	countsA, err := s.distributionCounts(a.Target, subA)
-	if err != nil {
-		return nil, err
-	}
-	countsB, err := s.distributionCounts(b.Target, subB)
-	if err != nil {
-		return nil, err
-	}
-	test, err := stats.ChiSquaredIndependence([][]int{countsA, countsB})
-	if err != nil {
-		return nil, fmt.Errorf("core: comparison hypothesis for %q vs %q: %w", a.Describe(), b.Describe(), err)
-	}
-	hyp, err := s.record(test, Hypothesis{
-		Null:            fmt.Sprintf("%s = %s", a.Describe(), b.Describe()),
-		Alternative:     fmt.Sprintf("%s <> %s", a.Describe(), b.Describe()),
-		Source:          SourceRule3,
-		VisualizationID: a.ID,
-		SupportSize:     subA.NumRows() + subB.NumRows(),
-	})
-	if err != nil {
-		return nil, err
-	}
-	a.HypothesisID = hyp.ID
-	b.HypothesisID = hyp.ID
-	return hyp, nil
 }
 
 // record routes a completed statistical test through the α-investing
@@ -578,12 +522,4 @@ func (s *Session) dataMultiplier(test stats.TestResult, supportSize int) float64
 		return math.NaN()
 	}
 	return mult
-}
-
-// describeFilter renders a possibly-nil filter.
-func describeFilter(p dataset.Predicate) string {
-	if p == nil {
-		return "all"
-	}
-	return p.Describe()
 }

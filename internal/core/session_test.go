@@ -1,4 +1,4 @@
-package core
+package core_test
 
 import (
 	"errors"
@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"aware/internal/census"
+	"aware/internal/core"
 	"aware/internal/dataset"
 	"aware/internal/investing"
 	"aware/internal/stats"
@@ -22,9 +23,9 @@ func testCensus(t *testing.T) *dataset.Table {
 	return tab
 }
 
-func newSession(t *testing.T, tab *dataset.Table) *Session {
+func newSession(t *testing.T, tab *dataset.Table) *core.Session {
 	t.Helper()
-	s, err := NewSession(tab, Options{})
+	s, err := core.NewSession(tab, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,13 +47,13 @@ func TestNewSessionDefaultsAndValidation(t *testing.T) {
 	if s.Data() != tab {
 		t.Error("Data() should return the table")
 	}
-	if _, err := NewSession(nil, Options{}); err == nil {
+	if _, err := core.NewSession(nil, core.Options{}); err == nil {
 		t.Error("expected error for nil dataset")
 	}
-	if _, err := NewSession(tab, Options{Alpha: 2}); err == nil {
+	if _, err := core.NewSession(tab, core.Options{Alpha: 2}); err == nil {
 		t.Error("expected error for invalid alpha")
 	}
-	if _, err := NewSession(tab, Options{TargetPower: 1.5}); err == nil {
+	if _, err := core.NewSession(tab, core.Options{TargetPower: 1.5}); err == nil {
 		t.Error("expected error for invalid power")
 	}
 }
@@ -95,7 +96,7 @@ func TestRule2FilteredVisualizationCreatesHypothesis(t *testing.T) {
 	if hyp == nil {
 		t.Fatal("rule 2: filtered visualization must create a hypothesis")
 	}
-	if hyp.Source != SourceRule2 {
+	if hyp.Source != core.SourceRule2 {
 		t.Errorf("source = %v", hyp.Source)
 	}
 	if viz.HypothesisID != hyp.ID {
@@ -137,13 +138,13 @@ func TestRule3ComparisonSupersedesRule2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if comparison.Source != SourceRule3 {
+	if comparison.Source != core.SourceRule3 {
 		t.Errorf("source = %v", comparison.Source)
 	}
-	if hypB.Status != StatusSuperseded || hypC.Status != StatusSuperseded {
+	if hypB.Status != core.StatusSuperseded || hypC.Status != core.StatusSuperseded {
 		t.Error("rule-2 hypotheses should be superseded by the comparison")
 	}
-	if comparison.Status != StatusActive {
+	if comparison.Status != core.StatusActive {
 		t.Error("comparison should be active")
 	}
 	// Active hypotheses: only the comparison.
@@ -160,11 +161,11 @@ func TestRule3ComparisonSupersedesRule2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.CompareVisualizations(vizB.ID, vizAge.ID); !errors.Is(err, ErrNotComplementary) {
-		t.Error("expected ErrNotComplementary")
+	if _, err := s.CompareVisualizations(vizB.ID, vizAge.ID); !errors.Is(err, core.ErrNotComplementary) {
+		t.Error("expected core.ErrNotComplementary")
 	}
-	if _, err := s.CompareVisualizations(99, vizB.ID); !errors.Is(err, ErrUnknownVisualization) {
-		t.Error("expected ErrUnknownVisualization")
+	if _, err := s.CompareVisualizations(99, vizB.ID); !errors.Is(err, core.ErrUnknownVisualization) {
+		t.Error("expected core.ErrUnknownVisualization")
 	}
 }
 
@@ -196,7 +197,7 @@ func TestFigure1WorkflowEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m1.Status != StatusSuperseded {
+	if m1.Status != core.StatusSuperseded {
 		t.Error("m1 should be superseded by m1'")
 	}
 
@@ -230,7 +231,7 @@ func TestFigure1WorkflowEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m4.Status != StatusSuperseded || m4b.Status != StatusSuperseded {
+	if m4.Status != core.StatusSuperseded || m4b.Status != core.StatusSuperseded {
 		t.Error("default age hypotheses should be superseded by the t-test")
 	}
 	if m4prime.Test.Method != "Welch two-sample t-test" {
@@ -241,7 +242,7 @@ func TestFigure1WorkflowEndToEnd(t *testing.T) {
 	if err := s.DeclareDescriptive(4); err != nil { // viz 4 = marital | PhD
 		t.Fatal(err)
 	}
-	if m2.Status != StatusDeleted {
+	if m2.Status != core.StatusDeleted {
 		t.Errorf("m2 status = %v", m2.Status)
 	}
 
@@ -249,7 +250,7 @@ func TestFigure1WorkflowEndToEnd(t *testing.T) {
 	g := s.Gauge()
 	wantActive := 0
 	for _, h := range s.Hypotheses() {
-		if h.Status == StatusActive {
+		if h.Status == core.StatusActive {
 			wantActive++
 		}
 	}
@@ -309,7 +310,7 @@ func TestTestAgainstExpectation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hyp.Source != SourceUser {
+	if hyp.Source != core.SourceUser {
 		t.Errorf("source = %v", hyp.Source)
 	}
 	if viz.HypothesisID != hyp.ID {
@@ -319,7 +320,7 @@ func TestTestAgainstExpectation(t *testing.T) {
 	if !hyp.Rejected {
 		t.Errorf("expected rejection of the skewed expectation, p = %v", hyp.Test.PValue)
 	}
-	if _, err := s.TestAgainstExpectation(99, nil); !errors.Is(err, ErrUnknownVisualization) {
+	if _, err := s.TestAgainstExpectation(99, nil); !errors.Is(err, core.ErrUnknownVisualization) {
 		t.Error("expected unknown visualization error")
 	}
 }
@@ -346,7 +347,7 @@ func TestDeclareDescriptiveAndStar(t *testing.T) {
 	if len(s.ImportantDiscoveries()) != 0 {
 		t.Error("unstarring should remove the important discovery")
 	}
-	if err := s.Star(99, true); !errors.Is(err, ErrUnknownHypothesis) {
+	if err := s.Star(99, true); !errors.Is(err, core.ErrUnknownHypothesis) {
 		t.Error("expected unknown hypothesis error")
 	}
 
@@ -354,7 +355,7 @@ func TestDeclareDescriptiveAndStar(t *testing.T) {
 	if err := s.DeclareDescriptive(viz.ID); err != nil {
 		t.Fatal(err)
 	}
-	if hyp.Status != StatusDeleted {
+	if hyp.Status != core.StatusDeleted {
 		t.Error("hypothesis should be deleted")
 	}
 	if s.Wealth() != wealthBefore {
@@ -368,7 +369,7 @@ func TestDeclareDescriptiveAndStar(t *testing.T) {
 	if err := s.DeclareDescriptive(vizPlain.ID); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.DeclareDescriptive(99); !errors.Is(err, ErrUnknownVisualization) {
+	if err := s.DeclareDescriptive(99); !errors.Is(err, core.ErrUnknownVisualization) {
 		t.Error("expected unknown visualization error")
 	}
 }
@@ -387,7 +388,7 @@ func TestAddVisualizationErrors(t *testing.T) {
 
 func TestWealthExhaustionSurfacesAsStop(t *testing.T) {
 	// A gamma-fixed policy with small gamma exhausts quickly when the data is
-	// random; the session must surface ErrWealthExhausted and the gauge must
+	// random; the session must surface core.ErrWealthExhausted and the gauge must
 	// say so.
 	tab, err := census.Generate(census.Config{Rows: 4000, Seed: 9, SignalStrength: 0})
 	if err != nil {
@@ -401,7 +402,7 @@ func TestWealthExhaustionSurfacesAsStop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := NewSession(tab, Options{Policy: fixed})
+	s, err := core.NewSession(tab, core.Options{Policy: fixed})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -415,7 +416,7 @@ func TestWealthExhaustionSurfacesAsStop(t *testing.T) {
 		low := 18 + float64(i%55)
 		filter := dataset.Range{Column: census.ColAge, Low: low, High: low + 10 + float64(i%7)}
 		_, _, err := s.AddVisualization(target, filter)
-		if errors.Is(err, ErrWealthExhausted) {
+		if errors.Is(err, core.ErrWealthExhausted) {
 			exhausted = true
 			break
 		}
@@ -449,7 +450,7 @@ func TestCompareDistributionsKS(t *testing.T) {
 	if hyp.Test.Method != "two-sample Kolmogorov-Smirnov test" {
 		t.Errorf("method = %q", hyp.Test.Method)
 	}
-	if hypA.Status != StatusSuperseded || hypB.Status != StatusSuperseded {
+	if hypA.Status != core.StatusSuperseded || hypB.Status != core.StatusSuperseded {
 		t.Error("default hypotheses should be superseded")
 	}
 	// The age/salary association is planted, so the KS comparison should be a
@@ -460,7 +461,7 @@ func TestCompareDistributionsKS(t *testing.T) {
 	if _, err := s.CompareDistributions(census.ColGender, vizA.ID, vizB.ID); err == nil {
 		t.Error("categorical attribute should error")
 	}
-	if _, err := s.CompareDistributions(census.ColAge, 99, vizB.ID); !errors.Is(err, ErrUnknownVisualization) {
+	if _, err := s.CompareDistributions(census.ColAge, 99, vizB.ID); !errors.Is(err, core.ErrUnknownVisualization) {
 		t.Error("expected unknown visualization error")
 	}
 }
@@ -486,14 +487,14 @@ func TestDataMultiplierAnnotation(t *testing.T) {
 }
 
 func TestStatusAndSourceStrings(t *testing.T) {
-	if StatusActive.String() != "active" || StatusSuperseded.String() != "superseded" || StatusDeleted.String() != "deleted" {
-		t.Error("HypothesisStatus.String mismatch")
+	if core.StatusActive.String() != "active" || core.StatusSuperseded.String() != "superseded" || core.StatusDeleted.String() != "deleted" {
+		t.Error("core.HypothesisStatus.String mismatch")
 	}
-	if HypothesisStatus(9).String() == "" {
+	if core.HypothesisStatus(9).String() == "" {
 		t.Error("unknown status should format")
 	}
-	if SourceRule2.String() == "" || SourceRule3.String() == "" || SourceUser.String() == "" || HypothesisSource(9).String() == "" {
-		t.Error("HypothesisSource.String mismatch")
+	if core.SourceRule2.String() == "" || core.SourceRule3.String() == "" || core.SourceUser.String() == "" || core.HypothesisSource(9).String() == "" {
+		t.Error("core.HypothesisSource.String mismatch")
 	}
 }
 
@@ -540,7 +541,7 @@ func TestHoldoutValidatorMatchesSection41(t *testing.T) {
 			fullRejections++
 		}
 
-		hv, err := NewHoldoutValidator(tab, 0.5, 0.05, stats.NewRNG(int64(100+r)))
+		hv, err := core.NewHoldoutValidator(tab, 0.5, 0.05, stats.NewRNG(int64(100+r)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -571,10 +572,10 @@ func TestHoldoutValidatorMatchesSection41(t *testing.T) {
 	if holdRate < 0.4 || holdRate > 0.97 {
 		t.Errorf("hold-out confirmation rate %v outside the plausible band around 0.76", holdRate)
 	}
-	if _, err := NewHoldoutValidator(lastTable, 0.5, 0, stats.NewRNG(1)); err == nil {
+	if _, err := core.NewHoldoutValidator(lastTable, 0.5, 0, stats.NewRNG(1)); err == nil {
 		t.Error("expected alpha validation error")
 	}
-	if _, err := NewHoldoutValidator(lastTable, 2, 0.05, stats.NewRNG(1)); err == nil {
+	if _, err := core.NewHoldoutValidator(lastTable, 2, 0.05, stats.NewRNG(1)); err == nil {
 		t.Error("expected fraction validation error")
 	}
 }

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"aware/internal/dataset"
+)
+
+// Step JSON wire format. Every step kind maps to a tagged object so that
+// remote clients (cmd/awared's POST /sessions/{id}/steps endpoint), journal
+// files and recorded exploration logs share one lossless representation:
+//
+//	{"op": "add_visualization", "target": "gender", "predicate": {...}}
+//	{"op": "compare_visualizations", "a": 1, "b": 2}
+//	{"op": "compare_means", "attribute": "age", "a": 1, "b": 2}
+//	{"op": "compare_distributions", "attribute": "age", "a": 1, "b": 2}
+//	{"op": "test_against_expectation", "visualization": 1, "expected": {"Male": 3, "Female": 1}}
+//	{"op": "declare_descriptive", "visualization": 2}
+//	{"op": "star", "hypothesis": 3, "starred": true}
+//
+// Predicates reuse the dataset package's predicate wire format. Decoding is
+// strict: unknown fields, missing ops and missing required fields are errors,
+// and every step round-trips losslessly (MarshalStep ∘ UnmarshalStep is the
+// identity on the closed step set).
+
+// stepJSON is the tagged union each step encodes to. Exactly the fields
+// relevant to Op are populated.
+type stepJSON struct {
+	Op            string             `json:"op"`
+	Target        string             `json:"target,omitempty"`
+	Predicate     json.RawMessage    `json:"predicate,omitempty"`
+	Attribute     string             `json:"attribute,omitempty"`
+	A             int                `json:"a,omitempty"`
+	B             int                `json:"b,omitempty"`
+	Visualization int                `json:"visualization,omitempty"`
+	Expected      map[string]float64 `json:"expected,omitempty"`
+	Hypothesis    int                `json:"hypothesis,omitempty"`
+	Starred       *bool              `json:"starred,omitempty"`
+}
+
+// encodeStep converts a step into its wire representation.
+func encodeStep(s Step) (*stepJSON, error) {
+	switch st := s.(type) {
+	case AddVisualization:
+		out := &stepJSON{Op: st.Kind(), Target: st.Target}
+		if st.Filter != nil {
+			pred, err := dataset.MarshalPredicate(st.Filter)
+			if err != nil {
+				return nil, fmt.Errorf("core: encoding %s filter: %w", st.Kind(), err)
+			}
+			out.Predicate = pred
+		}
+		return out, nil
+	case CompareVisualizations:
+		return &stepJSON{Op: st.Kind(), A: st.A, B: st.B}, nil
+	case CompareMeans:
+		return &stepJSON{Op: st.Kind(), Attribute: st.Attribute, A: st.A, B: st.B}, nil
+	case CompareDistributions:
+		return &stepJSON{Op: st.Kind(), Attribute: st.Attribute, A: st.A, B: st.B}, nil
+	case TestAgainstExpectation:
+		return &stepJSON{Op: st.Kind(), Visualization: st.Visualization, Expected: st.Expected}, nil
+	case DeclareDescriptive:
+		return &stepJSON{Op: st.Kind(), Visualization: st.Visualization}, nil
+	case Star:
+		starred := st.Starred
+		return &stepJSON{Op: st.Kind(), Hypothesis: st.Hypothesis, Starred: &starred}, nil
+	case nil:
+		return nil, fmt.Errorf("%w: cannot encode nil step", ErrUnknownStep)
+	default:
+		return nil, fmt.Errorf("%w: cannot encode step type %T", ErrUnknownStep, s)
+	}
+}
+
+// decodeStep converts a wire representation back into a step.
+func decodeStep(sj *stepJSON) (Step, error) {
+	if sj == nil {
+		return nil, fmt.Errorf("core: missing step object")
+	}
+	switch sj.Op {
+	case "add_visualization":
+		if sj.Target == "" {
+			return nil, fmt.Errorf("core: add_visualization step requires a target")
+		}
+		st := AddVisualization{Target: sj.Target}
+		if len(sj.Predicate) > 0 && !bytes.Equal(sj.Predicate, []byte("null")) {
+			filter, err := dataset.UnmarshalPredicate(sj.Predicate)
+			if err != nil {
+				return nil, fmt.Errorf("core: add_visualization predicate: %w", err)
+			}
+			st.Filter = filter
+		}
+		return st, nil
+	case "compare_visualizations":
+		if sj.A == 0 || sj.B == 0 {
+			return nil, fmt.Errorf("core: compare_visualizations step requires visualization ids a and b")
+		}
+		return CompareVisualizations{A: sj.A, B: sj.B}, nil
+	case "compare_means":
+		if sj.Attribute == "" {
+			return nil, fmt.Errorf("core: compare_means step requires an attribute")
+		}
+		if sj.A == 0 || sj.B == 0 {
+			return nil, fmt.Errorf("core: compare_means step requires visualization ids a and b")
+		}
+		return CompareMeans{Attribute: sj.Attribute, A: sj.A, B: sj.B}, nil
+	case "compare_distributions":
+		if sj.Attribute == "" {
+			return nil, fmt.Errorf("core: compare_distributions step requires an attribute")
+		}
+		if sj.A == 0 || sj.B == 0 {
+			return nil, fmt.Errorf("core: compare_distributions step requires visualization ids a and b")
+		}
+		return CompareDistributions{Attribute: sj.Attribute, A: sj.A, B: sj.B}, nil
+	case "test_against_expectation":
+		if sj.Visualization == 0 {
+			return nil, fmt.Errorf("core: test_against_expectation step requires a visualization id")
+		}
+		return TestAgainstExpectation{Visualization: sj.Visualization, Expected: sj.Expected}, nil
+	case "declare_descriptive":
+		if sj.Visualization == 0 {
+			return nil, fmt.Errorf("core: declare_descriptive step requires a visualization id")
+		}
+		return DeclareDescriptive{Visualization: sj.Visualization}, nil
+	case "star":
+		if sj.Hypothesis == 0 {
+			return nil, fmt.Errorf("core: star step requires a hypothesis id")
+		}
+		starred := true
+		if sj.Starred != nil {
+			starred = *sj.Starred
+		}
+		return Star{Hypothesis: sj.Hypothesis, Starred: starred}, nil
+	case "":
+		return nil, fmt.Errorf("core: step object is missing an op")
+	default:
+		return nil, fmt.Errorf("%w: op %q", ErrUnknownStep, sj.Op)
+	}
+}
+
+// MarshalStep serializes a step to its JSON wire format.
+func MarshalStep(s Step) ([]byte, error) {
+	enc, err := encodeStep(s)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(enc)
+}
+
+// UnmarshalStep parses the JSON wire format into a step. Unknown fields are
+// rejected.
+func UnmarshalStep(data []byte) (Step, error) {
+	var sj stepJSON
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sj); err != nil {
+		return nil, fmt.Errorf("core: parsing step JSON: %w", err)
+	}
+	return decodeStep(&sj)
+}
+
+// appliedStepJSON is the wire form of a journal entry.
+type appliedStepJSON struct {
+	Seq             int             `json:"seq"`
+	Step            json.RawMessage `json:"step"`
+	VisualizationID int             `json:"visualization_id,omitempty"`
+	HypothesisID    int             `json:"hypothesis_id,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler, so a journal serializes directly with
+// encoding/json.
+func (a AppliedStep) MarshalJSON() ([]byte, error) {
+	step, err := MarshalStep(a.Step)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(appliedStepJSON{
+		Seq:             a.Seq,
+		Step:            step,
+		VisualizationID: a.VisualizationID,
+		HypothesisID:    a.HypothesisID,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (a *AppliedStep) UnmarshalJSON(data []byte) error {
+	var aj appliedStepJSON
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&aj); err != nil {
+		return fmt.Errorf("core: parsing applied step JSON: %w", err)
+	}
+	step, err := UnmarshalStep(aj.Step)
+	if err != nil {
+		return err
+	}
+	*a = AppliedStep{
+		Seq:             aj.Seq,
+		Step:            step,
+		VisualizationID: aj.VisualizationID,
+		HypothesisID:    aj.HypothesisID,
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -12,7 +13,6 @@ import (
 
 	"aware/internal/core"
 	"aware/internal/dataset"
-	"aware/internal/investing"
 	"aware/internal/stats"
 )
 
@@ -30,11 +30,14 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /sessions", s.handleListSessions)
 	mux.HandleFunc("GET /sessions/{id}", s.handleGetSession)
 	mux.HandleFunc("DELETE /sessions/{id}", s.handleDeleteSession)
+	mux.HandleFunc("POST /sessions/{id}/steps", s.handleApplyStep)
+	mux.HandleFunc("GET /sessions/{id}/log", s.handleLog)
 	mux.HandleFunc("POST /sessions/{id}/visualizations", s.handleCreateVisualization)
 	mux.HandleFunc("POST /sessions/{id}/compare", s.handleCompare)
 	mux.HandleFunc("POST /sessions/{id}/hypotheses/{hid}/star", s.handleStar)
 	mux.HandleFunc("GET /sessions/{id}/gauge", s.handleGauge)
 	mux.HandleFunc("POST /sessions/{id}/holdout/validate", s.handleHoldoutValidate)
+	mux.HandleFunc("POST /sessions/{id}/holdout/replay", s.handleHoldoutReplay)
 	mux.HandleFunc("GET /sessions/{id}/report", s.handleReport)
 	return mux
 }
@@ -70,6 +73,9 @@ func writeErr(w http.ResponseWriter, err error) {
 		// The session is still alive but cannot fund further tests; the
 		// client should stop exploring (Section 5.8 of the paper).
 		status = http.StatusConflict
+	case errors.Is(err, ErrJournal):
+		// The step was applied but could not be made durable.
+		status = http.StatusInternalServerError
 	}
 	writeError(w, status, err.Error())
 }
@@ -198,47 +204,32 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 
 // --- session lifecycle ---
 
-type createSessionRequest struct {
-	// Dataset names a registered dataset.
-	Dataset string `json:"dataset"`
-	// Alpha is the mFDR control level; 0 means the paper default 0.05.
-	Alpha float64 `json:"alpha,omitempty"`
-	// Policy selects the investing rule by name (see investing.PolicyNames);
-	// empty means the paper's ε-hybrid default.
-	Policy string `json:"policy,omitempty"`
-	// TargetPower tunes the n_H1 annotation; 0 means 0.8.
-	TargetPower float64 `json:"target_power,omitempty"`
-}
-
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
-	var req createSessionRequest
-	if err := decodeBody(r, &req); err != nil {
+	// The request body is a SessionSpec: the same serializable recipe the
+	// journal persists as its header line.
+	var spec SessionSpec
+	if err := decodeBody(r, &spec); err != nil {
 		writeErr(w, err)
 		return
 	}
-	if req.Dataset == "" {
+	if spec.Dataset == "" {
 		writeError(w, http.StatusBadRequest, "missing dataset name")
 		return
 	}
-	table, err := s.registry.Get(req.Dataset)
+	table, err := s.registry.Get(spec.Dataset)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	opts := core.Options{Alpha: req.Alpha, TargetPower: req.TargetPower}
-	if req.Policy != "" {
-		alpha := req.Alpha
-		if alpha == 0 {
-			alpha = investing.DefaultAlpha
+	// The journal file (with its header) is written before the session is
+	// published: IDs are guessable, and a step racing onto a fresh ID must
+	// find the journal already there.
+	info, err := s.manager.CreateWith(spec, table, func(id int64) error {
+		if s.journal == nil {
+			return nil
 		}
-		policy, err := investing.NewNamedPolicy(req.Policy, alpha)
-		if err != nil {
-			writeErr(w, err)
-			return
-		}
-		opts.Policy = policy
-	}
-	info, err := s.manager.Create(req.Dataset, table, opts)
+		return s.journal.Create(id, spec)
+	})
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -275,11 +266,131 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, fmt.Errorf("%w: %d", ErrSessionNotFound, id))
 		return
 	}
+	s.removeJournals([]int64{id})
 	s.log.Info("session deleted", "id", id)
 	w.WriteHeader(http.StatusNoContent)
 }
 
 // --- the interactive loop ---
+//
+// Every mutation — whether it arrives as a raw step on POST /steps or through
+// one of the legacy convenience endpoints, which are now thin constructors
+// for the equivalent core.Step — funnels through applyStep: one code path
+// that applies the command under the session lock, journals it for restart
+// durability, and snapshots the outcome before the lock is released.
+
+// appliedStepView is the lock-free snapshot of a StepResult.
+type appliedStepView struct {
+	seq    int
+	viz    *vizJSON
+	hyp    *core.ReportEntry
+	wealth float64
+}
+
+// applyStep applies one step to the identified session, journals it, and
+// snapshots the result.
+func (s *Server) applyStep(id int64, step core.Step) (appliedStepView, error) {
+	var view appliedStepView
+	err := s.manager.With(id, func(sess *core.Session) error {
+		res, err := sess.Apply(step)
+		if err != nil {
+			return err
+		}
+		if s.journal != nil {
+			if err := s.journal.Append(id, step); err != nil {
+				// The step is applied — α-wealth is spent irrevocably — but
+				// the journal no longer matches the session. Surface a 500
+				// that tells the client NOT to retry: a retry would invest
+				// wealth twice for one exploration action.
+				return fmt.Errorf("%w (step %q was applied but is not durable; do not retry)", err, step.Kind())
+			}
+		}
+		view.seq = res.Seq
+		if res.Visualization != nil {
+			v := toVizJSON(res.Visualization)
+			view.viz = &v
+		}
+		if res.Hypothesis != nil {
+			e := res.Hypothesis.Entry()
+			view.hyp = &e
+		}
+		view.wealth = sess.Wealth()
+		return nil
+	})
+	return view, err
+}
+
+// stepResponse is the wire form of an applied step.
+type stepResponse struct {
+	// Seq is the step's position in the session journal.
+	Seq int `json:"seq"`
+	// Op echoes the step kind that was applied.
+	Op string `json:"op"`
+	// Visualization is set for add_visualization steps.
+	Visualization *vizJSON `json:"visualization,omitempty"`
+	// Hypothesis is set for steps that created a hypothesis.
+	Hypothesis      *core.ReportEntry `json:"hypothesis,omitempty"`
+	RemainingWealth float64           `json:"remaining_wealth"`
+}
+
+func (view appliedStepView) response(op string) stepResponse {
+	return stepResponse{
+		Seq:             view.seq,
+		Op:              op,
+		Visualization:   view.viz,
+		Hypothesis:      view.hyp,
+		RemainingWealth: view.wealth,
+	}
+}
+
+// handleApplyStep is the generic command endpoint: the body is one step in
+// the core step wire format, e.g.
+//
+//	{"op": "add_visualization", "target": "gender",
+//	 "predicate": {"type": "equals", "column": "salary_over_50k", "value": "true"}}
+func (s *Server) handleApplyStep(w http.ResponseWriter, r *http.Request) {
+	id, err := sessionID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	if err != nil {
+		writeErr(w, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	step, err := core.UnmarshalStep(body)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	view, err := s.applyStep(id, step)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, view.response(step.Kind()))
+}
+
+// handleLog returns the session's append-only step journal: the full
+// exploration as serializable commands, replayable with core.Replay.
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	id, err := sessionID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var log []core.AppliedStep
+	err = s.manager.With(id, func(sess *core.Session) error {
+		log = sess.Log() // already a copy, and non-nil even when empty
+		return nil
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(log), "steps": log})
+}
 
 type createVizRequest struct {
 	// Target is the visualized attribute.
@@ -314,23 +425,14 @@ func (s *Server) handleCreateVisualization(w http.ResponseWriter, r *http.Reques
 		writeErr(w, err)
 		return
 	}
-	var resp createVizResponse
-	err = s.manager.With(id, func(sess *core.Session) error {
-		viz, hyp, err := sess.AddVisualization(req.Target, pred)
-		if err != nil {
-			return err
-		}
-		resp.Visualization = toVizJSON(viz)
-		if hyp != nil {
-			entry := hyp.Entry()
-			resp.Hypothesis = &entry
-		}
-		resp.RemainingWealth = sess.Wealth()
-		return nil
-	})
+	view, err := s.applyStep(id, core.AddVisualization{Target: req.Target, Filter: pred})
 	if err != nil {
 		writeErr(w, err)
 		return
+	}
+	resp := createVizResponse{Hypothesis: view.hyp, RemainingWealth: view.wealth}
+	if view.viz != nil {
+		resp.Visualization = *view.viz
 	}
 	writeJSON(w, http.StatusCreated, resp)
 }
@@ -365,28 +467,23 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "means_of and distributions_of are mutually exclusive")
 		return
 	}
-	var resp hypothesisResponse
-	err = s.manager.With(id, func(sess *core.Session) error {
-		var hyp *core.Hypothesis
-		var err error
-		switch {
-		case req.MeansOf != "":
-			hyp, err = sess.CompareMeans(req.MeansOf, req.A, req.B)
-		case req.DistributionsOf != "":
-			hyp, err = sess.CompareDistributions(req.DistributionsOf, req.A, req.B)
-		default:
-			hyp, err = sess.CompareVisualizations(req.A, req.B)
-		}
-		if err != nil {
-			return err
-		}
-		resp.Hypothesis = hyp.Entry()
-		resp.RemainingWealth = sess.Wealth()
-		return nil
-	})
+	var step core.Step
+	switch {
+	case req.MeansOf != "":
+		step = core.CompareMeans{Attribute: req.MeansOf, A: req.A, B: req.B}
+	case req.DistributionsOf != "":
+		step = core.CompareDistributions{Attribute: req.DistributionsOf, A: req.A, B: req.B}
+	default:
+		step = core.CompareVisualizations{A: req.A, B: req.B}
+	}
+	view, err := s.applyStep(id, step)
 	if err != nil {
 		writeErr(w, err)
 		return
+	}
+	resp := hypothesisResponse{RemainingWealth: view.wealth}
+	if view.hyp != nil {
+		resp.Hypothesis = *view.hyp
 	}
 	writeJSON(w, http.StatusCreated, resp)
 }
@@ -411,10 +508,7 @@ func (s *Server) handleStar(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	err = s.manager.With(id, func(sess *core.Session) error {
-		return sess.Star(hid, req.Starred)
-	})
-	if err != nil {
+	if _, err := s.applyStep(id, core.Star{Hypothesis: hid, Starred: req.Starred}); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -576,6 +670,132 @@ func (s *Server) handleHoldoutValidate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeErr(w, err)
 		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type holdoutReplayRequest struct {
+	// ExplorationFraction is the share of rows in the exploration half;
+	// 0 means 0.5.
+	ExplorationFraction float64 `json:"exploration_fraction,omitempty"`
+	// Alpha is the per-half significance level; 0 means the session's level.
+	Alpha float64 `json:"alpha,omitempty"`
+	// Seed drives the random split; 0 means 1.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// hypothesisValidationJSON is the wire form of one replayed hypothesis'
+// hold-out verdict.
+type hypothesisValidationJSON struct {
+	Seq          int            `json:"seq"`
+	Kind         string         `json:"kind"`
+	HypothesisID int            `json:"hypothesis_id"`
+	Null         string         `json:"null"`
+	Status       string         `json:"status"`
+	Exploration  testResultJSON `json:"exploration"`
+	Validation   testResultJSON `json:"validation"`
+	Validated    bool           `json:"validated"`
+	Confirmed    bool           `json:"confirmed"`
+}
+
+type holdoutReplayResponse struct {
+	Alpha           float64                    `json:"alpha"`
+	ExplorationRows int                        `json:"exploration_rows"`
+	ValidationRows  int                        `json:"validation_rows"`
+	StepsReplayed   int                        `json:"steps_replayed"`
+	Confirmed       int                        `json:"confirmed"`
+	ActiveTotal     int                        `json:"active_total"`
+	Hypotheses      []hypothesisValidationJSON `json:"hypotheses"`
+}
+
+// handleHoldoutReplay re-validates the session's whole step log on a fresh
+// exploration/validation split (Section 4.1 generalized to every step kind):
+// the recorded exploration is replayed independently on both halves and each
+// hypothesis is confirmed only when both halves reject it.
+func (s *Server) handleHoldoutReplay(w http.ResponseWriter, r *http.Request) {
+	id, err := sessionID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req holdoutReplayRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	fraction := req.ExplorationFraction
+	if fraction == 0 {
+		fraction = 0.5
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	spec, err := s.manager.Spec(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	// Snapshot the journal and dataset under the lock, then replay outside
+	// it: tables are immutable and the copied steps are plain values, so the
+	// (potentially long) double replay never blocks the live session.
+	var steps []core.Step
+	var data *dataset.Table
+	alpha := req.Alpha
+	err = s.manager.With(id, func(sess *core.Session) error {
+		steps = core.StepsFromLog(sess.Log())
+		data = sess.Data()
+		if alpha == 0 {
+			alpha = sess.Alpha()
+		}
+		return nil
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if len(steps) == 0 {
+		writeError(w, http.StatusConflict, "session has an empty step log; nothing to replay")
+		return
+	}
+	// A fresh policy instance for the two replays: the live session's policy
+	// must not be shared (ReplayLog resets the policy it is given).
+	opts, err := spec.Options()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	validator, err := core.NewHoldoutValidator(data, fraction, alpha, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	replay, err := validator.ReplayLog(opts, steps)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := holdoutReplayResponse{
+		Alpha:           replay.Alpha,
+		ExplorationRows: validator.Exploration().NumRows(),
+		ValidationRows:  validator.Validation().NumRows(),
+		StepsReplayed:   len(steps),
+		Confirmed:       replay.Confirmed,
+		ActiveTotal:     replay.ActiveTotal,
+		Hypotheses:      make([]hypothesisValidationJSON, 0, len(replay.Hypotheses)),
+	}
+	for _, hv := range replay.Hypotheses {
+		resp.Hypotheses = append(resp.Hypotheses, hypothesisValidationJSON{
+			Seq:          hv.Seq,
+			Kind:         hv.Kind,
+			HypothesisID: hv.HypothesisID,
+			Null:         hv.Null,
+			Status:       hv.Status.String(),
+			Exploration:  toTestResultJSON(hv.Exploration),
+			Validation:   toTestResultJSON(hv.Validation),
+			Validated:    hv.Validated,
+			Confirmed:    hv.Confirmed,
+		})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

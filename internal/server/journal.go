@@ -1,0 +1,246 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"aware/internal/core"
+)
+
+// ErrJournal wraps journal-store failures so the HTTP layer can map them to a
+// 500 instead of the default bad-request status: a step that mutated a
+// session but could not be made durable is a server fault, not a client one.
+var ErrJournal = errors.New("server: session journal")
+
+// journalStore persists one append-only file per session under a directory:
+// the header line followed by one step (core step wire JSON) per line. The
+// format is the same codec the steps endpoint speaks, so a journal can be
+// replayed with core.Replay — which is exactly what RestoreSessions does
+// after a daemon restart.
+//
+// Appends for one session are serialized by the SessionManager's per-session
+// lock; the store's own mutex only guards the file-handle map.
+type journalStore struct {
+	dir string
+
+	mu    sync.Mutex
+	files map[int64]*os.File
+}
+
+// newJournalStore opens (creating if needed) the journal directory.
+func newJournalStore(dir string) (*journalStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	return &journalStore{dir: dir, files: make(map[int64]*os.File)}, nil
+}
+
+// path returns the journal file for a session ID.
+func (j *journalStore) path(id int64) string {
+	return filepath.Join(j.dir, fmt.Sprintf("session-%d.jsonl", id))
+}
+
+// Create starts the journal of a new session by writing its header line:
+// the session's SessionSpec.
+func (j *journalStore) Create(id int64, spec SessionSpec) error {
+	f, err := os.OpenFile(j.path(id), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	line, err := json.Marshal(spec)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	j.mu.Lock()
+	j.files[id] = f
+	j.mu.Unlock()
+	return nil
+}
+
+// Reopen re-attaches the journal of a restored session for appending, first
+// truncating it to the intact prefix Load replayed: a torn final line left by
+// a crash mid-append must be cut off, or the next append would concatenate
+// onto it and turn recoverable tail damage into unrecoverable mid-file
+// corruption. Only Create and Reopen ever register a file handle: Append
+// deliberately never opens files itself, so a step racing a concurrent
+// DELETE (which removes the journal without holding the session lock) cannot
+// resurrect the file as a header-less husk that would poison the next
+// restart.
+func (j *journalStore) Reopen(id, validBytes int64) error {
+	f, err := os.OpenFile(j.path(id), os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	if err := f.Truncate(validBytes); err != nil {
+		f.Close()
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	j.mu.Lock()
+	j.files[id] = f
+	j.mu.Unlock()
+	return nil
+}
+
+// Append records one applied step. A missing handle means the journal was
+// removed (session deleted or expired) — the append is refused rather than
+// recreating the file.
+func (j *journalStore) Append(id int64, step core.Step) error {
+	j.mu.Lock()
+	f, ok := j.files[id]
+	j.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: journal for session %d is gone", ErrJournal, id)
+	}
+	line, err := core.MarshalStep(step)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	return nil
+}
+
+// Remove deletes a session's journal (the session was deleted or expired, so
+// it must not be resurrected by the next restart).
+func (j *journalStore) Remove(id int64) {
+	j.mu.Lock()
+	if f, ok := j.files[id]; ok {
+		f.Close()
+		delete(j.files, id)
+	}
+	j.mu.Unlock()
+	os.Remove(j.path(id))
+}
+
+// Close releases every open file handle (daemon shutdown).
+func (j *journalStore) Close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for id, f := range j.files {
+		f.Close()
+		delete(j.files, id)
+	}
+}
+
+// journaledSession is one recovered journal: the session ID parsed from the
+// file name, the creation header, the recorded steps, and the length of the
+// intact file prefix those were parsed from (a crash mid-append can leave a
+// torn final line beyond it, which Reopen cuts off before appending again).
+type journaledSession struct {
+	ID         int64
+	Header     SessionSpec
+	Steps      []core.Step
+	ValidBytes int64
+}
+
+// Load reads every journal in the directory, sorted by session ID. Files
+// that do not parse — a crash can leave a truncated header or step line —
+// are reported in skipped (as "file: reason") and left on disk for the
+// operator, never failing the whole recovery: a daemon must be able to start
+// after the very crashes journaling defends against. maxID is the highest
+// session ID seen on disk including skipped files, so the caller can keep
+// new session IDs from colliding with (and Create from truncating) journals
+// that were kept for the operator.
+func (j *journalStore) Load() (sessions []journaledSession, skipped []string, maxID int64, err error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	for _, entry := range entries {
+		name := entry.Name()
+		if entry.IsDir() || !strings.HasPrefix(name, "session-") || !strings.HasSuffix(name, ".jsonl") {
+			continue
+		}
+		id, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "session-"), ".jsonl"), 10, 64)
+		if err != nil || id <= 0 {
+			skipped = append(skipped, fmt.Sprintf("%s: malformed session id", name))
+			continue
+		}
+		if id > maxID {
+			maxID = id
+		}
+		js, err := j.load(id)
+		if err != nil {
+			skipped = append(skipped, fmt.Sprintf("%s: %v", name, err))
+			continue
+		}
+		sessions = append(sessions, js)
+	}
+	sort.Slice(sessions, func(a, b int) bool { return sessions[a].ID < sessions[b].ID })
+	return sessions, skipped, maxID, nil
+}
+
+// load parses one journal file, walking newline-terminated lines and
+// tracking how many leading bytes are intact. An unterminated or unparsable
+// final line — the artifact of a crash mid-append — is dropped and excluded
+// from ValidBytes; corruption anywhere else fails the file.
+func (j *journalStore) load(id int64) (journaledSession, error) {
+	data, err := os.ReadFile(j.path(id))
+	if err != nil {
+		return journaledSession{}, err
+	}
+	js := journaledSession{ID: id}
+	sawHeader := false
+	offset := 0
+	for offset < len(data) {
+		nl := bytes.IndexByte(data[offset:], '\n')
+		if nl < 0 {
+			break // unterminated tail: torn final append, drop it
+		}
+		line := bytes.TrimSpace(data[offset : offset+nl])
+		next := offset + nl + 1
+		if len(line) == 0 {
+			offset = next
+			js.ValidBytes = int64(next)
+			continue
+		}
+		if !sawHeader {
+			if err := json.Unmarshal(line, &js.Header); err != nil {
+				return journaledSession{}, fmt.Errorf("header: %v", err)
+			}
+			if js.Header.Dataset == "" {
+				return journaledSession{}, fmt.Errorf("header names no dataset")
+			}
+			sawHeader = true
+		} else {
+			step, err := core.UnmarshalStep(line)
+			if err != nil {
+				if !hasContentAfter(data, next) {
+					break // truncated final append; replay the intact prefix
+				}
+				return journaledSession{}, fmt.Errorf("step %d: %v", len(js.Steps)+1, err)
+			}
+			js.Steps = append(js.Steps, step)
+		}
+		offset = next
+		js.ValidBytes = int64(next)
+	}
+	if !sawHeader {
+		return journaledSession{}, fmt.Errorf("journal is empty")
+	}
+	return js, nil
+}
+
+// hasContentAfter reports whether any non-whitespace bytes follow offset.
+func hasContentAfter(data []byte, offset int) bool {
+	return len(bytes.TrimSpace(data[offset:])) > 0
+}

@@ -10,11 +10,49 @@ import (
 
 	"aware/internal/core"
 	"aware/internal/dataset"
+	"aware/internal/investing"
 )
 
 // ErrSessionNotFound is returned when a session ID does not exist (never
 // created, deleted, or expired by the idle sweeper).
 var ErrSessionNotFound = errors.New("server: session not found")
+
+// SessionSpec is the serializable recipe for a session: the creation request
+// verbatim, with zero values meaning "the defaults". It doubles as the header
+// line of a session's journal file, so a restart can rebuild the exact same
+// options (including a fresh instance of the named policy) before replaying
+// the journaled steps.
+type SessionSpec struct {
+	// Dataset names a registered dataset.
+	Dataset string `json:"dataset"`
+	// Alpha is the mFDR control level; 0 means the paper default 0.05.
+	Alpha float64 `json:"alpha,omitempty"`
+	// Policy selects the investing rule by name (see investing.NewNamedPolicy);
+	// empty means the paper's ε-hybrid default.
+	Policy string `json:"policy,omitempty"`
+	// TargetPower tunes the n_H1 annotation; 0 means 0.8.
+	TargetPower float64 `json:"target_power,omitempty"`
+}
+
+// Options materializes the core session options the spec describes. It
+// constructs a fresh policy instance on every call: investing policies are
+// stateful, so each session — and each hold-out replay of its log — needs its
+// own.
+func (spec SessionSpec) Options() (core.Options, error) {
+	opts := core.Options{Alpha: spec.Alpha, TargetPower: spec.TargetPower}
+	if spec.Policy != "" {
+		alpha := spec.Alpha
+		if alpha == 0 {
+			alpha = investing.DefaultAlpha
+		}
+		policy, err := investing.NewNamedPolicy(spec.Policy, alpha)
+		if err != nil {
+			return core.Options{}, err
+		}
+		opts.Policy = policy
+	}
+	return opts, nil
+}
 
 // SessionInfo is the lock-free summary of a managed session used in listings
 // and creation responses.
@@ -35,7 +73,7 @@ type SessionInfo struct {
 // without waiting behind a long-running request.
 type managedSession struct {
 	id        int64
-	dataset   string
+	spec      SessionSpec
 	alpha     float64
 	policy    string
 	createdAt time.Time
@@ -48,7 +86,7 @@ type managedSession struct {
 func (m *managedSession) info() SessionInfo {
 	return SessionInfo{
 		ID:         m.id,
-		Dataset:    m.dataset,
+		Dataset:    m.spec.Dataset,
 		Alpha:      m.alpha,
 		Policy:     m.policy,
 		CreatedAt:  m.createdAt,
@@ -85,26 +123,104 @@ func NewSessionManager(ttl time.Duration, now func() time.Time) *SessionManager 
 // IDs are monotonic across the life of the manager: an ID is never reused,
 // even after the session is deleted, so clients can safely treat a 404 as
 // "session expired" rather than "someone else's session".
-func (sm *SessionManager) Create(datasetName string, table *dataset.Table, opts core.Options) (SessionInfo, error) {
+func (sm *SessionManager) Create(spec SessionSpec, table *dataset.Table) (SessionInfo, error) {
+	return sm.CreateWith(spec, table, nil)
+}
+
+// CreateWith is Create with a pre-publication hook: prepublish (if non-nil)
+// runs with the claimed session ID before the session becomes reachable, so
+// side effects that must exist for every visible session — the journal file
+// with its header line — cannot race a request arriving on the fresh ID. If
+// prepublish errors the session is never published and its ID is simply
+// burned (IDs are monotonic, never reused).
+func (sm *SessionManager) CreateWith(spec SessionSpec, table *dataset.Table, prepublish func(id int64) error) (SessionInfo, error) {
+	opts, err := spec.Options()
+	if err != nil {
+		return SessionInfo{}, err
+	}
 	sess, err := core.NewSession(table, opts)
 	if err != nil {
 		return SessionInfo{}, err
 	}
-	now := sm.now()
 	sm.mu.Lock()
 	sm.nextID++
+	id := sm.nextID
+	sm.mu.Unlock()
+	if prepublish != nil {
+		if err := prepublish(id); err != nil {
+			return SessionInfo{}, err
+		}
+	}
+	now := sm.now()
 	ms := &managedSession{
-		id:        sm.nextID,
-		dataset:   datasetName,
+		id:        id,
+		spec:      spec,
 		alpha:     sess.Alpha(),
 		policy:    sess.PolicyName(),
 		createdAt: now,
 		session:   sess,
 	}
 	ms.lastActive.Store(now.UnixNano())
-	sm.sessions[ms.id] = ms
+	sm.mu.Lock()
+	sm.sessions[id] = ms
 	sm.mu.Unlock()
 	return ms.info(), nil
+}
+
+// Restore installs an already-built session (typically reconstructed with
+// core.Replay from a journal) under a specific ID, as journal recovery after
+// a daemon restart requires. The ID must be positive and unused; nextID is
+// bumped past it so sessions created later never collide with restored ones.
+func (sm *SessionManager) Restore(id int64, spec SessionSpec, sess *core.Session) (SessionInfo, error) {
+	if sess == nil {
+		return SessionInfo{}, fmt.Errorf("server: cannot restore a nil session")
+	}
+	if id <= 0 {
+		return SessionInfo{}, fmt.Errorf("server: cannot restore session with id %d", id)
+	}
+	now := sm.now()
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if _, taken := sm.sessions[id]; taken {
+		return SessionInfo{}, fmt.Errorf("server: session %d already exists", id)
+	}
+	if id > sm.nextID {
+		sm.nextID = id
+	}
+	ms := &managedSession{
+		id:        id,
+		spec:      spec,
+		alpha:     sess.Alpha(),
+		policy:    sess.PolicyName(),
+		createdAt: now,
+		session:   sess,
+	}
+	ms.lastActive.Store(now.UnixNano())
+	sm.sessions[id] = ms
+	return ms.info(), nil
+}
+
+// ReserveIDs bumps the ID sequence past floor, so sessions created later
+// never collide with IDs observed elsewhere (journals kept on disk for the
+// operator after a failed restore).
+func (sm *SessionManager) ReserveIDs(floor int64) {
+	sm.mu.Lock()
+	if floor > sm.nextID {
+		sm.nextID = floor
+	}
+	sm.mu.Unlock()
+}
+
+// Spec returns the creation spec of a session. Specs are immutable after
+// creation, so the result can be used without holding the session lock.
+func (sm *SessionManager) Spec(id int64) (SessionSpec, error) {
+	sm.mu.Lock()
+	ms, ok := sm.sessions[id]
+	sm.mu.Unlock()
+	if !ok {
+		return SessionSpec{}, fmt.Errorf("%w: %d", ErrSessionNotFound, id)
+	}
+	return ms.spec, nil
 }
 
 // With runs fn with exclusive access to the identified session and marks the

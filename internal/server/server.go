@@ -19,6 +19,8 @@ import (
 	"log/slog"
 	"net/http"
 	"time"
+
+	"aware/internal/core"
 )
 
 // Config configures a Server.
@@ -31,23 +33,30 @@ type Config struct {
 	SessionTTL time.Duration
 	// SweepInterval is how often the idle sweeper runs; 0 means 1 minute.
 	SweepInterval time.Duration
+	// JournalDir, when non-empty, makes sessions durable: every applied step
+	// is appended to a per-session journal file under the directory, and
+	// RestoreSessions replays the journals after a restart. Empty disables
+	// journaling (sessions are purely in-memory).
+	JournalDir string
 	// now overrides the clock in tests.
 	now func() time.Time
 }
 
-// Server wires the dataset registry, the session manager and the HTTP API
-// together.
+// Server wires the dataset registry, the session manager, the step journal
+// and the HTTP API together.
 type Server struct {
 	log      *slog.Logger
 	registry *DatasetRegistry
 	manager  *SessionManager
+	journal  *journalStore // nil when journaling is disabled
 	sweep    time.Duration
 	handler  http.Handler
 }
 
 // New builds a server with an empty dataset registry; register at least one
-// dataset before serving.
-func New(cfg Config) *Server {
+// dataset before serving. With Config.JournalDir set, call RestoreSessions
+// after registering datasets to recover journaled sessions.
+func New(cfg Config) (*Server, error) {
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.Default()
@@ -62,8 +71,70 @@ func New(cfg Config) *Server {
 		manager:  NewSessionManager(cfg.SessionTTL, cfg.now),
 		sweep:    sweep,
 	}
+	if cfg.JournalDir != "" {
+		journal, err := newJournalStore(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = journal
+	}
 	s.handler = withRecovery(logger, withRequestLog(logger, s.routes()))
-	return s
+	return s, nil
+}
+
+// RestoreSessions recovers journaled sessions from the journal directory:
+// each journal's steps are replayed with core.Replay against the named
+// registered dataset, and the reconstructed session is installed under its
+// original ID. Journals for unknown datasets or with non-replayable steps are
+// skipped with a warning (and kept on disk), never discarded silently. It
+// returns the number of sessions restored and is a no-op without a journal
+// directory.
+func (s *Server) RestoreSessions() (int, error) {
+	if s.journal == nil {
+		return 0, nil
+	}
+	journaled, skipped, maxID, err := s.journal.Load()
+	if err != nil {
+		return 0, err
+	}
+	for _, reason := range skipped {
+		s.log.Warn("unreadable session journal kept on disk; skipping", "journal", reason)
+	}
+	// Keep future session IDs clear of every journal on disk — including the
+	// skipped ones, which a colliding Create would otherwise truncate.
+	s.manager.ReserveIDs(maxID)
+	restored := 0
+	for _, js := range journaled {
+		table, err := s.registry.Get(js.Header.Dataset)
+		if err != nil {
+			s.log.Warn("journaled session references an unregistered dataset; skipping",
+				"id", js.ID, "dataset", js.Header.Dataset)
+			continue
+		}
+		opts, err := js.Header.Options()
+		if err != nil {
+			s.log.Warn("journaled session has an invalid header; skipping", "id", js.ID, "err", err)
+			continue
+		}
+		sess, err := core.Replay(table, opts, js.Steps)
+		if err != nil {
+			s.log.Warn("journaled session does not replay; skipping", "id", js.ID, "err", err)
+			continue
+		}
+		info, err := s.manager.Restore(js.ID, js.Header, sess)
+		if err != nil {
+			s.log.Warn("journaled session could not be installed; skipping", "id", js.ID, "err", err)
+			continue
+		}
+		if err := s.journal.Reopen(js.ID, js.ValidBytes); err != nil {
+			s.manager.Delete(js.ID)
+			return restored, err
+		}
+		s.log.Info("session restored from journal", "id", info.ID, "dataset", info.Dataset,
+			"steps", len(js.Steps), "policy", info.Policy)
+		restored++
+	}
+	return restored, nil
 }
 
 // Registry returns the dataset registry, for preloading tables.
@@ -81,6 +152,9 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // listener is torn down. The idle-session sweeper runs alongside the
 // listener. Run returns nil on a clean shutdown.
 func (s *Server) Run(ctx context.Context, addr string) error {
+	if s.journal != nil {
+		defer s.journal.Close()
+	}
 	httpServer := &http.Server{
 		Addr:              addr,
 		Handler:           s.handler,
@@ -103,6 +177,7 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 				return
 			case <-ticker.C:
 				if expired := s.manager.SweepIdle(); len(expired) > 0 {
+					s.removeJournals(expired)
 					s.log.Info("expired idle sessions", "ids", expired, "live", s.manager.Len())
 				}
 			}
@@ -136,3 +211,14 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 
 // shutdownGrace bounds how long Run waits for in-flight requests on shutdown.
 const shutdownGrace = 5 * time.Second
+
+// removeJournals drops the journal files of deleted or expired sessions so a
+// restart does not resurrect them.
+func (s *Server) removeJournals(ids []int64) {
+	if s.journal == nil {
+		return
+	}
+	for _, id := range ids {
+		s.journal.Remove(id)
+	}
+}

@@ -24,7 +24,10 @@ import (
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
-	s := New(Config{Logger: logger})
+	s, err := New(Config{Logger: logger})
+	if err != nil {
+		t.Fatal(err)
+	}
 	table, err := census.Generate(census.Config{Rows: 2000, Seed: 7, SignalStrength: 1})
 	if err != nil {
 		t.Fatalf("generating census: %v", err)
@@ -345,7 +348,10 @@ func TestRunFailsFastOnBindError(t *testing.T) {
 	}
 	defer listener.Close()
 
-	s := New(Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	s, err := New(Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	done := make(chan error, 1)
@@ -370,7 +376,10 @@ func TestRunGracefulShutdown(t *testing.T) {
 	addr := listener.Addr().String()
 	listener.Close() // free the port for Run
 
-	s := New(Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	s, err := New(Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() { done <- s.Run(ctx, addr) }()

@@ -1,0 +1,113 @@
+package simulation
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aware/internal/census"
+	"aware/internal/core"
+)
+
+// ReplayHoldoutConfig parameterizes ReplayHoldoutExperiment.
+type ReplayHoldoutConfig struct {
+	// Rows is the size of the census table the session explores.
+	Rows int
+	// Hypotheses is the number of user-study workflow hypotheses to drive.
+	Hypotheses int
+	// Alpha is the mFDR level of the exploring session and the per-half
+	// significance level of the hold-out confirmation; 0 means 0.05.
+	Alpha float64
+	// Seed drives data generation, workflow generation and the split.
+	Seed int64
+}
+
+// ReplayHoldoutMeasurement reports the outcome of re-validating a recorded
+// exploration log on a hold-out split.
+type ReplayHoldoutMeasurement struct {
+	// StepsRecorded is the length of the recorded step log.
+	StepsRecorded int
+	// ActiveHypotheses and FullDiscoveries describe the full-data session the
+	// log was recorded on.
+	ActiveHypotheses int
+	FullDiscoveries  int
+	// Confirmed counts the active hypotheses the hold-out procedure confirmed
+	// (both halves reject), ActiveTotal the active hypotheses of the replay,
+	// and ConfirmationRate their ratio.
+	Confirmed        int
+	ActiveTotal      int
+	ConfirmationRate float64
+}
+
+// ReplayHoldoutExperiment generalizes the Section 4.1 hold-out analysis from
+// single mean comparisons to whole exploration logs: it drives the paper's
+// user-study workflow as core Steps against a full-size census session
+// (recording the journal), splits the data into exploration and validation
+// halves, and replays the recorded log on both with
+// HoldoutValidator.ReplayLog. The confirmation rate quantifies how many of
+// the session's findings survive independent re-validation — the power loss
+// the paper attributes to the hold-out procedure.
+func ReplayHoldoutExperiment(cfg ReplayHoldoutConfig) (ReplayHoldoutMeasurement, error) {
+	if cfg.Rows <= 0 {
+		cfg.Rows = 30000
+	}
+	if cfg.Hypotheses <= 0 {
+		cfg.Hypotheses = 40
+	}
+	alpha := cfg.Alpha
+	if alpha == 0 {
+		alpha = PaperAlpha
+	}
+	table, err := census.Generate(census.Config{Rows: cfg.Rows, Seed: cfg.Seed, SignalStrength: 1})
+	if err != nil {
+		return ReplayHoldoutMeasurement{}, fmt.Errorf("simulation: generating census: %w", err)
+	}
+	workflow, err := census.GenerateWorkflow(table, census.WorkflowConfig{
+		Hypotheses:    cfg.Hypotheses,
+		Seed:          cfg.Seed + 2,
+		MaxChainDepth: 3,
+	})
+	if err != nil {
+		return ReplayHoldoutMeasurement{}, fmt.Errorf("simulation: generating workflow: %w", err)
+	}
+
+	// Record the exploration on the full data. Recording stops at the first
+	// failed step — wealth exhaustion or a degenerate sub-population — and
+	// keeps the prefix: CoreSteps precomputes the visualization IDs its
+	// comparison steps refer to, so skipping a failed AddVisualization would
+	// silently desynchronize every comparison after it.
+	opts := core.Options{Alpha: alpha}
+	sess, err := core.NewSession(table, opts)
+	if err != nil {
+		return ReplayHoldoutMeasurement{}, err
+	}
+	for _, step := range workflow.CoreSteps() {
+		if _, err := sess.Apply(step); err != nil {
+			break
+		}
+	}
+	recorded := core.StepsFromLog(sess.Log())
+	if len(recorded) == 0 {
+		return ReplayHoldoutMeasurement{}, fmt.Errorf("simulation: workflow produced no applicable steps")
+	}
+
+	validator, err := core.NewHoldoutValidator(table, 0.5, alpha, rand.New(rand.NewSource(cfg.Seed+7)))
+	if err != nil {
+		return ReplayHoldoutMeasurement{}, err
+	}
+	replay, err := validator.ReplayLog(opts, recorded)
+	if err != nil {
+		return ReplayHoldoutMeasurement{}, err
+	}
+
+	m := ReplayHoldoutMeasurement{
+		StepsRecorded:    len(recorded),
+		ActiveHypotheses: len(sess.ActiveHypotheses()),
+		FullDiscoveries:  len(sess.Discoveries()),
+		Confirmed:        replay.Confirmed,
+		ActiveTotal:      replay.ActiveTotal,
+	}
+	if replay.ActiveTotal > 0 {
+		m.ConfirmationRate = float64(replay.Confirmed) / float64(replay.ActiveTotal)
+	}
+	return m, nil
+}
