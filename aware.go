@@ -147,6 +147,14 @@ type (
 	And = dataset.And
 	// Or is a disjunction of predicates.
 	Or = dataset.Or
+	// Selection is a dense bitmap of selected rows, produced by compiling a
+	// predicate with Table.Where.
+	Selection = dataset.Selection
+	// View is a zero-copy filtered look at a table (table + Selection).
+	View = dataset.View
+	// SelectionCache memoizes compiled filter bitmaps for one immutable
+	// table, shareable across concurrent sessions.
+	SelectionCache = dataset.SelectionCache
 )
 
 // Column constructors.
@@ -157,6 +165,14 @@ var (
 	NewCategoricalColumn = dataset.NewCategoricalColumn
 	NewBoolColumn        = dataset.NewBoolColumn
 	ReadCSV              = dataset.ReadCSV
+	// NewIn builds an In predicate with canonically sorted values and an O(1)
+	// membership set.
+	NewIn = dataset.NewIn
+	// NewSelectionCache builds a shared filter-bitmap cache over a table.
+	NewSelectionCache = dataset.NewSelectionCache
+	// CanonicalPredicateKey serializes a predicate into its canonical cache
+	// key (semantically equal predicates key equal).
+	CanonicalPredicateKey = dataset.CanonicalPredicateKey
 )
 
 // Census data generation re-exports.

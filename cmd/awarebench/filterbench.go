@@ -1,0 +1,134 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"aware/internal/census"
+	"aware/internal/dataset"
+)
+
+// runBenchFilter measures the three generations of the filter+count hot path
+// on the census table — the operation every rule-2 hypothesis performs:
+//
+//	filter_legacy_materialized  row-at-a-time Matches, materialize the
+//	                            sub-table, count categories over the copy
+//	                            (the pre-vectorization execution model)
+//	filter_vectorized           compile the predicate to a bitmap Selection
+//	                            and count categories over the zero-copy View
+//	filter_cached_bitmap        the vectorized path through a warmed
+//	                            SelectionCache — the steady state of a served
+//	                            dataset, where some session has already
+//	                            compiled the filter
+//
+// Results merge into BENCH_core.json next to the other experiments, and the
+// legacy-over-cached speedup is printed (the ISSUE acceptance bar is >= 5x).
+func runBenchFilter(outPath string, seed int64, rows int) error {
+	table, err := census.Generate(census.Config{Rows: rows, Seed: seed, SignalStrength: 1})
+	if err != nil {
+		return err
+	}
+	filter := dataset.And{Terms: []dataset.Predicate{
+		dataset.Equals{Column: census.ColSalaryOver50K, Value: "true"},
+		dataset.Range{Column: census.ColAge, Low: 30, High: 50},
+	}}
+	target := census.ColGender
+	cats, err := table.Categories(target)
+	if err != nil {
+		return err
+	}
+
+	// The pre-vectorization path, reproduced: Matches per row, Select the
+	// indices into a fresh sub-table, count categories over the copy.
+	legacy := func() ([]int, error) {
+		var indices []int
+		for i := 0; i < table.NumRows(); i++ {
+			ok, err := filter.Matches(table, i)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				indices = append(indices, i)
+			}
+		}
+		sub, err := table.Select(indices)
+		if err != nil {
+			return nil, err
+		}
+		return sub.CountsFor(target, cats)
+	}
+	vectorized := func() ([]int, error) {
+		view, err := table.View(filter)
+		if err != nil {
+			return nil, err
+		}
+		return view.CountsFor(target, cats)
+	}
+	cache := dataset.NewSelectionCache(table)
+	cached := func() ([]int, error) {
+		view, err := cache.View(filter)
+		if err != nil {
+			return nil, err
+		}
+		return view.CountsFor(target, cats)
+	}
+
+	// The three paths must agree before their timings mean anything.
+	want, err := legacy()
+	if err != nil {
+		return err
+	}
+	for name, fn := range map[string]func() ([]int, error){"vectorized": vectorized, "cached": cached} {
+		got, err := fn()
+		if err != nil {
+			return fmt.Errorf("%s path: %w", name, err)
+		}
+		if len(got) != len(want) {
+			return fmt.Errorf("%s path: %d counts, legacy %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return fmt.Errorf("%s path disagrees with legacy: %v vs %v", name, got, want)
+			}
+		}
+	}
+
+	benchmarks := []namedBenchmark{
+		{"filter_legacy_materialized", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := legacy(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"filter_vectorized", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := vectorized(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"filter_cached_bitmap", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cached(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	fmt.Printf("== filter+count execution paths (census %d rows) ==\n", rows)
+	entries := measure(benchmarks)
+	byOp := make(map[string]BenchEntry, len(entries))
+	for _, e := range entries {
+		byOp[e.Op] = e
+	}
+	if l, c := byOp["filter_legacy_materialized"], byOp["filter_cached_bitmap"]; c.NsPerOp > 0 {
+		fmt.Printf("speedup legacy/vectorized:   %.1fx\n", float64(l.NsPerOp)/float64(byOp["filter_vectorized"].NsPerOp))
+		fmt.Printf("speedup legacy/cached:       %.1fx\n", float64(l.NsPerOp)/float64(c.NsPerOp))
+	}
+	return writeBenchEntries(outPath, entries)
+}

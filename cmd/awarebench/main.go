@@ -14,6 +14,7 @@
 //	awarebench -exp subsets             # Theorem 1 empirical check
 //	awarebench -exp bench               # core-op timings -> BENCH_core.json
 //	awarebench -exp steps               # step dispatch/replay -> BENCH_core.json
+//	awarebench -exp filter              # filter+count execution paths -> BENCH_core.json
 //	awarebench -exp replay              # hold-out replay of a recorded step log
 package main
 
@@ -27,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run: 1a, 1b, 1c, 2, intro, holdout, subsets, bench, steps, replay, all")
+		exp        = flag.String("exp", "all", "experiment to run: 1a, 1b, 1c, 2, intro, holdout, subsets, bench, steps, filter, replay, all")
 		reps       = flag.Int("reps", 0, "replications per configuration (0 = paper defaults: 1000 synthetic, 20 census)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		nullProp   = flag.Float64("null", -1, "true-null proportion for 1a/1b/1c (-1 = run the paper's set)")
@@ -50,6 +51,8 @@ func run(exp string, reps int, seed int64, nullProp float64, rows, hypotheses in
 		return runBenchCore(benchOut, seed, rows)
 	case "steps":
 		return runBenchSteps(benchOut, seed, rows)
+	case "filter":
+		return runBenchFilter(benchOut, seed, rows)
 	case "replay":
 		return runReplayHoldout(seed, rows, hypotheses)
 	case "1a":

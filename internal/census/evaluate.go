@@ -31,21 +31,30 @@ type StepResult struct {
 // exact tests an interactive session would run for the equivalent core.Step
 // sequence (see Workflow.CoreSteps).
 func EvaluateStep(t *dataset.Table, step WorkflowStep) (StepResult, error) {
+	return EvaluateStepWith(dataset.NewSelectionCache(t), step)
+}
+
+// EvaluateStepWith is EvaluateStep resolving filters through the given
+// selection cache, so a whole workflow (EvaluateWorkflow) — or repeated
+// evaluations over one table — compiles each distinct filter chain into a
+// bitmap exactly once.
+func EvaluateStepWith(sel *dataset.SelectionCache, step WorkflowStep) (StepResult, error) {
 	if step.Filter == nil {
 		return StepResult{}, fmt.Errorf("census: step %d has no filter", step.ID)
 	}
+	t := sel.Table()
 	result := StepResult{Step: step, PopulationSize: t.NumRows()}
 
 	switch step.Kind {
 	case FilterVsPopulation:
-		test, support, err := core.FilterVsPopulationTest(t, step.Target, step.Filter)
+		test, support, err := core.FilterVsPopulationTestWith(sel, step.Target, step.Filter)
 		if err != nil {
 			return StepResult{}, fmt.Errorf("census: step %d: %w", step.ID, err)
 		}
 		result.Test = test
 		result.SupportSize = support
 	case FilterVsComplement:
-		test, support, _, err := core.ComparisonTest(t, step.Target, step.Filter, dataset.Not{Inner: step.Filter})
+		test, support, _, err := core.ComparisonTestWith(sel, step.Target, step.Filter, dataset.Not{Inner: step.Filter})
 		if err != nil {
 			return StepResult{}, fmt.Errorf("census: step %d: %w", step.ID, err)
 		}
@@ -64,16 +73,21 @@ func EvaluateStep(t *dataset.Table, step WorkflowStep) (StepResult, error) {
 // same length across sample sizes — the procedure simply has no evidence to
 // reject them, which matches how AWARE treats empty visualizations.
 func EvaluateWorkflow(t *dataset.Table, w *Workflow) ([]StepResult, error) {
+	// One filter-bitmap cache for the whole workflow: user-study workflows
+	// revisit the same filter chains across steps, and FilterVsComplement
+	// shares its filter's bitmap with the chain steps that extend it.
+	sel := dataset.NewSelectionCache(t)
 	results := make([]StepResult, 0, len(w.Steps))
 	for _, step := range w.Steps {
-		res, err := EvaluateStep(t, step)
+		res, err := EvaluateStepWith(sel, step)
 		if err != nil {
 			// Degenerate sub-population (empty filter or collapsed table):
 			// keep the step with a non-informative p-value.
-			support, countErr := t.CountWhere(step.Filter)
+			supportSel, countErr := sel.Where(step.Filter)
 			if countErr != nil {
 				return nil, countErr
 			}
+			support := supportSel.Count()
 			res = StepResult{
 				Step:           step,
 				Test:           stats.TestResult{PValue: 1, Method: "degenerate (insufficient data)"},

@@ -12,6 +12,12 @@ import (
 // internal/census evaluates the user-study workflows through the very same
 // ones, so the interactive service and the paper-figure harness share one
 // code path.
+//
+// Evaluation is vectorized end to end: filters compile to bitmap Selections
+// through a dataset.SelectionCache (so repeated filters — within a session,
+// across a replayed log, or across every session of a served dataset — reuse
+// one bitmap), and all counting runs over zero-copy Views instead of
+// materialized sub-tables.
 
 // numericBins is the number of equal-width bins used when a visualization
 // targets a numeric attribute (the age histograms of Figure 1 D–F). Bin edges
@@ -20,9 +26,10 @@ import (
 const numericBins = 10
 
 // referenceCounts returns the per-category (or per-bin, for numeric targets)
-// counts of target within sub, using the reference table ref to fix the
-// category set / bin edges.
-func referenceCounts(ref, sub *dataset.Table, target string) ([]int, error) {
+// counts of target within the view, using the view's full table as the
+// reference that fixes the category set / bin edges.
+func referenceCounts(sub dataset.View, target string) ([]int, error) {
+	ref := sub.Table()
 	col, err := ref.Column(target)
 	if err != nil {
 		return nil, err
@@ -34,41 +41,10 @@ func referenceCounts(ref, sub *dataset.Table, target string) ([]int, error) {
 		}
 		return sub.CountsFor(target, cats)
 	}
-	// Numeric target: bin on edges computed over the reference table.
-	all, err := ref.Floats(target)
-	if err != nil {
-		return nil, err
-	}
-	hist, err := stats.NewHistogram(all, numericBins)
-	if err != nil {
-		return nil, err
-	}
-	vals, err := sub.Floats(target)
-	if err != nil {
-		return nil, err
-	}
-	counts := make([]int, len(hist.Counts))
-	lo := hist.Edges[0]
-	hi := hist.Edges[len(hist.Edges)-1]
-	width := (hi - lo) / float64(len(counts))
-	if width <= 0 {
-		// A constant (or denormal-range) column collapses every bin edge onto
-		// one point; dividing by the zero width would push int(NaN) through
-		// the index below. Fall back to a single bin holding everything.
-		counts[0] = len(vals)
-		return counts, nil
-	}
-	for _, v := range vals {
-		idx := int((v - lo) / width)
-		if idx < 0 {
-			idx = 0
-		}
-		if idx >= len(counts) {
-			idx = len(counts) - 1
-		}
-		counts[idx]++
-	}
-	return counts, nil
+	// Numeric target: bin on edges computed over the reference table. The
+	// per-row bin assignment is memoized on the table, so only the first
+	// hypothesis over this target pays the binning arithmetic.
+	return sub.BinCounts(target, numericBins)
 }
 
 // FilterVsPopulationTest runs heuristic rule 2's default test: the
@@ -76,15 +52,26 @@ func referenceCounts(ref, sub *dataset.Table, target string) ([]int, error) {
 // reference table, as a χ² goodness-of-fit test. It returns the test result
 // and the filtered support size.
 func FilterVsPopulationTest(ref *dataset.Table, target string, filter dataset.Predicate) (stats.TestResult, int, error) {
-	sub, err := ref.Filter(filter)
+	return FilterVsPopulationTestWith(dataset.NewSelectionCache(ref), target, filter)
+}
+
+// FilterVsPopulationTestWith is FilterVsPopulationTest resolving filters
+// through the given selection cache (the session's own, or a server-wide
+// per-dataset cache shared across sessions).
+func FilterVsPopulationTestWith(sel *dataset.SelectionCache, target string, filter dataset.Predicate) (stats.TestResult, int, error) {
+	sub, err := sel.View(filter)
 	if err != nil {
 		return stats.TestResult{}, 0, err
 	}
-	observed, err := referenceCounts(ref, sub, target)
+	observed, err := referenceCounts(sub, target)
 	if err != nil {
 		return stats.TestResult{}, 0, err
 	}
-	popCounts, err := referenceCounts(ref, ref, target)
+	pop, err := sel.View(nil)
+	if err != nil {
+		return stats.TestResult{}, 0, err
+	}
+	popCounts, err := referenceCounts(pop, target)
 	if err != nil {
 		return stats.TestResult{}, 0, err
 	}
@@ -104,19 +91,25 @@ func FilterVsPopulationTest(ref *dataset.Table, target string, filter dataset.Pr
 // the category set / bin edges fixed by the reference table. It returns the
 // test result and the two support sizes.
 func ComparisonTest(ref *dataset.Table, target string, filterA, filterB dataset.Predicate) (stats.TestResult, int, int, error) {
-	subA, err := ref.Filter(filterA)
+	return ComparisonTestWith(dataset.NewSelectionCache(ref), target, filterA, filterB)
+}
+
+// ComparisonTestWith is ComparisonTest resolving filters through the given
+// selection cache.
+func ComparisonTestWith(sel *dataset.SelectionCache, target string, filterA, filterB dataset.Predicate) (stats.TestResult, int, int, error) {
+	subA, err := sel.View(filterA)
 	if err != nil {
 		return stats.TestResult{}, 0, 0, err
 	}
-	subB, err := ref.Filter(filterB)
+	subB, err := sel.View(filterB)
 	if err != nil {
 		return stats.TestResult{}, 0, 0, err
 	}
-	countsA, err := referenceCounts(ref, subA, target)
+	countsA, err := referenceCounts(subA, target)
 	if err != nil {
 		return stats.TestResult{}, 0, 0, err
 	}
-	countsB, err := referenceCounts(ref, subB, target)
+	countsB, err := referenceCounts(subB, target)
 	if err != nil {
 		return stats.TestResult{}, 0, 0, err
 	}

@@ -33,7 +33,12 @@ type HoldoutResult struct {
 type HoldoutValidator struct {
 	exploration *dataset.Table
 	validation  *dataset.Table
-	alpha       float64
+	// Per-half filter-bitmap caches: a replayed log applies the same filter
+	// chains over and over (and CompareMeans both a filter and its
+	// complement), so each half compiles every distinct predicate once.
+	explorationSel *dataset.SelectionCache
+	validationSel  *dataset.SelectionCache
+	alpha          float64
 }
 
 // NewHoldoutValidator splits data into an exploration fraction and a
@@ -46,7 +51,13 @@ func NewHoldoutValidator(data *dataset.Table, explorationFraction, alpha float64
 	if err != nil {
 		return nil, err
 	}
-	return &HoldoutValidator{exploration: explore, validation: validate, alpha: alpha}, nil
+	return &HoldoutValidator{
+		exploration:    explore,
+		validation:     validate,
+		explorationSel: dataset.NewSelectionCache(explore),
+		validationSel:  dataset.NewSelectionCache(validate),
+		alpha:          alpha,
+	}, nil
 }
 
 // Exploration returns the exploration half.
@@ -60,12 +71,14 @@ func (h *HoldoutValidator) Validation() *dataset.Table { return h.validation }
 // exploration and validation halves, and reports whether the finding is
 // confirmed by both.
 func (h *HoldoutValidator) CompareMeans(numericAttr string, filter dataset.Predicate, alt stats.Alternative) (HoldoutResult, error) {
-	run := func(t *dataset.Table) (stats.TestResult, error) {
-		in, err := t.Filter(filter)
+	run := func(sel *dataset.SelectionCache) (stats.TestResult, error) {
+		in, err := sel.View(filter)
 		if err != nil {
 			return stats.TestResult{}, err
 		}
-		out, err := t.Filter(dataset.Not{Inner: filter})
+		// The complement is a bitmap flip of the cached filter selection; no
+		// second scan, no materialized sub-table.
+		out, err := dataset.NewView(sel.Table(), in.Selection().Not())
 		if err != nil {
 			return stats.TestResult{}, err
 		}
@@ -79,11 +92,11 @@ func (h *HoldoutValidator) CompareMeans(numericAttr string, filter dataset.Predi
 		}
 		return stats.WelchTTest(xs, ys, alt)
 	}
-	explorationRes, err := run(h.exploration)
+	explorationRes, err := run(h.explorationSel)
 	if err != nil {
 		return HoldoutResult{}, fmt.Errorf("core: holdout exploration test: %w", err)
 	}
-	validationRes, err := run(h.validation)
+	validationRes, err := run(h.validationSel)
 	if err != nil {
 		return HoldoutResult{}, fmt.Errorf("core: holdout validation test: %w", err)
 	}
@@ -164,7 +177,13 @@ type ReplayValidation struct {
 // opts must not carry the Policy instance of a session that is still live —
 // pass a fresh policy, or leave it nil for the paper's default.
 func (h *HoldoutValidator) ReplayLog(opts Options, steps []Step) (ReplayValidation, error) {
-	replayPrefix := func(data *dataset.Table, limit int) (*Session, int, error) {
+	replayPrefix := func(data *dataset.Table, sel *dataset.SelectionCache, limit int) (*Session, int, error) {
+		// Each half replays against its own filter-bitmap cache (any caller
+		// cache in opts is bound to the full table, not the halves), so the
+		// N-step replay compiles each distinct filter once instead of
+		// materializing N sub-tables.
+		opts := opts
+		opts.Selections = sel
 		sess, err := NewSession(data, opts)
 		if err != nil {
 			return nil, 0, err
@@ -178,11 +197,11 @@ func (h *HoldoutValidator) ReplayLog(opts Options, steps []Step) (ReplayValidati
 		}
 		return sess, applied, nil
 	}
-	exploration, explApplied, err := replayPrefix(h.exploration, len(steps))
+	exploration, explApplied, err := replayPrefix(h.exploration, h.explorationSel, len(steps))
 	if err != nil {
 		return ReplayValidation{}, err
 	}
-	validation, validApplied, err := replayPrefix(h.validation, explApplied)
+	validation, validApplied, err := replayPrefix(h.validation, h.validationSel, explApplied)
 	if err != nil {
 		return ReplayValidation{}, err
 	}

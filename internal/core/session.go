@@ -19,6 +19,12 @@ type Options struct {
 	// TargetPower is the power used by the n_H1 "how much more data"
 	// annotation; 0 means 0.8.
 	TargetPower float64
+	// Selections is the filter-bitmap cache the session resolves predicates
+	// through. Nil means a fresh private cache over the session's table; a
+	// service that runs many sessions over one immutable dataset passes the
+	// dataset's shared cache so all of them reuse each other's compiled
+	// filters. When set, it must be a cache over the session's own table.
+	Selections *dataset.SelectionCache
 }
 
 // Session is one AWARE exploration session over a fixed dataset. It owns the
@@ -44,6 +50,7 @@ type Options struct {
 // internal/server.SessionManager does.
 type Session struct {
 	data     *dataset.Table
+	sel      *dataset.SelectionCache
 	investor *investing.Investor
 	alpha    float64
 	power    float64
@@ -84,7 +91,13 @@ func NewSession(data *dataset.Table, opts Options) (*Session, error) {
 	if power <= 0 || power >= 1 {
 		return nil, fmt.Errorf("core: target power must be in (0, 1), got %v", power)
 	}
-	return &Session{data: data, investor: inv, alpha: alpha, power: power}, nil
+	sel := opts.Selections
+	if sel == nil {
+		sel = dataset.NewSelectionCache(data)
+	} else if sel.Table() != data {
+		return nil, fmt.Errorf("core: selection cache is bound to a different table than the session")
+	}
+	return &Session{data: data, sel: sel, investor: inv, alpha: alpha, power: power}, nil
 }
 
 // Data returns the table the session explores.
@@ -293,7 +306,7 @@ func (s *Session) compareVisualizations(aID, bID int) (*Hypothesis, error) {
 	if a.Target != b.Target {
 		return nil, fmt.Errorf("%w: %q vs %q", ErrNotComplementary, a.Target, b.Target)
 	}
-	test, nA, nB, err := ComparisonTest(s.data, a.Target, a.Filter, b.Filter)
+	test, nA, nB, err := ComparisonTestWith(s.sel, a.Target, a.Filter, b.Filter)
 	if err != nil {
 		return nil, fmt.Errorf("core: comparison hypothesis for %q vs %q: %w", a.Describe(), b.Describe(), err)
 	}
@@ -318,7 +331,7 @@ func (s *Session) testAgainstExpectation(vizID int, expected map[string]float64)
 	if err != nil {
 		return nil, err
 	}
-	sub, err := s.data.Filter(viz.Filter)
+	sub, err := s.sel.View(viz.Filter)
 	if err != nil {
 		return nil, err
 	}
@@ -407,11 +420,11 @@ func (s *Session) comparedFloats(numericAttr string, aID, bID int) (a, b *Visual
 	if b, err = s.visualization(bID); err != nil {
 		return nil, nil, nil, nil, err
 	}
-	subA, err := s.data.Filter(a.Filter)
+	subA, err := s.sel.View(a.Filter)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	subB, err := s.data.Filter(b.Filter)
+	subB, err := s.sel.View(b.Filter)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
@@ -466,7 +479,7 @@ func (s *Session) supersedeAttached(replacement *Hypothesis, vizzes ...*Visualiz
 // testFilterVsPopulation runs the rule-2 default hypothesis for a filtered
 // visualization.
 func (s *Session) testFilterVsPopulation(viz *Visualization) (*Hypothesis, error) {
-	test, support, err := FilterVsPopulationTest(s.data, viz.Target, viz.Filter)
+	test, support, err := FilterVsPopulationTestWith(s.sel, viz.Target, viz.Filter)
 	if err != nil {
 		return nil, fmt.Errorf("core: default hypothesis for %q: %w", viz.Describe(), err)
 	}

@@ -274,11 +274,11 @@ func TestApplyAtomicOnDegenerateFilter(t *testing.T) {
 // constant numeric column used to divide by a zero bin width.
 func TestReferenceCountsConstantColumn(t *testing.T) {
 	tab := stepTestTable(t)
-	sub, err := tab.Filter(dataset.Equals{Column: "group", Value: "b"})
+	sub, err := tab.View(dataset.Equals{Column: "group", Value: "b"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	counts, err := referenceCounts(tab, sub, "constant")
+	counts, err := referenceCounts(sub, "constant")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +314,11 @@ func TestZeroWidthBinGuard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	counts, err := referenceCounts(tab, tab, "v")
+	full, err := tab.View(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := referenceCounts(full, "v")
 	if err != nil {
 		t.Fatal(err)
 	}

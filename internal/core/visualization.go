@@ -34,11 +34,12 @@ func (v *Visualization) Describe() string {
 }
 
 // Histogram returns the per-category counts of the visualization over the
-// given table, i.e. exactly the bars the chart would render.
+// given table, i.e. exactly the bars the chart would render. The filter is
+// evaluated as a bitmap selection; no sub-table is materialized.
 func (v *Visualization) Histogram(t *dataset.Table) ([]dataset.GroupCount, error) {
-	sub, err := t.Filter(v.Filter)
+	view, err := t.View(v.Filter)
 	if err != nil {
 		return nil, err
 	}
-	return sub.GroupBy(v.Target)
+	return view.GroupBy(v.Target)
 }

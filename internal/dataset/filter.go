@@ -36,17 +36,43 @@ func (e Equals) Matches(t *Table, i int) (bool, error) {
 }
 
 // In matches rows whose categorical column equals any of Values.
+//
+// Build In with NewIn where possible: the constructor sorts Values into the
+// canonical order (so Describe, the JSON encoding and cache keys of
+// semantically equal predicates compare equal) and pre-builds the membership
+// set that Matches consults in O(1) per row. A plain In{...} literal still
+// works — Describe and the JSON codec sort on the fly, and Matches falls back
+// to a linear scan of Values.
 type In struct {
 	Column string
 	Values []string
+
+	// memo is the pre-built value-membership set (NewIn and the JSON decoder
+	// populate it). It is derived state, deliberately excluded from the wire
+	// format; two In values with equal Column and Values are semantically
+	// equal regardless of memo.
+	memo map[string]struct{}
 }
 
-// Describe implements Predicate.
+// NewIn builds an In predicate with sorted values and a pre-built membership
+// set.
+func NewIn(column string, values ...string) In {
+	sorted := sortedStrings(values)
+	memo := make(map[string]struct{}, len(sorted))
+	for _, v := range sorted {
+		memo[v] = struct{}{}
+	}
+	return In{Column: column, Values: sorted, memo: memo}
+}
+
+// Describe implements Predicate. Values render in sorted order so that
+// semantically equal predicates describe identically.
 func (p In) Describe() string {
-	return fmt.Sprintf("%s in {%s}", p.Column, strings.Join(p.Values, ", "))
+	return fmt.Sprintf("%s in {%s}", p.Column, strings.Join(sortedStrings(p.Values), ", "))
 }
 
-// Matches implements Predicate.
+// Matches implements Predicate: a set lookup when the predicate was built
+// with NewIn (or decoded from JSON), a linear scan for struct literals.
 func (p In) Matches(t *Table, i int) (bool, error) {
 	c, err := t.Column(p.Column)
 	if err != nil {
@@ -55,6 +81,10 @@ func (p In) Matches(t *Table, i int) (bool, error) {
 	v, err := c.StringAt(i)
 	if err != nil {
 		return false, err
+	}
+	if p.memo != nil {
+		_, ok := p.memo[v]
+		return ok, nil
 	}
 	for _, want := range p.Values {
 		if v == want {
@@ -190,22 +220,19 @@ func (o Or) Matches(t *Table, i int) (bool, error) {
 }
 
 // Filter returns the sub-table of rows matching the predicate. A nil
-// predicate matches every row (returning the table itself).
+// predicate matches every row (returning the table itself). The predicate is
+// compiled through the vectorized kernels (Table.Where); callers that only
+// need counts or histograms should prefer Table.View, which skips the copy
+// entirely.
 func (t *Table) Filter(p Predicate) (*Table, error) {
 	if p == nil {
 		return t, nil
 	}
-	var indices []int
-	for i := 0; i < t.rows; i++ {
-		ok, err := p.Matches(t, i)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			indices = append(indices, i)
-		}
+	sel, err := t.Where(p)
+	if err != nil {
+		return nil, err
 	}
-	return t.Select(indices)
+	return t.Select(sel.Indices())
 }
 
 // CountWhere returns the number of rows matching the predicate without
@@ -214,15 +241,9 @@ func (t *Table) CountWhere(p Predicate) (int, error) {
 	if p == nil {
 		return t.rows, nil
 	}
-	count := 0
-	for i := 0; i < t.rows; i++ {
-		ok, err := p.Matches(t, i)
-		if err != nil {
-			return 0, err
-		}
-		if ok {
-			count++
-		}
+	sel, err := t.Where(p)
+	if err != nil {
+		return 0, err
 	}
-	return count, nil
+	return sel.Count(), nil
 }

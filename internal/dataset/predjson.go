@@ -84,7 +84,9 @@ func encodePredicate(p Predicate) (*predicateJSON, error) {
 	case Equals:
 		return &predicateJSON{Type: "equals", Column: q.Column, Value: q.Value}, nil
 	case In:
-		return &predicateJSON{Type: "in", Column: q.Column, Values: q.Values}, nil
+		// Values encode sorted, so semantically equal In predicates (the same
+		// value set in any order) serialize — and therefore cache — equal.
+		return &predicateJSON{Type: "in", Column: q.Column, Values: sortedStrings(q.Values)}, nil
 	case Range:
 		return &predicateJSON{Type: "range", Column: q.Column, Low: bound(q.Low), High: bound(q.High)}, nil
 	case GreaterThan:
@@ -147,7 +149,7 @@ func decodePredicate(pj *predicateJSON) (Predicate, error) {
 		if pj.Column == "" {
 			return nil, fmt.Errorf("dataset: in predicate requires a column")
 		}
-		return In{Column: pj.Column, Values: pj.Values}, nil
+		return NewIn(pj.Column, pj.Values...), nil
 	case "range":
 		if pj.Column == "" {
 			return nil, fmt.Errorf("dataset: range predicate requires a column")
@@ -224,4 +226,18 @@ func UnmarshalPredicate(data []byte) (Predicate, error) {
 		return nil, fmt.Errorf("dataset: parsing predicate JSON: %w", err)
 	}
 	return decodePredicate(&pj)
+}
+
+// CanonicalPredicateKey returns a canonical string key for the predicate: its
+// JSON wire form, which sorts In values, so semantically equal predicates
+// produce equal keys. It is the cache key of SelectionCache. And/Or term
+// order is preserved — reordered conjunctions are semantically equal but key
+// (and therefore cache) separately, a deliberate trade of hit rate for key
+// simplicity.
+func CanonicalPredicateKey(p Predicate) (string, error) {
+	data, err := MarshalPredicate(p)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
 }

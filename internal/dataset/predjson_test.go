@@ -14,8 +14,8 @@ func TestPredicateJSONRoundTrip(t *testing.T) {
 	}{
 		{"equals", Equals{Column: "gender", Value: "Female"}},
 		{"equals empty value", Equals{Column: "note", Value: ""}},
-		{"in", In{Column: "education", Values: []string{"Master", "PhD"}}},
-		{"in single", In{Column: "education", Values: []string{"HS"}}},
+		{"in", NewIn("education", "Master", "PhD")},
+		{"in single", NewIn("education", "HS")},
 		{"range", Range{Column: "age", Low: 30, High: 40}},
 		{"range open low", Range{Column: "age", Low: math.Inf(-1), High: 65}},
 		{"range open high", Range{Column: "age", Low: 18, High: math.Inf(1)}},
@@ -38,7 +38,7 @@ func TestPredicateJSONRoundTrip(t *testing.T) {
 		{"deeply nested", And{Terms: []Predicate{
 			Or{Terms: []Predicate{
 				Equals{Column: "occupation", Value: "Sales"},
-				In{Column: "occupation", Values: []string{"Admin", "Craft"}},
+				NewIn("occupation", "Admin", "Craft"),
 			}},
 			Not{Inner: Range{Column: "age", Low: math.Inf(-1), High: 25}},
 			Equals{Column: "salary_over_50k", Value: "true"},
@@ -80,6 +80,22 @@ func TestPredicateJSONWireShape(t *testing.T) {
 	}
 	if !strings.Contains(string(data), `"high":"+inf"`) {
 		t.Errorf("open high bound should encode as the string \"+inf\", got %s", data)
+	}
+	// In values encode in sorted order regardless of how the predicate was
+	// written, so semantically equal predicates serialize (and cache) equal.
+	data, err = MarshalPredicate(In{Column: "education", Values: []string{"PhD", "Bachelor", "Master"}})
+	if err != nil {
+		t.Fatalf("MarshalPredicate: %v", err)
+	}
+	if !strings.Contains(string(data), `"values":["Bachelor","Master","PhD"]`) {
+		t.Errorf("in values should encode sorted, got %s", data)
+	}
+	sortedData, err := MarshalPredicate(NewIn("education", "Master", "PhD", "Bachelor"))
+	if err != nil {
+		t.Fatalf("MarshalPredicate: %v", err)
+	}
+	if string(sortedData) != string(data) {
+		t.Errorf("semantically equal In predicates encode differently:\n  %s\n  %s", data, sortedData)
 	}
 	// Leaf predicates must not carry a spurious "terms" field.
 	data, err = MarshalPredicate(Equals{Column: "gender", Value: "Female"})

@@ -1,0 +1,671 @@
+package dataset
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"aware/internal/stats"
+)
+
+// This file is the vectorized execution path of the substrate. Instead of
+// interpreting a Predicate row by row (Predicate.Matches, kept as the
+// reference implementation for differential testing), each predicate compiles
+// into a columnar kernel producing a Selection — a dense bitmap over the
+// table's row indices. Boolean combinators become word-wise bitmap operations
+// (And = intersect, Or = union, Not = flip), and a View pairs the immutable
+// table with a Selection so that counting, histogramming and numeric
+// extraction iterate set bits without ever materializing a sub-table.
+
+// Selection is an immutable dense bitmap over the rows of a table: bit i is
+// set when row i is selected. Selections are created by the predicate kernels
+// (Table.Where) and combined with And/Or/Not, each of which returns a new
+// Selection; once returned, a Selection is never mutated, so it may be shared
+// freely across goroutines and cached across sessions.
+type Selection struct {
+	n     int
+	words []uint64
+	count int
+}
+
+// newSelection returns an all-clear selection over n rows.
+func newSelection(n int) *Selection {
+	return &Selection{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// FullSelection returns a selection with every one of the n rows set.
+func FullSelection(n int) *Selection {
+	s := newSelection(n)
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.maskTail()
+	s.count = n
+	return s
+}
+
+// EmptySelection returns a selection over n rows with no row set.
+func EmptySelection(n int) *Selection { return newSelection(n) }
+
+// maskTail clears the bits past the last row in the final word, preserving
+// the invariant that unused bits are always zero (Not and Count rely on it).
+func (s *Selection) maskTail() {
+	if tail := s.n % 64; tail != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (uint64(1) << tail) - 1
+	}
+}
+
+// recount recomputes the cached population count after kernel writes.
+func (s *Selection) recount() {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	s.count = c
+}
+
+// setBit marks row i as selected. Kernels call it during construction; the
+// selection must not have been shared yet.
+func (s *Selection) setBit(i int) { s.words[i/64] |= uint64(1) << (i % 64) }
+
+// Len returns the number of rows the selection spans (set or not).
+func (s *Selection) Len() int { return s.n }
+
+// Count returns the number of selected rows.
+func (s *Selection) Count() int { return s.count }
+
+// Contains reports whether row i is selected.
+func (s *Selection) Contains(i int) bool {
+	return s.words[i/64]&(uint64(1)<<(i%64)) != 0
+}
+
+// checkSameSpan panics when two selections span different row counts:
+// combining selections of different tables is a programming error that would
+// otherwise corrupt the bitmap (or index out of range) far from its cause.
+func (s *Selection) checkSameSpan(o *Selection) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("dataset: combining selections over %d and %d rows", s.n, o.n))
+	}
+}
+
+// And returns the intersection of two selections, which must span the same
+// table.
+func (s *Selection) And(o *Selection) *Selection {
+	s.checkSameSpan(o)
+	out := newSelection(s.n)
+	for i := range out.words {
+		out.words[i] = s.words[i] & o.words[i]
+	}
+	out.recount()
+	return out
+}
+
+// Or returns the union of two selections, which must span the same table.
+func (s *Selection) Or(o *Selection) *Selection {
+	s.checkSameSpan(o)
+	out := newSelection(s.n)
+	for i := range out.words {
+		out.words[i] = s.words[i] | o.words[i]
+	}
+	out.recount()
+	return out
+}
+
+// Not returns the complement of the selection.
+func (s *Selection) Not() *Selection {
+	out := newSelection(s.n)
+	for i := range out.words {
+		out.words[i] = ^s.words[i]
+	}
+	out.maskTail()
+	out.count = s.n - s.count
+	return out
+}
+
+// ForEach calls fn with every selected row index, in ascending order.
+func (s *Selection) ForEach(fn func(row int)) {
+	for wi, w := range s.words {
+		base := wi * 64
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// Indices returns the selected row indices in ascending order.
+func (s *Selection) Indices() []int {
+	out := make([]int, 0, s.count)
+	s.ForEach(func(row int) { out = append(out, row) })
+	return out
+}
+
+// --- predicate kernels ---
+
+// Where compiles the predicate into a Selection over the table's rows. A nil
+// predicate selects every row. The seven built-in predicate types run as
+// columnar kernels (one type-dispatched pass per leaf, bitmap algebra for the
+// combinators); any other Predicate implementation falls back to the
+// row-at-a-time Matches loop, so external predicates keep working.
+func (t *Table) Where(p Predicate) (*Selection, error) {
+	if p == nil {
+		return FullSelection(t.rows), nil
+	}
+	switch q := p.(type) {
+	case Equals:
+		return t.whereEquals(q)
+	case In:
+		return t.whereIn(q)
+	case Range:
+		return t.whereNumeric(q.Column, func(v float64) bool { return v >= q.Low && v < q.High })
+	case GreaterThan:
+		return t.whereNumeric(q.Column, func(v float64) bool { return v > q.Threshold })
+	case Not:
+		if q.Inner == nil {
+			return nil, fmt.Errorf("dataset: not predicate with nil inner predicate")
+		}
+		inner, err := t.Where(q.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return inner.Not(), nil
+	case And:
+		sel := FullSelection(t.rows)
+		for _, term := range q.Terms {
+			// Short-circuit on an empty accumulator: no row would reach the
+			// remaining terms row-at-a-time, so they must not be compiled —
+			// this keeps error behavior identical to the reference path (a
+			// term with a bad column after an all-false term never errors).
+			if sel.Count() == 0 {
+				break
+			}
+			ts, err := t.Where(term)
+			if err != nil {
+				return nil, err
+			}
+			sel = sel.And(ts)
+		}
+		return sel, nil
+	case Or:
+		sel := EmptySelection(t.rows)
+		for _, term := range q.Terms {
+			// Mirror image of the And short-circuit: once every row is
+			// selected, no row would evaluate the remaining terms.
+			if sel.Count() == t.rows {
+				break
+			}
+			ts, err := t.Where(term)
+			if err != nil {
+				return nil, err
+			}
+			sel = sel.Or(ts)
+		}
+		return sel, nil
+	default:
+		sel := newSelection(t.rows)
+		for i := 0; i < t.rows; i++ {
+			ok, err := p.Matches(t, i)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				sel.setBit(i)
+			}
+		}
+		sel.recount()
+		return sel, nil
+	}
+}
+
+// categoricalColumn resolves a column that Equals/In may scan, with the same
+// errors the row-at-a-time path produces.
+func (t *Table) categoricalColumn(name string) (*Column, error) {
+	c, err := t.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.Type != Categorical && c.Type != Bool {
+		return nil, fmt.Errorf("%w: %s is %s, not categorical", ErrTypeMismatch, c.Name, c.Type)
+	}
+	return c, nil
+}
+
+func (t *Table) whereEquals(q Equals) (*Selection, error) {
+	c, err := t.categoricalColumn(q.Column)
+	if err != nil {
+		return nil, err
+	}
+	if c.Type == Bool {
+		switch q.Value {
+		case "true":
+			return t.whereBools(c, true), nil
+		case "false":
+			return t.whereBools(c, false), nil
+		default:
+			return EmptySelection(t.rows), nil
+		}
+	}
+	code, ok := c.codeOf[q.Value]
+	if !ok {
+		return EmptySelection(t.rows), nil
+	}
+	sel := newSelection(t.rows)
+	for i, rc := range c.codes {
+		if rc == code {
+			sel.setBit(i)
+		}
+	}
+	sel.recount()
+	return sel, nil
+}
+
+func (t *Table) whereIn(q In) (*Selection, error) {
+	c, err := t.categoricalColumn(q.Column)
+	if err != nil {
+		return nil, err
+	}
+	if c.Type == Bool {
+		var wantTrue, wantFalse bool
+		for _, v := range q.Values {
+			switch v {
+			case "true":
+				wantTrue = true
+			case "false":
+				wantFalse = true
+			}
+		}
+		switch {
+		case wantTrue && wantFalse:
+			return FullSelection(t.rows), nil
+		case wantTrue:
+			return t.whereBools(c, true), nil
+		case wantFalse:
+			return t.whereBools(c, false), nil
+		default:
+			return EmptySelection(t.rows), nil
+		}
+	}
+	// Translate the value set into a code set once, then scan codes.
+	want := make(map[uint32]struct{}, len(q.Values))
+	for _, v := range q.Values {
+		if code, ok := c.codeOf[v]; ok {
+			want[code] = struct{}{}
+		}
+	}
+	if len(want) == 0 {
+		return EmptySelection(t.rows), nil
+	}
+	sel := newSelection(t.rows)
+	for i, rc := range c.codes {
+		if _, ok := want[rc]; ok {
+			sel.setBit(i)
+		}
+	}
+	sel.recount()
+	return sel, nil
+}
+
+func (t *Table) whereBools(c *Column, want bool) *Selection {
+	sel := newSelection(t.rows)
+	for i, b := range c.bools {
+		if b == want {
+			sel.setBit(i)
+		}
+	}
+	sel.recount()
+	return sel
+}
+
+func (t *Table) whereNumeric(name string, keep func(float64) bool) (*Selection, error) {
+	c, err := t.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	sel := newSelection(t.rows)
+	switch c.Type {
+	case Float64:
+		for i, v := range c.floats {
+			if keep(v) {
+				sel.setBit(i)
+			}
+		}
+	case Int64:
+		for i, v := range c.ints {
+			if keep(float64(v)) {
+				sel.setBit(i)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("%w: %s is %s, not numeric", ErrTypeMismatch, c.Name, c.Type)
+	}
+	sel.recount()
+	return sel, nil
+}
+
+// --- views ---
+
+// View is a zero-copy filtered look at an immutable table: the table plus a
+// Selection of its rows. Every read that the evaluation layer needs — counts
+// per category, equal-width bin counts, numeric extraction, group-bys —
+// iterates the selection's set bits over the shared column storage, so no
+// sub-table is ever materialized. Views are values; copying one is free.
+type View struct {
+	table *Table
+	sel   *Selection
+}
+
+// View compiles the predicate (nil = all rows) and wraps the result.
+func (t *Table) View(p Predicate) (View, error) {
+	sel, err := t.Where(p)
+	if err != nil {
+		return View{}, err
+	}
+	return View{table: t, sel: sel}, nil
+}
+
+// NewView pairs a table with an existing selection, which must span exactly
+// the table's rows.
+func NewView(t *Table, sel *Selection) (View, error) {
+	if t == nil || sel == nil {
+		return View{}, fmt.Errorf("dataset: view requires a table and a selection")
+	}
+	if sel.Len() != t.rows {
+		return View{}, fmt.Errorf("%w: selection spans %d rows, table has %d", ErrLengthMismatch, sel.Len(), t.rows)
+	}
+	return View{table: t, sel: sel}, nil
+}
+
+// Table returns the underlying (shared, immutable) table.
+func (v View) Table() *Table { return v.table }
+
+// Selection returns the view's row selection.
+func (v View) Selection() *Selection { return v.sel }
+
+// NumRows returns the number of selected rows.
+func (v View) NumRows() int { return v.sel.Count() }
+
+// CountsFor returns the counts of the column's values among the selected
+// rows, in the order given by categories — the vectorized equivalent of
+// materializing the sub-table and calling Table.CountsFor.
+func (v View) CountsFor(name string, categories []string) ([]int, error) {
+	c, err := v.table.categoricalColumn(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(categories))
+	if c.Type == Bool {
+		var nTrue, nFalse int
+		v.sel.ForEach(func(row int) {
+			if c.bools[row] {
+				nTrue++
+			} else {
+				nFalse++
+			}
+		})
+		for i, cat := range categories {
+			switch cat {
+			case "true":
+				out[i] = nTrue
+			case "false":
+				out[i] = nFalse
+			}
+		}
+		return out, nil
+	}
+	byCode := make([]int, len(c.dict))
+	v.sel.ForEach(func(row int) { byCode[c.codes[row]]++ })
+	for i, cat := range categories {
+		if code, ok := c.codeOf[cat]; ok {
+			out[i] = byCode[code]
+		}
+	}
+	return out, nil
+}
+
+// GroupBy returns the per-value counts of a categorical (or bool) column
+// among the selected rows, sorted by value — the bars a filtered chart
+// renders, without materializing the sub-table.
+func (v View) GroupBy(name string) ([]GroupCount, error) {
+	c, err := v.table.categoricalColumn(name)
+	if err != nil {
+		return nil, err
+	}
+	var out []GroupCount
+	if c.Type == Bool {
+		var nTrue, nFalse int
+		v.sel.ForEach(func(row int) {
+			if c.bools[row] {
+				nTrue++
+			} else {
+				nFalse++
+			}
+		})
+		if nFalse > 0 {
+			out = append(out, GroupCount{Value: "false", Count: nFalse})
+		}
+		if nTrue > 0 {
+			out = append(out, GroupCount{Value: "true", Count: nTrue})
+		}
+		return out, nil
+	}
+	byCode := make([]int, len(c.dict))
+	v.sel.ForEach(func(row int) { byCode[c.codes[row]]++ })
+	for code, n := range byCode {
+		if n > 0 {
+			out = append(out, GroupCount{Value: c.dict[code], Count: n})
+		}
+	}
+	// The dictionary is sorted, so the output already is.
+	return out, nil
+}
+
+// Floats returns the numeric values of the named column at the selected rows.
+func (v View) Floats(name string) ([]float64, error) {
+	c, err := v.table.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, v.sel.Count())
+	switch c.Type {
+	case Float64:
+		v.sel.ForEach(func(row int) { out = append(out, c.floats[row]) })
+	case Int64:
+		v.sel.ForEach(func(row int) { out = append(out, float64(c.ints[row])) })
+	default:
+		return nil, fmt.Errorf("%w: %s is %s, not numeric", ErrTypeMismatch, c.Name, c.Type)
+	}
+	return out, nil
+}
+
+// BinCounts returns the per-bin counts of a numeric column among the selected
+// rows, using equal-width bins whose edges span the FULL table's range — the
+// axes a filtered histogram shares with the population it is compared
+// against. The per-row bin assignment is computed once per (table, column,
+// bins) and memoized on the table, so every subsequent view pays only one
+// array lookup per selected row.
+func (v View) BinCounts(name string, bins int) ([]int, error) {
+	ba, err := v.table.binAssignments(name, bins)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int, bins)
+	v.sel.ForEach(func(row int) { counts[ba.assign[row]]++ })
+	return counts, nil
+}
+
+// Materialize copies the selected rows into a standalone table. The
+// vectorized paths never need this; it exists for callers that must hand a
+// *Table to legacy APIs.
+func (v View) Materialize() (*Table, error) {
+	return v.table.Select(v.sel.Indices())
+}
+
+// binAssignments computes (or returns the memoized) per-row bin index of a
+// numeric column cut into equal-width bins spanning the full table's range.
+// The arithmetic replicates the reference path — stats.NewHistogram edges,
+// then int((v-lo)/width) with clamping, with a degenerate-width fallback that
+// assigns every row to bin 0 — so vectorized bin counts are bit-for-bit
+// identical to binning a materialized sub-table.
+func (t *Table) binAssignments(column string, binCount int) (*binAssignment, error) {
+	key := binKey{column: column, bins: binCount}
+	t.binsMu.RLock()
+	ba := t.bins[key]
+	t.binsMu.RUnlock()
+	if ba != nil {
+		return ba, nil
+	}
+	all, err := t.Floats(column)
+	if err != nil {
+		return nil, err
+	}
+	hist, err := stats.NewHistogram(all, binCount)
+	if err != nil {
+		return nil, err
+	}
+	lo := hist.Edges[0]
+	hi := hist.Edges[len(hist.Edges)-1]
+	width := (hi - lo) / float64(binCount)
+	assign := make([]int32, len(all))
+	if width > 0 {
+		for i, v := range all {
+			idx := int((v - lo) / width)
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= binCount {
+				idx = binCount - 1
+			}
+			assign[i] = int32(idx)
+		}
+	}
+	ba = &binAssignment{assign: assign, bins: binCount}
+	t.binsMu.Lock()
+	if t.bins == nil {
+		t.bins = make(map[binKey]*binAssignment)
+	}
+	if prev, ok := t.bins[key]; ok {
+		ba = prev // a concurrent caller computed it first; keep one copy
+	} else {
+		t.bins[key] = ba
+	}
+	t.binsMu.Unlock()
+	return ba, nil
+}
+
+// --- the filter-bitmap cache ---
+
+// defaultSelectionCacheCap bounds a SelectionCache; see NewSelectionCache.
+const defaultSelectionCacheCap = 4096
+
+// SelectionCache memoizes compiled filter bitmaps for one immutable table,
+// keyed by the canonical predicate serialization (CanonicalPredicateKey), so
+// semantically equal filters — including In predicates written with their
+// values in different orders — share one Selection. Selections are immutable,
+// so a cache may be shared by any number of concurrent sessions exploring the
+// same dataset; all methods are safe for concurrent use.
+//
+// The cache is capacity-bounded: past cap entries, an arbitrary entry is
+// evicted per insert. Eviction never affects correctness, only hit rate.
+type SelectionCache struct {
+	table *Table
+	cap   int
+	full  *Selection // the nil-predicate selection, shared by every caller
+
+	mu      sync.RWMutex
+	entries map[string]*Selection
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewSelectionCache builds a cache over the table with the default capacity.
+func NewSelectionCache(t *Table) *SelectionCache {
+	return NewSelectionCacheCap(t, defaultSelectionCacheCap)
+}
+
+// NewSelectionCacheCap builds a cache with an explicit capacity (entries).
+func NewSelectionCacheCap(t *Table, capacity int) *SelectionCache {
+	if capacity <= 0 {
+		capacity = defaultSelectionCacheCap
+	}
+	return &SelectionCache{
+		table:   t,
+		cap:     capacity,
+		full:    FullSelection(t.NumRows()),
+		entries: make(map[string]*Selection),
+	}
+}
+
+// Table returns the table the cache compiles against.
+func (c *SelectionCache) Table() *Table { return c.table }
+
+// Where returns the selection for the predicate, compiling and caching it on
+// first use. A nil predicate returns the shared full selection (built once —
+// it is on the hot path of every population-vs-filter test); predicates that
+// cannot be canonically serialized are compiled uncached.
+func (c *SelectionCache) Where(p Predicate) (*Selection, error) {
+	if p == nil {
+		return c.full, nil
+	}
+	key, err := CanonicalPredicateKey(p)
+	if err != nil {
+		return c.table.Where(p)
+	}
+	c.mu.RLock()
+	sel := c.entries[key]
+	c.mu.RUnlock()
+	if sel != nil {
+		c.hits.Add(1)
+		return sel, nil
+	}
+	c.misses.Add(1)
+	sel, err = c.table.Where(p)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if prev, ok := c.entries[key]; ok {
+		sel = prev // lost a benign race; keep the first copy
+	} else {
+		if len(c.entries) >= c.cap {
+			for k := range c.entries {
+				delete(c.entries, k)
+				break
+			}
+		}
+		c.entries[key] = sel
+	}
+	c.mu.Unlock()
+	return sel, nil
+}
+
+// View is Where wrapped into a zero-copy view.
+func (c *SelectionCache) View(p Predicate) (View, error) {
+	sel, err := c.Where(p)
+	if err != nil {
+		return View{}, err
+	}
+	return View{table: c.table, sel: sel}, nil
+}
+
+// Len returns the number of cached bitmaps.
+func (c *SelectionCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Stats returns the cumulative hit and miss counters.
+func (c *SelectionCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// sortedStrings returns a sorted copy of values (the canonical order used by
+// In.Describe, the JSON codec and the cache key).
+func sortedStrings(values []string) []string {
+	out := append([]string(nil), values...)
+	sort.Strings(out)
+	return out
+}

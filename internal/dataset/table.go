@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // ColumnType enumerates the supported column types.
@@ -61,6 +62,14 @@ var (
 
 // Column is a named, typed vector of values. Exactly one of the value slices
 // is populated, matching Type.
+//
+// Categorical columns are dictionary-encoded at construction: dict holds the
+// sorted distinct values, codes holds one uint32 per row indexing into dict,
+// and codeOf inverts the dictionary. The vectorized predicate kernels
+// (selection.go) scan codes instead of comparing strings, and Categories and
+// ValueCounts read the dictionary instead of re-scanning the rows. Bool
+// columns need no explicit dictionary — their native []bool representation is
+// already the two-code encoding (false = 0, true = 1).
 type Column struct {
 	Name string
 	Type ColumnType
@@ -69,6 +78,10 @@ type Column struct {
 	ints    []int64
 	strings []string
 	bools   []bool
+
+	dict   []string          // sorted distinct values (Categorical only)
+	codes  []uint32          // per-row index into dict (Categorical only)
+	codeOf map[string]uint32 // value -> code (Categorical only)
 }
 
 // NewFloatColumn builds a Float64 column.
@@ -81,9 +94,34 @@ func NewIntColumn(name string, values []int64) *Column {
 	return &Column{Name: name, Type: Int64, ints: values}
 }
 
+// encodeDictionary builds the column's dictionary encoding: the string
+// payload is kept for row-at-a-time access, but every vectorized path
+// operates on the uint32 codes built here.
+func (c *Column) encodeDictionary() {
+	distinct := make(map[string]struct{})
+	for _, v := range c.strings {
+		distinct[v] = struct{}{}
+	}
+	c.dict = make([]string, 0, len(distinct))
+	for v := range distinct {
+		c.dict = append(c.dict, v)
+	}
+	sort.Strings(c.dict)
+	c.codeOf = make(map[string]uint32, len(c.dict))
+	for i, v := range c.dict {
+		c.codeOf[v] = uint32(i)
+	}
+	c.codes = make([]uint32, len(c.strings))
+	for i, v := range c.strings {
+		c.codes[i] = c.codeOf[v]
+	}
+}
+
 // NewCategoricalColumn builds a Categorical column.
 func NewCategoricalColumn(name string, values []string) *Column {
-	return &Column{Name: name, Type: Categorical, strings: values}
+	c := &Column{Name: name, Type: Categorical, strings: values}
+	c.encodeDictionary()
+	return c
 }
 
 // NewBoolColumn builds a Bool column.
@@ -162,6 +200,15 @@ func (c *Column) gather(indices []int) *Column {
 		for i, idx := range indices {
 			out.strings[i] = c.strings[idx]
 		}
+		// Share the (immutable) dictionary and gather the codes directly; the
+		// gathered column may no longer contain every dictionary value, which
+		// is fine — Categories and ValueCounts report only codes that occur.
+		out.dict = c.dict
+		out.codeOf = c.codeOf
+		out.codes = make([]uint32, len(indices))
+		for i, idx := range indices {
+			out.codes[i] = c.codes[idx]
+		}
 	case Bool:
 		out.bools = make([]bool, len(indices))
 		for i, idx := range indices {
@@ -172,10 +219,33 @@ func (c *Column) gather(indices []int) *Column {
 }
 
 // Table is an immutable-by-convention collection of equal-length columns.
+//
+// The binning cache is the one exception to "immutable": per-row bin
+// assignments for numeric columns are computed on first use and memoized
+// under binsMu, so repeated histogram requests (every rule-2 hypothesis over
+// a numeric target) skip the per-row arithmetic. The cache only ever grows
+// and its entries are immutable once stored, so concurrent readers are safe.
 type Table struct {
 	columns []*Column
 	byName  map[string]*Column
 	rows    int
+
+	binsMu sync.RWMutex
+	bins   map[binKey]*binAssignment
+}
+
+// binKey identifies one memoized binning: a numeric column cut into a fixed
+// number of equal-width bins spanning the full table's range.
+type binKey struct {
+	column string
+	bins   int
+}
+
+// binAssignment is the memoized result: the bin index of every row, computed
+// once per (table, column, bin count).
+type binAssignment struct {
+	assign []int32
+	bins   int
 }
 
 // NewTable builds a table from columns, which must all have the same length
@@ -280,8 +350,27 @@ func (t *Table) Strings(name string) ([]string, error) {
 }
 
 // Categories returns the sorted distinct values of a categorical or bool
-// column.
+// column. Categorical columns answer from their dictionary (codes present in
+// the column, in dictionary order — the dictionary is sorted, so no extra
+// sort is needed); bool columns scan their two-valued payload.
 func (t *Table) Categories(name string) ([]string, error) {
+	c, err := t.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.Type == Categorical {
+		present := make([]bool, len(c.dict))
+		for _, code := range c.codes {
+			present[code] = true
+		}
+		var cats []string
+		for code, ok := range present {
+			if ok {
+				cats = append(cats, c.dict[code])
+			}
+		}
+		return cats, nil
+	}
 	vals, err := t.Strings(name)
 	if err != nil {
 		return nil, err
@@ -299,8 +388,26 @@ func (t *Table) Categories(name string) ([]string, error) {
 }
 
 // ValueCounts returns the count of each distinct value of a categorical or
-// bool column, keyed by value.
+// bool column, keyed by value. Categorical columns count codes (one array
+// index per row) instead of hashing strings.
 func (t *Table) ValueCounts(name string) (map[string]int, error) {
+	c, err := t.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.Type == Categorical {
+		byCode := make([]int, len(c.dict))
+		for _, code := range c.codes {
+			byCode[code]++
+		}
+		counts := make(map[string]int)
+		for code, n := range byCode {
+			if n > 0 {
+				counts[c.dict[code]] = n
+			}
+		}
+		return counts, nil
+	}
 	vals, err := t.Strings(name)
 	if err != nil {
 		return nil, err

@@ -211,7 +211,9 @@ func TestPredicateDescriptions(t *testing.T) {
 	}{
 		{Equals{"gender", "male"}, "gender = male"},
 		{Not{Equals{"gender", "male"}}, "not(gender = male)"},
-		{In{"education", []string{"phd", "master"}}, "education in {phd, master}"},
+		// In renders its values sorted, however the predicate was written.
+		{In{Column: "education", Values: []string{"phd", "master"}}, "education in {master, phd}"},
+		{NewIn("education", "phd", "master"), "education in {master, phd}"},
 		{GreaterThan{"age", 45}, "age > 45"},
 		{Range{"age", 30, 50}, "age in [30, 50)"},
 		{And{}, "true"},

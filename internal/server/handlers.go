@@ -221,10 +221,17 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	// The dataset's shared filter cache: sessions over the same (immutable)
+	// dataset reuse each other's compiled filter bitmaps.
+	sel, err := s.registry.Cache(spec.Dataset)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	// The journal file (with its header) is written before the session is
 	// published: IDs are guessable, and a step racing onto a fresh ID must
 	// find the journal already there.
-	info, err := s.manager.CreateWith(spec, table, func(id int64) error {
+	info, err := s.manager.CreateWith(spec, table, sel, func(id int64) error {
 		if s.journal == nil {
 			return nil
 		}

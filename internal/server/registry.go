@@ -28,17 +28,28 @@ type DatasetInfo struct {
 // immutable once registered — sessions across many goroutines read them
 // concurrently without locking, so the registry never hands out a table it
 // would later modify; replacing a dataset requires a new name.
+//
+// Each dataset carries one shared filter-bitmap cache (dataset.SelectionCache,
+// safe for concurrent use): every session opened over the dataset resolves
+// its predicates through it, so a filter compiled by one session is a cache
+// hit for every other — the cross-session reuse is sound precisely because
+// the table never changes.
 type DatasetRegistry struct {
 	mu     sync.RWMutex
 	tables map[string]*dataset.Table
+	caches map[string]*dataset.SelectionCache
 }
 
 // NewDatasetRegistry returns an empty registry.
 func NewDatasetRegistry() *DatasetRegistry {
-	return &DatasetRegistry{tables: make(map[string]*dataset.Table)}
+	return &DatasetRegistry{
+		tables: make(map[string]*dataset.Table),
+		caches: make(map[string]*dataset.SelectionCache),
+	}
 }
 
-// Register adds a table under a unique name.
+// Register adds a table under a unique name and builds its shared filter
+// cache.
 func (r *DatasetRegistry) Register(name string, t *dataset.Table) error {
 	if name == "" {
 		return fmt.Errorf("server: dataset name must not be empty")
@@ -52,6 +63,7 @@ func (r *DatasetRegistry) Register(name string, t *dataset.Table) error {
 		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
 	}
 	r.tables[name] = t
+	r.caches[name] = dataset.NewSelectionCache(t)
 	return nil
 }
 
@@ -64,6 +76,17 @@ func (r *DatasetRegistry) Get(name string) (*dataset.Table, error) {
 		return nil, fmt.Errorf("%w: %q", ErrDatasetNotFound, name)
 	}
 	return t, nil
+}
+
+// Cache returns the named dataset's shared filter-bitmap cache.
+func (r *DatasetRegistry) Cache(name string) (*dataset.SelectionCache, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.caches[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrDatasetNotFound, name)
+	}
+	return c, nil
 }
 
 // List returns a summary of every registered dataset, sorted by name.

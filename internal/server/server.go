@@ -116,6 +116,12 @@ func (s *Server) RestoreSessions() (int, error) {
 			s.log.Warn("journaled session has an invalid header; skipping", "id", js.ID, "err", err)
 			continue
 		}
+		// Replay through the dataset's shared filter cache: restoring many
+		// journals over one dataset compiles each distinct filter once, and
+		// the restored sessions keep sharing bitmaps with live traffic.
+		if sel, err := s.registry.Cache(js.Header.Dataset); err == nil {
+			opts.Selections = sel
+		}
 		sess, err := core.Replay(table, opts, js.Steps)
 		if err != nil {
 			s.log.Warn("journaled session does not replay; skipping", "id", js.ID, "err", err)
