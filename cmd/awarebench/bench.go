@@ -1,12 +1,11 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"testing"
 	"time"
 
+	"aware/internal/benchio"
 	"aware/internal/census"
 	"aware/internal/core"
 	"aware/internal/dataset"
@@ -14,19 +13,10 @@ import (
 
 // BenchEntry is one operation's measurement in BENCH_core.json. The file is
 // the machine-readable perf trajectory of the core interactive loop: future
-// optimisation PRs compare their run against the committed baseline.
-type BenchEntry struct {
-	// Op names the measured operation.
-	Op string `json:"op"`
-	// NsPerOp is the mean wall time per operation in nanoseconds.
-	NsPerOp int64 `json:"ns_per_op"`
-	// AllocsPerOp is the mean number of heap allocations per operation.
-	AllocsPerOp int64 `json:"allocs_per_op"`
-	// BytesPerOp is the mean number of heap bytes allocated per operation.
-	BytesPerOp int64 `json:"bytes_per_op"`
-	// Iterations is how many times the operation ran.
-	Iterations int `json:"iterations"`
-}
+// optimisation PRs compare their run against the committed baseline, and the
+// CI drift gate (-exp drift) fails the build when allocs_per_op regresses.
+// The format lives in internal/benchio so cmd/awareload shares it.
+type BenchEntry = benchio.Entry
 
 // runBenchCore measures the hot operations of the interactive loop against a
 // census table of the given size (the -rows flag; the paper scale of 30000 by
@@ -172,36 +162,8 @@ func measure(benchmarks []namedBenchmark) []BenchEntry {
 // are appended, and entries of other experiments are preserved — so `-exp
 // bench` and `-exp steps` can each refresh their slice of BENCH_core.json.
 func writeBenchEntries(outPath string, entries []BenchEntry) error {
-	var existing []BenchEntry
-	if data, err := os.ReadFile(outPath); err == nil {
-		if err := json.Unmarshal(data, &existing); err != nil {
-			return fmt.Errorf("parsing existing %s: %w", outPath, err)
-		}
-	}
-	merged := make([]BenchEntry, 0, len(existing)+len(entries))
-	seen := make(map[string]int)
-	for _, e := range existing {
-		seen[e.Op] = len(merged)
-		merged = append(merged, e)
-	}
-	for _, e := range entries {
-		if i, ok := seen[e.Op]; ok {
-			merged[i] = e
-		} else {
-			seen[e.Op] = len(merged)
-			merged = append(merged, e)
-		}
-	}
-
-	f, err := os.Create(outPath)
-	if err != nil {
+	if err := benchio.MergeWrite(outPath, entries); err != nil {
 		return err
-	}
-	defer f.Close()
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(merged); err != nil {
-		return fmt.Errorf("writing %s: %w", outPath, err)
 	}
 	fmt.Printf("wrote %s\n", outPath)
 	return nil

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"fmt"
+
+	"aware/internal/benchio"
+)
+
+// runDrift is the CI bench-drift gate: it compares the allocs_per_op of every
+// operation recorded in currentPath against the committed baseline at
+// basePath and fails when any regresses by more than maxPct percent.
+//
+// Only allocation counts are compared: they are deterministic for a given
+// code path (and, for these operations, essentially independent of the census
+// size), so the gate can run on a small, fast census in CI and still hold the
+// code to the committed 30k-row baseline without timing flakes.
+func runDrift(basePath, currentPath string, maxPct float64) error {
+	if maxPct <= 0 {
+		return fmt.Errorf("drift: -driftpct must be positive, got %v", maxPct)
+	}
+	if basePath == currentPath {
+		// Both flags default to BENCH_core.json; comparing a file against
+		// itself would pass vacuously no matter how badly allocs regressed.
+		return fmt.Errorf("drift: baseline and current are the same file %q; point -benchout at a freshly regenerated run", basePath)
+	}
+	baseline, err := benchio.ReadEntries(basePath)
+	if err != nil {
+		return fmt.Errorf("drift: baseline: %w", err)
+	}
+	current, err := benchio.ReadEntries(currentPath)
+	if err != nil {
+		return fmt.Errorf("drift: current: %w", err)
+	}
+	drifts, compared := benchio.CompareAllocs(baseline, current, maxPct)
+	if compared == 0 {
+		return fmt.Errorf("drift: no common operations between %s and %s", basePath, currentPath)
+	}
+	fmt.Printf("== alloc drift gate: %s vs baseline %s (budget +%.0f%%) ==\n", currentPath, basePath, maxPct)
+	fmt.Printf("%d operations compared, %d regressed\n", compared, len(drifts))
+	if len(drifts) == 0 {
+		return nil
+	}
+	for _, d := range drifts {
+		fmt.Printf("  FAIL %s\n", d)
+	}
+	return fmt.Errorf("drift: %d operation(s) regressed allocs_per_op by more than %.0f%%", len(drifts), maxPct)
+}

@@ -16,6 +16,7 @@
 //	awarebench -exp steps               # step dispatch/replay -> BENCH_core.json
 //	awarebench -exp filter              # filter+count execution paths -> BENCH_core.json
 //	awarebench -exp replay              # hold-out replay of a recorded step log
+//	awarebench -exp drift               # CI gate: allocs_per_op vs committed baseline
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run: 1a, 1b, 1c, 2, intro, holdout, subsets, bench, steps, filter, replay, all")
+		exp        = flag.String("exp", "all", "experiment to run: 1a, 1b, 1c, 2, intro, holdout, subsets, bench, steps, filter, replay, drift, all")
 		reps       = flag.Int("reps", 0, "replications per configuration (0 = paper defaults: 1000 synthetic, 20 census)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		nullProp   = flag.Float64("null", -1, "true-null proportion for 1a/1b/1c (-1 = run the paper's set)")
@@ -36,8 +37,20 @@ func main() {
 		hypotheses = flag.Int("hypotheses", 115, "workflow hypotheses for experiment 2")
 		randomized = flag.Bool("randomized", false, "use the randomized census for experiment 2")
 		benchOut   = flag.String("benchout", "BENCH_core.json", "output path for the machine-readable core benchmarks (-exp bench)")
+		driftBase  = flag.String("driftbase", "BENCH_core.json", "committed baseline for -exp drift")
+		driftPct   = flag.Float64("driftpct", 20, "allowed allocs_per_op increase in percent for -exp drift")
 	)
 	flag.Parse()
+
+	if *exp == "drift" {
+		// The drift gate compares the file an earlier bench run wrote
+		// (-benchout) against the committed baseline (-driftbase).
+		if err := runDrift(*driftBase, *benchOut, *driftPct); err != nil {
+			fmt.Fprintf(os.Stderr, "awarebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := run(*exp, *reps, *seed, *nullProp, *rows, *hypotheses, *randomized, *benchOut); err != nil {
 		fmt.Fprintf(os.Stderr, "awarebench: %v\n", err)

@@ -1,0 +1,164 @@
+// Command awareload runs closed-loop load scenarios against awared and writes
+// the per-endpoint latency report to BENCH_http.json — the service-layer
+// counterpart of awarebench's BENCH_core.json. Scenarios simulate concurrent
+// analysts running the paper's interactive-exploration loop (filter-heavy,
+// visualization-heavy, steps/replay-heavy and holdout-validation mixes),
+// sourced from the census user-study workflow generator.
+//
+// Usage:
+//
+//	awareload -scenario mixed -sessions 8 -duration 10s     # in-process server
+//	awareload -scenario steps -rows 100000 -sessions 32     # heavier, bigger census
+//	awareload -addr http://localhost:8080 -scenario filter  # against a running awared
+//	awareload -check-leaks                                  # CI mode: fail on any
+//	                                                        # non-2xx or leaked session
+//
+// Without -addr, awareload boots awared in-process on a loopback port with a
+// synthetic census of -rows rows, so one command measures the full HTTP stack
+// with no setup. With -addr, the target must serve a census-schema dataset
+// under the -dataset name, and -rows/-seed must match the served table for
+// scenario pre-validation (the default awared flags already do).
+//
+// awareload exits non-zero if any request failed (non-2xx or transport
+// error), and with -check-leaks also if the server's live-session count did
+// not return to its pre-run value — the two invariants the CI smoke job
+// gates on.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aware/internal/benchio"
+	"aware/internal/census"
+	"aware/internal/dataset"
+	"aware/internal/loadgen"
+	"aware/internal/server"
+)
+
+func main() {
+	var (
+		scenario   = flag.String("scenario", "mixed", "workload mix: filter, viz, steps, holdout, mixed")
+		sessions   = flag.Int("sessions", 8, "concurrent simulated analysts")
+		duration   = flag.Duration("duration", 10*time.Second, "how long to issue load")
+		rows       = flag.Int("rows", 30000, "rows of the synthetic census (served in-process, and used for scenario pre-validation)")
+		seed       = flag.Int64("seed", 1, "seed for the census and the analysts' choices")
+		addr       = flag.String("addr", "", "base URL of a running awared (empty = boot one in-process)")
+		datasetN   = flag.String("dataset", "census", "registered dataset name the sessions explore")
+		think      = flag.Duration("think", 0, "pause between one analyst's operations (0 = closed loop)")
+		minSupport = flag.Int("min-support", 100, "minimum sub-population size a scenario predicate may select")
+		benchOut   = flag.String("benchout", "BENCH_http.json", "output path for the machine-readable report")
+		checkLeaks = flag.Bool("check-leaks", false, "fail if the server's live-session count does not return to its pre-run value")
+	)
+	flag.Parse()
+
+	if err := run(*scenario, *sessions, *duration, *rows, *seed, *addr, *datasetN,
+		*think, *minSupport, *benchOut, *checkLeaks); err != nil {
+		fmt.Fprintf(os.Stderr, "awareload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenario string, sessions int, duration time.Duration, rows int, seed int64,
+	addr, datasetName string, think time.Duration, minSupport int, benchOut string, checkLeaks bool) error {
+	sc, err := loadgen.ParseScenario(scenario)
+	if err != nil {
+		return err
+	}
+	// The scenario source: a local census identical (by rows and seed) to the
+	// served one, so predicate pre-validation reflects the server's data.
+	table, err := census.Generate(census.Config{Rows: rows, Seed: seed, SignalStrength: 1})
+	if err != nil {
+		return err
+	}
+
+	base := addr
+	if base == "" {
+		url, stop, err := startInProcess(table, datasetName)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		base = url
+		fmt.Printf("serving %d-row census in-process at %s\n", rows, base)
+	}
+
+	before, err := loadgen.SessionCount(base, nil)
+	if err != nil {
+		return fmt.Errorf("probing %s: %w", base, err)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+	fmt.Printf("running %s scenario: %d sessions for %v against %s\n", sc, sessions, duration, base)
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:    base,
+		Dataset:    datasetName,
+		Table:      table,
+		Scenario:   sc,
+		Sessions:   sessions,
+		Duration:   duration,
+		Seed:       seed,
+		Think:      think,
+		MinSupport: minSupport,
+	})
+	if err != nil {
+		return err
+	}
+	if addr == "" {
+		// Only the in-process server's size is known for certain; a remote
+		// server may serve a different table than the local scenario source.
+		res.Rows = rows
+	}
+
+	if err := res.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if err := benchio.WriteFileJSON(benchOut, res); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", benchOut)
+
+	after, err := loadgen.SessionCount(base, nil)
+	if err != nil {
+		return fmt.Errorf("probing %s after the run: %w", base, err)
+	}
+	leaked := after - before
+	fmt.Printf("live sessions: %d before, %d after\n", before, after)
+
+	if res.TotalErrors > 0 {
+		return fmt.Errorf("%d of %d requests failed (first: %v)", res.TotalErrors, res.TotalRequests, firstSample(res.ErrorSamples))
+	}
+	if checkLeaks && leaked != 0 {
+		return fmt.Errorf("session leak: live count went from %d to %d", before, after)
+	}
+	return nil
+}
+
+// startInProcess boots awared on a loopback listener serving the table.
+func startInProcess(table *dataset.Table, datasetName string) (url string, stop func(), err error) {
+	srv, err := server.New(server.Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	if err != nil {
+		return "", nil, err
+	}
+	if err := srv.Registry().Register(datasetName, table); err != nil {
+		return "", nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	return ts.URL, ts.Close, nil
+}
+
+func firstSample(samples []string) string {
+	if len(samples) == 0 {
+		return "no sample recorded"
+	}
+	return samples[0]
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"aware/internal/loadgen"
+)
+
+// TestRunInProcessSmoke is the CI smoke in miniature: a short mixed run
+// against an in-process server on a small census must succeed, leave no
+// sessions behind (checkLeaks on) and write a parseable BENCH_http.json with
+// latency percentiles per endpoint.
+func TestRunInProcessSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_http.json")
+	err := run("mixed", 3, 1200*time.Millisecond, 2000, 1, "", "census", 0, 60, out, true)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res loadgen.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("BENCH_http.json does not parse: %v", err)
+	}
+	if res.Scenario != "mixed" || res.Sessions != 3 || res.Rows != 2000 {
+		t.Errorf("unexpected run metadata: %+v", res)
+	}
+	if res.TotalRequests == 0 || res.TotalErrors != 0 {
+		t.Errorf("requests=%d errors=%d, want traffic and zero errors", res.TotalRequests, res.TotalErrors)
+	}
+	found := false
+	for _, ep := range res.Endpoints {
+		if ep.Endpoint == "POST /sessions" {
+			found = true
+			if ep.P50Ms <= 0 || ep.P95Ms < ep.P50Ms || ep.P99Ms < ep.P95Ms {
+				t.Errorf("POST /sessions percentiles not ordered: %+v", ep)
+			}
+		}
+	}
+	if !found {
+		t.Error("POST /sessions missing from BENCH_http.json")
+	}
+}
+
+func TestRunRejectsUnknownScenario(t *testing.T) {
+	if err := run("bogus", 1, time.Second, 100, 1, "", "census", 0, 10, "", false); err == nil {
+		t.Fatal("want error for unknown scenario")
+	}
+}

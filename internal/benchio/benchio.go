@@ -1,0 +1,140 @@
+// Package benchio holds the machine-readable benchmark file formats shared by
+// the measurement commands (cmd/awarebench, cmd/awareload) and the CI gates
+// that hold the repository to them. BENCH_core.json tracks the library-level
+// operations (entries keyed by op name, merged slice-wise so each experiment
+// can refresh its own ops); BENCH_http.json tracks the service as seen over
+// HTTP (one whole document per load run). CompareAllocs implements the CI
+// drift gate: allocation counts are deterministic, unlike timings, so a >X%
+// allocs_per_op regression against the committed baseline is a flake-free
+// failure signal.
+package benchio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Entry is one operation's measurement in BENCH_core.json.
+type Entry struct {
+	// Op names the measured operation.
+	Op string `json:"op"`
+	// NsPerOp is the mean wall time per operation in nanoseconds.
+	NsPerOp int64 `json:"ns_per_op"`
+	// AllocsPerOp is the mean number of heap allocations per operation.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// BytesPerOp is the mean number of heap bytes allocated per operation.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// Iterations is how many times the operation ran.
+	Iterations int `json:"iterations"`
+}
+
+// ReadEntries loads a BENCH_core.json-style file.
+func ReadEntries(path string) ([]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// MergeWrite merges entries into the file at path: operations already recorded
+// there keep their position and are overwritten, new ones are appended, and
+// entries of other experiments are preserved — so each experiment can refresh
+// its slice of a shared benchmark file.
+func MergeWrite(path string, entries []Entry) error {
+	var existing []Entry
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &existing); err != nil {
+			return fmt.Errorf("parsing existing %s: %w", path, err)
+		}
+	}
+	merged := make([]Entry, 0, len(existing)+len(entries))
+	seen := make(map[string]int)
+	for _, e := range existing {
+		seen[e.Op] = len(merged)
+		merged = append(merged, e)
+	}
+	for _, e := range entries {
+		if i, ok := seen[e.Op]; ok {
+			merged[i] = e
+		} else {
+			seen[e.Op] = len(merged)
+			merged = append(merged, e)
+		}
+	}
+	return WriteFileJSON(path, merged)
+}
+
+// WriteFileJSON writes v to path as indented JSON.
+func WriteFileJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Drift is one operation whose allocation count regressed against the
+// baseline.
+type Drift struct {
+	Op             string
+	BaselineAllocs int64
+	CurrentAllocs  int64
+	// PctIncrease is the relative increase in percent.
+	PctIncrease float64
+}
+
+// String renders the drift for an error message.
+func (d Drift) String() string {
+	return fmt.Sprintf("%s: allocs_per_op %d -> %d (+%.1f%%)",
+		d.Op, d.BaselineAllocs, d.CurrentAllocs, d.PctIncrease)
+}
+
+// CompareAllocs checks every operation present in both baseline and current
+// and returns the ones whose allocs_per_op grew by more than maxPctIncrease
+// percent, along with how many operations were compared at all. Operations
+// only present on one side are ignored: a new experiment must be able to add
+// ops before the baseline is refreshed, and a renamed op simply stops being
+// compared until the baseline catches up — which is why callers should check
+// compared > 0 before trusting an empty drift list.
+func CompareAllocs(baseline, current []Entry, maxPctIncrease float64) (drifts []Drift, compared int) {
+	base := make(map[string]Entry, len(baseline))
+	for _, e := range baseline {
+		base[e.Op] = e
+	}
+	for _, cur := range current {
+		b, ok := base[cur.Op]
+		if !ok {
+			continue
+		}
+		compared++
+		// A zero-alloc baseline regresses on any allocation at all.
+		if b.AllocsPerOp == 0 {
+			if cur.AllocsPerOp > 0 {
+				drifts = append(drifts, Drift{Op: cur.Op, BaselineAllocs: 0, CurrentAllocs: cur.AllocsPerOp, PctIncrease: 100})
+			}
+			continue
+		}
+		pct := 100 * float64(cur.AllocsPerOp-b.AllocsPerOp) / float64(b.AllocsPerOp)
+		if pct > maxPctIncrease {
+			drifts = append(drifts, Drift{
+				Op:             cur.Op,
+				BaselineAllocs: b.AllocsPerOp,
+				CurrentAllocs:  cur.AllocsPerOp,
+				PctIncrease:    pct,
+			})
+		}
+	}
+	return drifts, compared
+}

@@ -1,0 +1,85 @@
+package benchio_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"aware/internal/benchio"
+)
+
+func TestMergeWritePreservesAndOverwrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	first := []benchio.Entry{
+		{Op: "a", NsPerOp: 1, AllocsPerOp: 10},
+		{Op: "b", NsPerOp: 2, AllocsPerOp: 20},
+	}
+	if err := benchio.MergeWrite(path, first); err != nil {
+		t.Fatal(err)
+	}
+	// A second experiment overwrites op "b" and appends op "c"; op "a" must
+	// survive untouched and keep its position.
+	second := []benchio.Entry{
+		{Op: "b", NsPerOp: 5, AllocsPerOp: 25},
+		{Op: "c", NsPerOp: 3, AllocsPerOp: 30},
+	}
+	if err := benchio.MergeWrite(path, second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := benchio.ReadEntries(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []benchio.Entry{
+		{Op: "a", NsPerOp: 1, AllocsPerOp: 10},
+		{Op: "b", NsPerOp: 5, AllocsPerOp: 25},
+		{Op: "c", NsPerOp: 3, AllocsPerOp: 30},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d entries, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadEntriesMissingFile(t *testing.T) {
+	if _, err := benchio.ReadEntries(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestCompareAllocs(t *testing.T) {
+	baseline := []benchio.Entry{
+		{Op: "stable", AllocsPerOp: 100},
+		{Op: "regressed", AllocsPerOp: 100},
+		{Op: "improved", AllocsPerOp: 100},
+		{Op: "zero", AllocsPerOp: 0},
+		{Op: "removed", AllocsPerOp: 50},
+	}
+	current := []benchio.Entry{
+		{Op: "stable", AllocsPerOp: 115},    // +15% — inside the 20% budget
+		{Op: "regressed", AllocsPerOp: 121}, // +21% — over budget
+		{Op: "improved", AllocsPerOp: 40},
+		{Op: "zero", AllocsPerOp: 1}, // any alloc on a zero-alloc baseline fails
+		{Op: "added", AllocsPerOp: 9999},
+	}
+	drifts, compared := benchio.CompareAllocs(baseline, current, 20)
+	if compared != 4 {
+		t.Errorf("compared = %d, want 4 (ops present on both sides)", compared)
+	}
+	if len(drifts) != 2 {
+		t.Fatalf("got %d drifts (%v), want 2", len(drifts), drifts)
+	}
+	byOp := map[string]benchio.Drift{}
+	for _, d := range drifts {
+		byOp[d.Op] = d
+	}
+	if d, ok := byOp["regressed"]; !ok || d.CurrentAllocs != 121 {
+		t.Errorf("missing or wrong 'regressed' drift: %+v", byOp)
+	}
+	if _, ok := byOp["zero"]; !ok {
+		t.Errorf("zero-alloc baseline regression not reported: %+v", byOp)
+	}
+}

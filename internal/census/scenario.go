@@ -1,0 +1,78 @@
+package census
+
+import (
+	"fmt"
+
+	"aware/internal/dataset"
+)
+
+// ValidatedWorkflow generates a user-study-shaped workflow (GenerateWorkflow)
+// and keeps only the steps whose filter — and, for complement comparisons,
+// whose complement — selects at least minSupport rows of t. The survivors are
+// renumbered 1..n.
+//
+// This is the scenario source for load generation: a closed-loop client that
+// replays these steps against a server holding the same census never trips
+// the degenerate-sub-population errors (empty filters, zero-count χ² cells)
+// that a blindly generated predicate can produce, so every non-2xx response
+// under load is a real server defect rather than workload noise. Generation
+// keeps drawing fresh workflow batches (advancing the seed) until cfg.Hypotheses
+// validated steps exist, so the pool size is deterministic for a given table.
+func ValidatedWorkflow(t *dataset.Table, cfg WorkflowConfig, minSupport int) (*Workflow, error) {
+	if minSupport <= 0 {
+		minSupport = 1
+	}
+	if cfg.Hypotheses <= 0 {
+		return nil, fmt.Errorf("census: validated workflow needs a positive number of hypotheses, got %d", cfg.Hypotheses)
+	}
+	want := cfg.Hypotheses
+	out := &Workflow{}
+	seed := cfg.Seed
+	// Each round generates a full batch and keeps the well-supported steps.
+	// The filters are drawn from a handful of categorical attributes, so on
+	// any non-degenerate census a large share validates; the round bound only
+	// guards against a table where minSupport is unsatisfiable.
+	for round := 0; len(out.Steps) < want && round < 16; round++ {
+		batch := cfg
+		batch.Seed = seed + int64(round)
+		w, err := GenerateWorkflow(t, batch)
+		if err != nil {
+			return nil, err
+		}
+		for _, ws := range w.Steps {
+			ok, err := supported(t, ws, minSupport)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			ws.ID = len(out.Steps) + 1
+			out.Steps = append(out.Steps, ws)
+			if len(out.Steps) == want {
+				break
+			}
+		}
+	}
+	if len(out.Steps) < want {
+		return nil, fmt.Errorf("census: only %d/%d workflow steps reach %d-row support on a %d-row table",
+			len(out.Steps), want, minSupport, t.NumRows())
+	}
+	return out, nil
+}
+
+// supported reports whether the step's filter (and complement, when the step
+// compares against it) selects at least minSupport rows.
+func supported(t *dataset.Table, ws WorkflowStep, minSupport int) (bool, error) {
+	n, err := t.CountWhere(ws.Filter)
+	if err != nil {
+		return false, err
+	}
+	if n < minSupport {
+		return false, nil
+	}
+	if ws.Kind == FilterVsComplement && t.NumRows()-n < minSupport {
+		return false, nil
+	}
+	return true, nil
+}

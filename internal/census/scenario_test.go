@@ -1,0 +1,64 @@
+package census_test
+
+import (
+	"testing"
+
+	"aware/internal/census"
+)
+
+func TestValidatedWorkflowSupport(t *testing.T) {
+	table, err := census.Generate(census.Config{Rows: 3000, Seed: 11, SignalStrength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const minSupport = 100
+	w, err := census.ValidatedWorkflow(table, census.WorkflowConfig{
+		Hypotheses: 40, Seed: 3, MaxChainDepth: 3,
+	}, minSupport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Len(); got != 40 {
+		t.Fatalf("Len() = %d, want 40", got)
+	}
+	for i, ws := range w.Steps {
+		if ws.ID != i+1 {
+			t.Errorf("step %d: ID = %d, want %d (renumbered)", i, ws.ID, i+1)
+		}
+		n, err := table.CountWhere(ws.Filter)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if n < minSupport {
+			t.Errorf("step %d (%s): support %d < %d", i, ws.Description, n, minSupport)
+		}
+		if ws.Kind == census.FilterVsComplement {
+			if c := table.NumRows() - n; c < minSupport {
+				t.Errorf("step %d (%s): complement support %d < %d", i, ws.Description, c, minSupport)
+			}
+		}
+	}
+
+	// Deterministic: the same table and config yield the same pool.
+	w2, err := census.ValidatedWorkflow(table, census.WorkflowConfig{
+		Hypotheses: 40, Seed: 3, MaxChainDepth: 3,
+	}, minSupport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Steps {
+		if w.Steps[i].Description != w2.Steps[i].Description {
+			t.Fatalf("step %d differs between runs: %q vs %q", i, w.Steps[i].Description, w2.Steps[i].Description)
+		}
+	}
+}
+
+func TestValidatedWorkflowUnsatisfiableSupport(t *testing.T) {
+	table, err := census.Generate(census.Config{Rows: 50, Seed: 1, SignalStrength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := census.ValidatedWorkflow(table, census.WorkflowConfig{Hypotheses: 10, Seed: 1}, 10000); err == nil {
+		t.Fatal("want error when minSupport exceeds the table size")
+	}
+}

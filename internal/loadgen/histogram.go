@@ -1,0 +1,113 @@
+package loadgen
+
+import (
+	"math"
+	"time"
+)
+
+// The latency histogram is log-linear: bucket i covers
+// [1µs·growth^i, 1µs·growth^(i+1)), with growth chosen so that quantile
+// estimates carry at most ~7% relative error while the whole histogram stays
+// a fixed ~1KiB array — per-sample memory does not grow with the length of a
+// load run, unlike storing raw latencies. 160 buckets reach from 1µs to
+// beyond 5 minutes; anything slower lands in the overflow bucket.
+const (
+	histBuckets   = 160
+	histGrowth    = 1.15
+	histFirstNs   = 1000 // 1µs
+	histOverflows = histBuckets // index of the overflow bucket
+)
+
+var logGrowth = math.Log(histGrowth)
+
+// Histogram records latency observations with bounded memory and answers
+// quantile queries. It is not safe for concurrent use; the collector
+// serializes access.
+type Histogram struct {
+	counts [histBuckets + 1]int64
+	n      int64
+	sumNs  int64
+	minNs  int64
+	maxNs  int64
+}
+
+// bucketFor maps a latency to its bucket index.
+func bucketFor(ns int64) int {
+	if ns < histFirstNs {
+		return 0
+	}
+	i := int(math.Log(float64(ns)/histFirstNs) / logGrowth)
+	if i >= histBuckets {
+		return histOverflows
+	}
+	return i
+}
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketFor(ns)]++
+	h.n++
+	h.sumNs += ns
+	if h.n == 1 || ns < h.minNs {
+		h.minNs = ns
+	}
+	if ns > h.maxNs {
+		h.maxNs = ns
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Mean returns the mean latency, or 0 with no observations.
+func (h *Histogram) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs / h.n)
+}
+
+// Max returns the largest observed latency (exact, not bucketed).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNs) }
+
+// Min returns the smallest observed latency (exact, not bucketed).
+func (h *Histogram) Min() time.Duration { return time.Duration(h.minNs) }
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the buckets: it walks to
+// the bucket containing the rank and returns the bucket's geometric midpoint,
+// clamped to the exact observed min/max so single-bucket histograms and the
+// tails stay honest. With no observations it returns 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	var cum int64
+	for i := 0; i <= histBuckets; i++ {
+		cum += h.counts[i]
+		if cum < rank {
+			continue
+		}
+		var est float64
+		if i == histOverflows {
+			est = float64(h.maxNs)
+		} else {
+			lower := histFirstNs * math.Pow(histGrowth, float64(i))
+			est = lower * math.Sqrt(histGrowth) // geometric midpoint of the bucket
+		}
+		est = math.Min(est, float64(h.maxNs))
+		est = math.Max(est, float64(h.minNs))
+		return time.Duration(est)
+	}
+	return h.Max()
+}

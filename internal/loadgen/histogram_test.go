@@ -1,0 +1,63 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram not all-zero: count=%d mean=%v p50=%v max=%v",
+			h.Count(), h.Mean(), h.Quantile(0.5), h.Max())
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Millisecond)
+	for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+		got := h.Quantile(q)
+		if got != 3*time.Millisecond {
+			t.Errorf("Quantile(%v) = %v, want exactly 3ms (clamped to min/max)", q, got)
+		}
+	}
+	if h.Mean() != 3*time.Millisecond {
+		t.Errorf("Mean() = %v, want 3ms", h.Mean())
+	}
+}
+
+// TestHistogramQuantileAccuracy checks the estimator against exact order
+// statistics on a log-uniform latency sample: every estimate must fall within
+// the histogram's designed ~7.2% relative error (one bucket's width).
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	samples := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Latencies from 50µs to ~500ms, log-uniform like real mixed traffic.
+		ns := 50e3 * (1 + rng.Float64()*9999)
+		samples = append(samples, ns)
+		h.Observe(time.Duration(ns))
+	}
+	sort.Float64s(samples)
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		exact := samples[int(q*float64(len(samples)))-1]
+		got := float64(h.Quantile(q).Nanoseconds())
+		rel := (got - exact) / exact
+		if rel < -0.08 || rel > 0.08 {
+			t.Errorf("Quantile(%v) = %.0fns, exact %.0fns (rel err %+.3f, want |err| <= 0.08)", q, got, exact, rel)
+		}
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(30 * time.Minute) // far past the last bucket
+	h.Observe(1 * time.Millisecond)
+	if got := h.Quantile(1); got != 30*time.Minute {
+		t.Errorf("Quantile(1) = %v, want the exact max 30m", got)
+	}
+}

@@ -1,0 +1,664 @@
+// Package loadgen is the closed-loop load generator for awared: it simulates
+// the interactive-exploration traffic the paper's user study generates
+// (Section 6) — N concurrent "analysts", each owning a private FDR-controlled
+// session, each issuing its next request as soon as the previous response
+// arrives — and records per-endpoint latency histograms, throughput and error
+// counts. Scenarios are sourced from the census user-study workflow generator
+// (census.ValidatedWorkflow), so the request mix has the same shape real
+// sessions produce and every predicate is pre-validated against the served
+// table: under a correctly functioning server a run finishes with zero
+// non-2xx responses, which is what lets CI treat any error as a failure.
+//
+// The generator drives a real HTTP server — in-process (httptest) or remote —
+// through the same public API every other client uses; nothing is measured
+// through Go function calls.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"aware/internal/census"
+	"aware/internal/dataset"
+)
+
+// Scenario names a workload mix.
+type Scenario string
+
+// The closed set of scenarios.
+const (
+	// ScenarioFilter is filter-heavy: a stream of filtered visualizations
+	// (rule-2 hypotheses) with periodic gauge reads — the drill-down loop of
+	// Figure 1.
+	ScenarioFilter Scenario = "filter"
+	// ScenarioViz is visualization-heavy: charts built through the legacy
+	// convenience endpoints, side-by-side comparisons (rule 3), gauge and
+	// report reads.
+	ScenarioViz Scenario = "viz"
+	// ScenarioSteps is steps/replay-heavy: raw step commands, step-log reads
+	// and whole-log hold-out replays — the most server-CPU-intensive mix.
+	ScenarioSteps Scenario = "steps"
+	// ScenarioHoldout is holdout-validation-heavy: repeated mean-comparison
+	// validations on fresh exploration/validation splits.
+	ScenarioHoldout Scenario = "holdout"
+	// ScenarioMixed draws one of the four mixes per session, weighted to
+	// resemble a fleet of analysts at different stages of exploration.
+	ScenarioMixed Scenario = "mixed"
+)
+
+// Scenarios lists every named scenario.
+func Scenarios() []Scenario {
+	return []Scenario{ScenarioFilter, ScenarioViz, ScenarioSteps, ScenarioHoldout, ScenarioMixed}
+}
+
+// ParseScenario validates a scenario name.
+func ParseScenario(s string) (Scenario, error) {
+	for _, sc := range Scenarios() {
+		if s == string(sc) {
+			return sc, nil
+		}
+	}
+	return "", fmt.Errorf("loadgen: unknown scenario %q (want one of filter, viz, steps, holdout, mixed)", s)
+}
+
+// Config configures a load run.
+type Config struct {
+	// BaseURL is the server under test, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Dataset is the registered dataset name sessions explore.
+	Dataset string
+	// Table is a local copy of the served dataset, used to source and
+	// pre-validate scenario predicates. It must have the census schema.
+	Table *dataset.Table
+	// Scenario selects the workload mix.
+	Scenario Scenario
+	// Sessions is the number of concurrent simulated analysts; each owns at
+	// most one live session at a time (closed loop).
+	Sessions int
+	// Duration is how long new work is issued; in-flight sessions finish
+	// their current operation and are cleaned up afterwards.
+	Duration time.Duration
+	// Seed drives scenario sourcing and per-analyst choices.
+	Seed int64
+	// Think pauses between consecutive operations of one analyst; 0 means a
+	// fully closed loop (next request immediately after the last response).
+	Think time.Duration
+	// MinSupport is the minimum sub-population size a scenario predicate may
+	// select (and leave as complement); 0 means 100.
+	MinSupport int
+	// PoolSize is how many validated workflow steps the scenarios draw from;
+	// 0 means 64.
+	PoolSize int
+	// HTTPClient overrides the client; nil means a dedicated client with
+	// sensible timeouts.
+	HTTPClient *http.Client
+	// MaxErrorSamples bounds how many error descriptions are kept verbatim in
+	// the result; 0 means 10.
+	MaxErrorSamples int
+}
+
+func (cfg *Config) withDefaults() (Config, error) {
+	c := *cfg
+	if c.BaseURL == "" {
+		return c, fmt.Errorf("loadgen: missing BaseURL")
+	}
+	c.BaseURL = strings.TrimRight(c.BaseURL, "/")
+	if c.Table == nil {
+		return c, fmt.Errorf("loadgen: missing Table for scenario sourcing")
+	}
+	if c.Dataset == "" {
+		c.Dataset = "census"
+	}
+	if c.Scenario == "" {
+		c.Scenario = ScenarioMixed
+	}
+	if _, err := ParseScenario(string(c.Scenario)); err != nil {
+		return c, err
+	}
+	if c.Sessions <= 0 {
+		return c, fmt.Errorf("loadgen: Sessions must be positive, got %d", c.Sessions)
+	}
+	if c.Duration <= 0 {
+		return c, fmt.Errorf("loadgen: Duration must be positive, got %v", c.Duration)
+	}
+	if c.MinSupport <= 0 {
+		c.MinSupport = 100
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 64
+	}
+	if c.MaxErrorSamples <= 0 {
+		c.MaxErrorSamples = 10
+	}
+	if c.HTTPClient == nil {
+		// Go's default Transport keeps only 2 idle keep-alive connections per
+		// host; with N concurrent closed-loop analysts that would re-dial TCP
+		// on most requests, measuring handshakes instead of the server and
+		// piling up TIME_WAIT sockets. Size the pool to the analyst count.
+		transport := http.DefaultTransport.(*http.Transport).Clone()
+		if transport.MaxIdleConnsPerHost < c.Sessions {
+			transport.MaxIdleConnsPerHost = c.Sessions
+		}
+		if transport.MaxIdleConns < c.Sessions {
+			transport.MaxIdleConns = c.Sessions
+		}
+		c.HTTPClient = &http.Client{Timeout: 60 * time.Second, Transport: transport}
+	}
+	return c, nil
+}
+
+// scenarioItem is one pre-marshaled workflow step ready to be sent: the
+// filter (and its complement, for comparison-shaped items) as predicate JSON.
+type scenarioItem struct {
+	kind     census.HypothesisKind
+	target   string
+	pred     json.RawMessage
+	predNot  json.RawMessage
+	holdouts []string // numeric attributes safe to validate under this filter
+}
+
+// buildPool sources the scenario items from the census workflow generator,
+// keeping only steps whose filter and complement both clear MinSupport.
+func buildPool(cfg Config) ([]scenarioItem, error) {
+	w, err := census.ValidatedWorkflow(cfg.Table, census.WorkflowConfig{
+		Hypotheses:    cfg.PoolSize,
+		Seed:          cfg.Seed,
+		MaxChainDepth: 2,
+	}, cfg.MinSupport)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]scenarioItem, 0, w.Len())
+	for _, ws := range w.Steps {
+		pred, err := dataset.MarshalPredicate(ws.Filter)
+		if err != nil {
+			return nil, err
+		}
+		item := scenarioItem{
+			kind:     ws.Kind,
+			target:   ws.Target,
+			pred:     pred,
+			holdouts: []string{census.ColAge, census.ColHoursPerWeek},
+		}
+		if ws.Kind == census.FilterVsComplement {
+			predNot, err := dataset.MarshalPredicate(dataset.Not{Inner: ws.Filter})
+			if err != nil {
+				return nil, err
+			}
+			item.predNot = predNot
+		}
+		items = append(items, item)
+	}
+	return items, nil
+}
+
+// splitPool partitions the items into population-shaped and complement-shaped
+// pools; the comparison scripts need the latter (both sides validated).
+func splitPool(items []scenarioItem) (pop, comp []scenarioItem, err error) {
+	for _, it := range items {
+		if it.kind == census.FilterVsComplement {
+			comp = append(comp, it)
+		} else {
+			pop = append(pop, it)
+		}
+	}
+	if len(pop) == 0 || len(comp) == 0 {
+		return nil, nil, fmt.Errorf("loadgen: scenario pool is degenerate: %d population-shaped, %d complement-shaped items", len(pop), len(comp))
+	}
+	return pop, comp, nil
+}
+
+// collector aggregates observations from every analyst.
+type collector struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointRecord
+	errors    int64
+	samples   []string
+	maxSample int
+	sessions  int64 // completed session lifecycles
+}
+
+type endpointRecord struct {
+	hist   Histogram
+	errors int64
+}
+
+func newCollector(maxSamples int) *collector {
+	return &collector{endpoints: make(map[string]*endpointRecord), maxSample: maxSamples}
+}
+
+func (c *collector) observe(endpoint string, d time.Duration, errDesc string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.endpoints[endpoint]
+	if !ok {
+		rec = &endpointRecord{}
+		c.endpoints[endpoint] = rec
+	}
+	rec.hist.Observe(d)
+	if errDesc != "" {
+		rec.errors++
+		c.errors++
+		if len(c.samples) < c.maxSample {
+			c.samples = append(c.samples, errDesc)
+		}
+	}
+}
+
+func (c *collector) sessionDone() {
+	c.mu.Lock()
+	c.sessions++
+	c.mu.Unlock()
+}
+
+// client issues one analyst's requests and feeds the collector. Endpoint
+// labels use the server's route patterns, so the client-side report and
+// GET /debug/metrics key their numbers identically.
+type client struct {
+	base string
+	http *http.Client
+	col  *collector
+}
+
+// errStatus is returned for non-2xx responses.
+type errStatus struct {
+	status   int
+	endpoint string
+	body     string
+}
+
+func (e *errStatus) Error() string {
+	return fmt.Sprintf("%s: HTTP %d: %s", e.endpoint, e.status, e.body)
+}
+
+// do sends one request, times it, records the observation under the endpoint
+// label and decodes a 2xx JSON response into out (unless nil).
+func (c *client) do(method, endpoint, path string, body, out any) error {
+	var reader io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("loadgen: marshaling %s body: %w", endpoint, err)
+		}
+		reader = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, reader)
+	if err != nil {
+		return fmt.Errorf("loadgen: building %s request: %w", endpoint, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := c.http.Do(req)
+	elapsed := time.Since(start)
+	if err != nil {
+		c.col.observe(endpoint, elapsed, fmt.Sprintf("%s: %v", endpoint, err))
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.col.observe(endpoint, elapsed, fmt.Sprintf("%s: reading body: %v", endpoint, err))
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		e := &errStatus{status: resp.StatusCode, endpoint: endpoint, body: truncate(string(raw), 200)}
+		c.col.observe(endpoint, elapsed, e.Error())
+		return e
+	}
+	// Decode before recording: an undecodable 2xx body is an error the report
+	// must count — otherwise a failed session create would skip its DELETE
+	// with zero counted errors, and the leak check would blame the server.
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			err = fmt.Errorf("loadgen: decoding %s response: %w", endpoint, err)
+			c.col.observe(endpoint, elapsed, err.Error())
+			return err
+		}
+	}
+	c.col.observe(endpoint, elapsed, "")
+	return nil
+}
+
+func truncate(s string, n int) string {
+	s = strings.TrimSpace(s)
+	if len(s) > n {
+		return s[:n] + "..."
+	}
+	return s
+}
+
+// explorer is one simulated analyst: a private rng, the shared pools and the
+// shared collector.
+type explorer struct {
+	cfg  Config
+	c    *client
+	rng  *rand.Rand
+	pop  []scenarioItem
+	comp []scenarioItem
+}
+
+func (e *explorer) pick(pool []scenarioItem) scenarioItem {
+	return pool[e.rng.Intn(len(pool))]
+}
+
+func (e *explorer) think(ctx context.Context) {
+	if e.cfg.Think <= 0 {
+		return
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(e.cfg.Think):
+	}
+}
+
+// sessionScript is one session's worth of operations after creation.
+type sessionScript func(e *explorer, ctx context.Context, path string) error
+
+// script selects the per-session script for the configured scenario.
+func (e *explorer) script() sessionScript {
+	sc := e.cfg.Scenario
+	if sc == ScenarioMixed {
+		// Weighted toward the cheap filter loop, as a real fleet is.
+		switch roll := e.rng.Float64(); {
+		case roll < 0.35:
+			sc = ScenarioFilter
+		case roll < 0.60:
+			sc = ScenarioViz
+		case roll < 0.80:
+			sc = ScenarioSteps
+		default:
+			sc = ScenarioHoldout
+		}
+	}
+	switch sc {
+	case ScenarioFilter:
+		return (*explorer).filterScript
+	case ScenarioViz:
+		return (*explorer).vizScript
+	case ScenarioSteps:
+		return (*explorer).stepsScript
+	default:
+		return (*explorer).holdoutScript
+	}
+}
+
+// runSession drives one full session lifecycle: create, script, destroy. The
+// delete always runs — leaked sessions are a bug the smoke test looks for.
+func (e *explorer) runSession(ctx context.Context) error {
+	var info struct {
+		ID int64 `json:"id"`
+	}
+	if err := e.c.do(http.MethodPost, "POST /sessions", "/sessions",
+		map[string]any{"dataset": e.cfg.Dataset}, &info); err != nil {
+		return err
+	}
+	path := fmt.Sprintf("/sessions/%d", info.ID)
+	script := e.script()
+	scriptErr := script(e, ctx, path)
+	delErr := e.c.do(http.MethodDelete, "DELETE /sessions/{id}", path, nil, nil)
+	if scriptErr != nil {
+		return scriptErr
+	}
+	if delErr != nil {
+		return delErr
+	}
+	e.c.col.sessionDone()
+	return nil
+}
+
+// addViz posts one add_visualization step command.
+func (e *explorer) addViz(path, target string, pred json.RawMessage) error {
+	return e.c.do(http.MethodPost, "POST /sessions/{id}/steps", path+"/steps",
+		map[string]any{"op": "add_visualization", "target": target, "predicate": pred}, nil)
+}
+
+// filterScript: 8 filtered visualizations with a gauge read every fourth — an
+// analyst drilling down and watching the risk gauge.
+func (e *explorer) filterScript(ctx context.Context, path string) error {
+	for i := 0; i < 8; i++ {
+		if ctx.Err() != nil {
+			return nil
+		}
+		item := e.pick(e.pop)
+		if err := e.addViz(path, item.target, item.pred); err != nil {
+			return err
+		}
+		if i%4 == 3 {
+			if err := e.c.do(http.MethodGet, "GET /sessions/{id}/gauge", path+"/gauge", nil, nil); err != nil {
+				return err
+			}
+		}
+		e.think(ctx)
+	}
+	return e.c.do(http.MethodGet, "GET /sessions/{id}/report", path+"/report", nil, nil)
+}
+
+// vizScript: charts through the legacy convenience endpoints with rule-3
+// comparisons — two rounds of (filter chart, complement chart, compare).
+func (e *explorer) vizScript(ctx context.Context, path string) error {
+	vizCount := 0
+	for round := 0; round < 2; round++ {
+		if ctx.Err() != nil {
+			return nil
+		}
+		item := e.pick(e.comp)
+		for _, pred := range []json.RawMessage{item.pred, item.predNot} {
+			if err := e.c.do(http.MethodPost, "POST /sessions/{id}/visualizations", path+"/visualizations",
+				map[string]any{"target": item.target, "predicate": pred}, nil); err != nil {
+				return err
+			}
+			vizCount++
+			e.think(ctx)
+		}
+		if err := e.c.do(http.MethodPost, "POST /sessions/{id}/compare", path+"/compare",
+			map[string]any{"a": vizCount - 1, "b": vizCount}, nil); err != nil {
+			return err
+		}
+		if err := e.c.do(http.MethodGet, "GET /sessions/{id}/gauge", path+"/gauge", nil, nil); err != nil {
+			return err
+		}
+		e.think(ctx)
+	}
+	return e.c.do(http.MethodGet, "GET /sessions/{id}/report", path+"/report", nil, nil)
+}
+
+// stepsScript: raw step commands (the CoreSteps lowering of two workflow
+// steps), a step-log read, and a whole-log hold-out replay — the heaviest
+// per-request mix.
+func (e *explorer) stepsScript(ctx context.Context, path string) error {
+	vizCount := 0
+	for i := 0; i < 2; i++ {
+		if ctx.Err() != nil {
+			return nil
+		}
+		item := e.pick(e.comp)
+		if err := e.addViz(path, item.target, item.pred); err != nil {
+			return err
+		}
+		if err := e.addViz(path, item.target, item.predNot); err != nil {
+			return err
+		}
+		vizCount += 2
+		if err := e.c.do(http.MethodPost, "POST /sessions/{id}/steps", path+"/steps",
+			map[string]any{"op": "compare_visualizations", "a": vizCount - 1, "b": vizCount}, nil); err != nil {
+			return err
+		}
+		e.think(ctx)
+	}
+	if err := e.c.do(http.MethodGet, "GET /sessions/{id}/log", path+"/log", nil, nil); err != nil {
+		return err
+	}
+	return e.c.do(http.MethodPost, "POST /sessions/{id}/holdout/replay", path+"/holdout/replay",
+		map[string]any{"seed": e.rng.Int63n(1<<31) + 1}, nil)
+}
+
+// holdoutScript: one tracked hypothesis, then repeated mean-comparison
+// validations on fresh splits with varying seeds.
+func (e *explorer) holdoutScript(ctx context.Context, path string) error {
+	item := e.pick(e.comp)
+	if err := e.addViz(path, item.target, item.pred); err != nil {
+		return err
+	}
+	e.think(ctx)
+	for i := 0; i < 3; i++ {
+		if ctx.Err() != nil {
+			return nil
+		}
+		attr := item.holdouts[e.rng.Intn(len(item.holdouts))]
+		if err := e.c.do(http.MethodPost, "POST /sessions/{id}/holdout/validate", path+"/holdout/validate",
+			map[string]any{
+				"attribute": attr,
+				"predicate": item.pred,
+				"seed":      e.rng.Int63n(1<<31) + 1,
+			}, nil); err != nil {
+			return err
+		}
+		e.think(ctx)
+	}
+	return nil
+}
+
+// Run executes the configured load against the server and returns the report.
+// It creates only sessions it also deletes; after a clean run the server's
+// live-session count is back where it started. Errors inside the workload
+// (non-2xx responses, transport failures) do not abort the run — they are
+// counted per endpoint and surfaced in the result, so one bad response still
+// yields a full latency report. Run itself errors only on misconfiguration
+// (unreachable server, degenerate scenario pool).
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	items, err := buildPool(c)
+	if err != nil {
+		return nil, err
+	}
+	pop, comp, err := splitPool(items)
+	if err != nil {
+		return nil, err
+	}
+	col := newCollector(c.MaxErrorSamples)
+
+	// One un-recorded probe so a wrong BaseURL is a setup error, not a
+	// thousand counted request failures.
+	probe := &client{base: c.BaseURL, http: c.HTTPClient, col: newCollector(1)}
+	if err := probe.do(http.MethodGet, "GET /healthz", "/healthz", nil, nil); err != nil {
+		return nil, fmt.Errorf("loadgen: server probe failed: %w", err)
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, c.Duration)
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < c.Sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e := &explorer{
+				cfg:  c,
+				c:    &client{base: c.BaseURL, http: c.HTTPClient, col: col},
+				rng:  rand.New(rand.NewSource(c.Seed + int64(i)*7919)),
+				pop:  pop,
+				comp: comp,
+			}
+			for runCtx.Err() == nil {
+				// Session lifecycles run to completion even when the deadline
+				// passes mid-script: scripts stop issuing new scenario work on
+				// ctx.Err(), and runSession always deletes what it created.
+				if err := e.runSession(runCtx); err != nil {
+					// Back off briefly after a failed lifecycle so a server
+					// that died mid-run yields a bounded error count instead
+					// of a connection-refused busy-loop.
+					select {
+					case <-runCtx.Done():
+					case <-time.After(100 * time.Millisecond):
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := buildResult(c, col, elapsed)
+	// Snapshot the server's own counters so client-observed latency and
+	// server-side numbers travel together.
+	var snap json.RawMessage
+	if err := probe.do(http.MethodGet, "GET /debug/metrics", "/debug/metrics", nil, &snap); err == nil {
+		res.ServerMetrics = snap
+	}
+	return res, nil
+}
+
+// SessionCount reports the server's current live-session count via /healthz —
+// the before/after probe of the leak check.
+func SessionCount(baseURL string, httpClient *http.Client) (int, error) {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	c := &client{base: strings.TrimRight(baseURL, "/"), http: httpClient, col: newCollector(1)}
+	var health struct {
+		Sessions int `json:"sessions"`
+	}
+	if err := c.do(http.MethodGet, "GET /healthz", "/healthz", nil, &health); err != nil {
+		return 0, err
+	}
+	return health.Sessions, nil
+}
+
+// buildResult folds the collector into the serializable report.
+func buildResult(cfg Config, col *collector, elapsed time.Duration) *Result {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	res := &Result{
+		Scenario:          string(cfg.Scenario),
+		Dataset:           cfg.Dataset,
+		Sessions:          cfg.Sessions,
+		DurationSeconds:   round3(elapsed.Seconds()),
+		SessionsCompleted: col.sessions,
+		TotalErrors:       col.errors,
+		ErrorSamples:      col.samples,
+	}
+	for endpoint, rec := range col.endpoints {
+		h := &rec.hist
+		er := EndpointResult{
+			Endpoint: endpoint,
+			Requests: h.Count(),
+			Errors:   rec.errors,
+			P50Ms:    ms(h.Quantile(0.50)),
+			P95Ms:    ms(h.Quantile(0.95)),
+			P99Ms:    ms(h.Quantile(0.99)),
+			MeanMs:   ms(h.Mean()),
+			MaxMs:    ms(h.Max()),
+		}
+		if elapsed > 0 {
+			er.RequestsPerSecond = round3(float64(h.Count()) / elapsed.Seconds())
+		}
+		res.TotalRequests += h.Count()
+		res.Endpoints = append(res.Endpoints, er)
+	}
+	sort.Slice(res.Endpoints, func(i, j int) bool { return res.Endpoints[i].Endpoint < res.Endpoints[j].Endpoint })
+	if elapsed > 0 {
+		res.RequestsPerSecond = round3(float64(res.TotalRequests) / elapsed.Seconds())
+	}
+	return res
+}
+
+func ms(d time.Duration) float64 { return round3(float64(d.Nanoseconds()) / 1e6) }
+
+// round3 keeps the JSON report readable (microsecond precision on
+// millisecond figures).
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }

@@ -1,0 +1,75 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Result is the report of one load run — the BENCH_http.json document. Like
+// BENCH_core.json for library operations, the committed file is the
+// machine-readable perf trajectory of the service layer; CI regenerates it
+// under a fixed smoke scenario and fails on errors or leaked sessions.
+type Result struct {
+	// Scenario is the workload mix that ran.
+	Scenario string `json:"scenario"`
+	// Dataset is the explored dataset's registered name.
+	Dataset string `json:"dataset"`
+	// Rows is the row count of the served dataset (0 when unknown, e.g.
+	// against a remote server).
+	Rows int `json:"rows,omitempty"`
+	// Sessions is the number of concurrent simulated analysts.
+	Sessions int `json:"sessions"`
+	// DurationSeconds is the measured wall time of the run.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// SessionsCompleted counts full create→explore→delete lifecycles.
+	SessionsCompleted int64 `json:"sessions_completed"`
+	// TotalRequests and TotalErrors aggregate over every endpoint.
+	TotalRequests int64 `json:"total_requests"`
+	TotalErrors   int64 `json:"total_errors"`
+	// RequestsPerSecond is the overall closed-loop throughput.
+	RequestsPerSecond float64 `json:"requests_per_second"`
+	// Endpoints holds the per-endpoint latency distributions, keyed by the
+	// server's route patterns and sorted by endpoint name.
+	Endpoints []EndpointResult `json:"endpoints"`
+	// ErrorSamples holds the first few error descriptions verbatim.
+	ErrorSamples []string `json:"error_samples,omitempty"`
+	// ServerMetrics is the server's own GET /debug/metrics snapshot taken
+	// right after the run, so client- and server-side numbers travel
+	// together.
+	ServerMetrics json.RawMessage `json:"server_metrics,omitempty"`
+}
+
+// EndpointResult is one endpoint's latency distribution and throughput.
+type EndpointResult struct {
+	Endpoint          string  `json:"endpoint"`
+	Requests          int64   `json:"requests"`
+	Errors            int64   `json:"errors"`
+	P50Ms             float64 `json:"p50_ms"`
+	P95Ms             float64 `json:"p95_ms"`
+	P99Ms             float64 `json:"p99_ms"`
+	MeanMs            float64 `json:"mean_ms"`
+	MaxMs             float64 `json:"max_ms"`
+	RequestsPerSecond float64 `json:"rps"`
+}
+
+// WriteText renders the human-readable run summary: one line per endpoint,
+// busiest first, then the totals.
+func (r *Result) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s scenario: %d sessions, %.1fs ==\n", r.Scenario, r.Sessions, r.DurationSeconds); err != nil {
+		return err
+	}
+	byTraffic := make([]EndpointResult, len(r.Endpoints))
+	copy(byTraffic, r.Endpoints)
+	sort.Slice(byTraffic, func(i, j int) bool { return byTraffic[i].Requests > byTraffic[j].Requests })
+	for _, ep := range byTraffic {
+		if _, err := fmt.Fprintf(w, "%-40s %7d req %4d err  p50 %8.2fms  p95 %8.2fms  p99 %8.2fms  max %8.2fms\n",
+			ep.Endpoint, ep.Requests, ep.Errors, ep.P50Ms, ep.P95Ms, ep.P99Ms, ep.MaxMs); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "total: %d requests (%.1f req/s), %d errors, %d session lifecycles\n",
+		r.TotalRequests, r.RequestsPerSecond, r.TotalErrors, r.SessionsCompleted)
+	return err
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// decodeErrorBody asserts the response is structured JSON with a non-empty
+// "error" field and the right Content-Type, and returns the message.
+func decodeErrorBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading error body: %v", err)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatalf("error body is not JSON: %q: %v", raw, err)
+	}
+	if body.Error == "" {
+		t.Errorf("error body has no message: %q", raw)
+	}
+	return body.Error
+}
+
+// TestErrorResponsesAreJSON covers the error paths of every endpoint: unknown
+// routes (404 from the mux), wrong methods (405 from the mux), malformed
+// bodies and invalid path values (400s from the handlers), and missing
+// sessions (handler 404s). Every one must produce an application/json body
+// with an "error" field — clients never see a text/plain error.
+func TestErrorResponsesAreJSON(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// A live session so the malformed-body cases get past routing.
+	var info SessionInfo
+	wantStatus(t, doJSON(t, http.MethodPost, ts.URL+"/sessions", map[string]any{"dataset": "census"}, &info), http.StatusCreated)
+
+	malformed := strings.NewReader(`{"not json`)
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   io.Reader
+		status int
+	}{
+		// Router-level 404s: no pattern matches the path.
+		{"unknown root path", http.MethodGet, "/no/such/route", nil, http.StatusNotFound},
+		{"unknown session subresource", http.MethodGet, "/sessions/1/nope", nil, http.StatusNotFound},
+
+		// Router-level 405s: the path exists under another method.
+		{"PUT sessions", http.MethodPut, "/sessions", nil, http.StatusMethodNotAllowed},
+		{"DELETE healthz", http.MethodDelete, "/healthz", nil, http.StatusMethodNotAllowed},
+		{"GET steps", http.MethodGet, "/sessions/1/steps", nil, http.StatusMethodNotAllowed},
+		{"DELETE gauge", http.MethodDelete, "/sessions/1/gauge", nil, http.StatusMethodNotAllowed},
+		{"PATCH report", http.MethodPatch, "/sessions/1/report", nil, http.StatusMethodNotAllowed},
+
+		// Handler-level 400s: malformed JSON bodies on every decoding endpoint.
+		{"create session bad body", http.MethodPost, "/sessions", malformed, http.StatusBadRequest},
+		{"steps bad body", http.MethodPost, "/sessions/1/steps", strings.NewReader(`{"op": 42}`), http.StatusBadRequest},
+		{"visualizations bad body", http.MethodPost, "/sessions/1/visualizations", strings.NewReader(`[`), http.StatusBadRequest},
+		{"compare bad body", http.MethodPost, "/sessions/1/compare", strings.NewReader(`{"a": "x"}`), http.StatusBadRequest},
+		{"star bad body", http.MethodPost, "/sessions/1/hypotheses/1/star", strings.NewReader(`{`), http.StatusBadRequest},
+		{"holdout validate bad body", http.MethodPost, "/sessions/1/holdout/validate", strings.NewReader(`nope`), http.StatusBadRequest},
+		{"holdout replay bad body", http.MethodPost, "/sessions/1/holdout/replay", strings.NewReader(`"`), http.StatusBadRequest},
+		{"upload dataset without name", http.MethodPost, "/datasets", strings.NewReader("a,b\n1,2\n"), http.StatusBadRequest},
+
+		// Handler-level 400s: unparseable path values.
+		{"bad session id", http.MethodGet, "/sessions/abc", nil, http.StatusBadRequest},
+		{"bad hypothesis id", http.MethodPost, "/sessions/1/hypotheses/x/star", strings.NewReader(`{"starred": true}`), http.StatusBadRequest},
+
+		// Handler-level 404s: valid shape, missing resources.
+		{"missing session", http.MethodGet, "/sessions/999999", nil, http.StatusNotFound},
+		{"missing session delete", http.MethodDelete, "/sessions/999999", nil, http.StatusNotFound},
+		{"unknown dataset", http.MethodPost, "/sessions", strings.NewReader(`{"dataset": "nope"}`), http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, tc.body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				body, _ := io.ReadAll(resp.Body)
+				t.Fatalf("%s %s: status %d, want %d (body: %s)", tc.method, tc.path, resp.StatusCode, tc.status, body)
+			}
+			decodeErrorBody(t, resp)
+		})
+	}
+}
+
+// TestMethodNotAllowedKeepsAllowHeader checks that converting the mux's 405
+// to JSON preserves the Allow header the mux computed.
+func TestMethodNotAllowedKeepsAllowHeader(t *testing.T) {
+	_, ts := newTestServer(t)
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, http.MethodGet) {
+		t.Errorf("Allow = %q, want it to include GET", allow)
+	}
+	decodeErrorBody(t, resp)
+}

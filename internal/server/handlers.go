@@ -20,25 +20,31 @@ import (
 const maxUploadBytes = 32 << 20
 
 // routes builds the API's ServeMux. The method-and-pattern routing needs
-// go >= 1.22.
+// go >= 1.22. Every handler is wrapped in the per-endpoint instrumentation,
+// keyed by the registration pattern, so GET /debug/metrics reports exactly
+// the routes listed here.
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /datasets", s.handleListDatasets)
-	mux.HandleFunc("POST /datasets", s.handleUploadDataset)
-	mux.HandleFunc("POST /sessions", s.handleCreateSession)
-	mux.HandleFunc("GET /sessions", s.handleListSessions)
-	mux.HandleFunc("GET /sessions/{id}", s.handleGetSession)
-	mux.HandleFunc("DELETE /sessions/{id}", s.handleDeleteSession)
-	mux.HandleFunc("POST /sessions/{id}/steps", s.handleApplyStep)
-	mux.HandleFunc("GET /sessions/{id}/log", s.handleLog)
-	mux.HandleFunc("POST /sessions/{id}/visualizations", s.handleCreateVisualization)
-	mux.HandleFunc("POST /sessions/{id}/compare", s.handleCompare)
-	mux.HandleFunc("POST /sessions/{id}/hypotheses/{hid}/star", s.handleStar)
-	mux.HandleFunc("GET /sessions/{id}/gauge", s.handleGauge)
-	mux.HandleFunc("POST /sessions/{id}/holdout/validate", s.handleHoldoutValidate)
-	mux.HandleFunc("POST /sessions/{id}/holdout/replay", s.handleHoldoutReplay)
-	mux.HandleFunc("GET /sessions/{id}/report", s.handleReport)
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.metrics.instrument(pattern, h))
+	}
+	handle("GET /healthz", s.handleHealth)
+	handle("GET /debug/metrics", s.handleDebugMetrics)
+	handle("GET /datasets", s.handleListDatasets)
+	handle("POST /datasets", s.handleUploadDataset)
+	handle("POST /sessions", s.handleCreateSession)
+	handle("GET /sessions", s.handleListSessions)
+	handle("GET /sessions/{id}", s.handleGetSession)
+	handle("DELETE /sessions/{id}", s.handleDeleteSession)
+	handle("POST /sessions/{id}/steps", s.handleApplyStep)
+	handle("GET /sessions/{id}/log", s.handleLog)
+	handle("POST /sessions/{id}/visualizations", s.handleCreateVisualization)
+	handle("POST /sessions/{id}/compare", s.handleCompare)
+	handle("POST /sessions/{id}/hypotheses/{hid}/star", s.handleStar)
+	handle("GET /sessions/{id}/gauge", s.handleGauge)
+	handle("POST /sessions/{id}/holdout/validate", s.handleHoldoutValidate)
+	handle("POST /sessions/{id}/holdout/replay", s.handleHoldoutReplay)
+	handle("GET /sessions/{id}/report", s.handleReport)
 	return mux
 }
 

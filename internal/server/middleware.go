@@ -1,9 +1,12 @@
 package server
 
 import (
+	"bytes"
+	"encoding/json"
 	"log/slog"
 	"net/http"
 	"runtime/debug"
+	"strings"
 	"time"
 )
 
@@ -46,6 +49,71 @@ func withRequestLog(logger *slog.Logger, next http.Handler) http.Handler {
 			"duration", time.Since(start),
 			"remote", r.RemoteAddr,
 		)
+	})
+}
+
+// jsonErrorWriter intercepts non-JSON error responses. The API speaks JSON
+// everywhere, but http.ServeMux writes its own text/plain bodies for
+// unmatched routes (404) and method mismatches (405) — and http.Error does
+// the same for any handler that slips through. When a response starts with an
+// error status and a non-JSON content type, the writer swallows the text body
+// and replaces it with the structured {"error": ...} document every other
+// error path produces. Headers the original response set (Allow on a 405 in
+// particular) are preserved.
+type jsonErrorWriter struct {
+	http.ResponseWriter
+	wroteHeader bool
+	convert     bool
+	status      int
+	buf         bytes.Buffer
+}
+
+func (w *jsonErrorWriter) WriteHeader(status int) {
+	if w.wroteHeader {
+		return
+	}
+	w.wroteHeader = true
+	w.status = status
+	if status >= 400 && !strings.HasPrefix(w.Header().Get("Content-Type"), "application/json") {
+		w.convert = true
+		h := w.Header()
+		h.Set("Content-Type", "application/json")
+		// The JSON body has a different length than the text one.
+		h.Del("Content-Length")
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *jsonErrorWriter) Write(p []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.convert {
+		w.buf.Write(p)
+		return len(p), nil
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// withJSONErrors wraps the router so every error response — including the
+// mux's own 404/405 fallbacks — reaches the client as structured JSON.
+// Converted responses never went through a registered handler, so they are
+// counted as unrouted in the metrics.
+func withJSONErrors(metrics *Metrics, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		jw := &jsonErrorWriter{ResponseWriter: w}
+		next.ServeHTTP(jw, r)
+		if !jw.convert {
+			return
+		}
+		if metrics != nil {
+			metrics.recordUnrouted(jw.status)
+		}
+		msg := strings.TrimSpace(jw.buf.String())
+		if msg == "" {
+			msg = http.StatusText(jw.status)
+		}
+		_ = json.NewEncoder(jw.ResponseWriter).Encode(map[string]string{"error": msg})
 	})
 }
 

@@ -49,6 +49,8 @@ type Server struct {
 	registry *DatasetRegistry
 	manager  *SessionManager
 	journal  *journalStore // nil when journaling is disabled
+	metrics  *Metrics
+	now      func() time.Time
 	sweep    time.Duration
 	handler  http.Handler
 }
@@ -65,10 +67,16 @@ func New(cfg Config) (*Server, error) {
 	if sweep <= 0 {
 		sweep = time.Minute
 	}
+	now := cfg.now
+	if now == nil {
+		now = time.Now
+	}
 	s := &Server{
 		log:      logger,
 		registry: NewDatasetRegistry(),
 		manager:  NewSessionManager(cfg.SessionTTL, cfg.now),
+		metrics:  newMetrics(now()),
+		now:      now,
 		sweep:    sweep,
 	}
 	if cfg.JournalDir != "" {
@@ -78,9 +86,17 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.journal = journal
 	}
-	s.handler = withRecovery(logger, withRequestLog(logger, s.routes()))
+	// Middleware, outermost first: panics become JSON 500s, every request is
+	// logged, and router-level text errors (404/405) are converted to JSON and
+	// counted. Per-endpoint metrics wrap the individual handlers inside the
+	// mux, so they observe exactly the requests that were routed.
+	s.handler = withRecovery(logger, withRequestLog(logger, withJSONErrors(s.metrics, s.routes())))
 	return s, nil
 }
+
+// Metrics returns the server's instrumentation registry — the same counters
+// GET /debug/metrics serves.
+func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // RestoreSessions recovers journaled sessions from the journal directory:
 // each journal's steps are replayed with core.Replay against the named
