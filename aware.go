@@ -155,6 +155,11 @@ type (
 	// SelectionCache memoizes compiled filter bitmaps for one immutable
 	// table, shareable across concurrent sessions.
 	SelectionCache = dataset.SelectionCache
+	// Pool is the bounded worker pool the morsel-parallel kernels execute on;
+	// pin one to a table with Table.SetPool (or via SessionOptions.Pool).
+	Pool = dataset.Pool
+	// PoolStats is a snapshot of a pool's execution counters.
+	PoolStats = dataset.PoolStats
 )
 
 // Column constructors.
@@ -173,6 +178,11 @@ var (
 	// CanonicalPredicateKey serializes a predicate into its canonical cache
 	// key (semantically equal predicates key equal).
 	CanonicalPredicateKey = dataset.CanonicalPredicateKey
+	// NewPool builds a bounded execution pool for the morsel-parallel kernels
+	// (workers <= 0 means GOMAXPROCS; 1 pins execution to the caller).
+	NewPool = dataset.NewPool
+	// DefaultPool returns the process-wide shared execution pool.
+	DefaultPool = dataset.DefaultPool
 )
 
 // Census data generation re-exports.

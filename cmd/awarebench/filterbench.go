@@ -2,14 +2,15 @@ package main
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"aware/internal/census"
 	"aware/internal/dataset"
 )
 
-// runBenchFilter measures the three generations of the filter+count hot path
-// on the census table — the operation every rule-2 hypothesis performs:
+// runBenchFilter measures the generations of the filter+count hot path on the
+// census table — the operation every rule-2 hypothesis performs:
 //
 //	filter_legacy_materialized  row-at-a-time Matches, materialize the
 //	                            sub-table, count categories over the copy
@@ -20,10 +21,18 @@ import (
 //	                            SelectionCache — the steady state of a served
 //	                            dataset, where some session has already
 //	                            compiled the filter
+//	filter_sequential           the vectorized path pinned to a 1-worker pool
+//	                            (the morsel-parallel engine's sequential
+//	                            reference)
+//	filter_parallel             the vectorized path on a GOMAXPROCS-sized
+//	                            morsel-parallel pool
 //
-// Results merge into BENCH_core.json next to the other experiments, and the
-// legacy-over-cached speedup is printed (the ISSUE acceptance bar is >= 5x).
-func runBenchFilter(outPath string, seed int64, rows int) error {
+// Results merge into BENCH_core.json next to the other experiments; the
+// legacy-over-cached and sequential-over-parallel speedups are printed. With
+// minSpeedup > 0 the run fails when the parallel speedup falls below the bar
+// on a machine with at least 4 CPUs (the CI scaling gate); on smaller
+// machines the gate is skipped with a notice.
+func runBenchFilter(outPath string, seed int64, rows int, minSpeedup float64) error {
 	table, err := census.Generate(census.Config{Rows: rows, Seed: seed, SignalStrength: 1})
 	if err != nil {
 		return err
@@ -72,25 +81,47 @@ func runBenchFilter(outPath string, seed int64, rows int) error {
 		}
 		return view.CountsFor(target, cats)
 	}
+	// The morsel-parallel engine's two endpoints: the 1-worker pool is the
+	// sequential reference, the GOMAXPROCS pool the production configuration.
+	// SetPool is table-wide, so each closure pins its pool before compiling.
+	seqPool := dataset.NewPool(1)
+	defer seqPool.Close()
+	parPool := dataset.NewPool(0)
+	defer parPool.Close()
+	withPool := func(p *dataset.Pool) func() ([]int, error) {
+		return func() ([]int, error) {
+			table.SetPool(p)
+			return vectorized()
+		}
+	}
+	sequential, parallel := withPool(seqPool), withPool(parPool)
 
-	// The three paths must agree before their timings mean anything.
+	// Every path must agree before the timings mean anything — and the
+	// parallel path must be bit-identical to the sequential one, not just
+	// count-identical.
 	want, err := legacy()
 	if err != nil {
 		return err
 	}
-	for name, fn := range map[string]func() ([]int, error){"vectorized": vectorized, "cached": cached} {
-		got, err := fn()
+	for _, p := range []struct {
+		name string
+		fn   func() ([]int, error)
+	}{{"vectorized", vectorized}, {"cached", cached}, {"sequential", sequential}, {"parallel", parallel}} {
+		got, err := p.fn()
 		if err != nil {
-			return fmt.Errorf("%s path: %w", name, err)
+			return fmt.Errorf("%s path: %w", p.name, err)
 		}
 		if len(got) != len(want) {
-			return fmt.Errorf("%s path: %d counts, legacy %d", name, len(got), len(want))
+			return fmt.Errorf("%s path: %d counts, legacy %d", p.name, len(got), len(want))
 		}
 		for i := range got {
 			if got[i] != want[i] {
-				return fmt.Errorf("%s path disagrees with legacy: %v vs %v", name, got, want)
+				return fmt.Errorf("%s path disagrees with legacy: %v vs %v", p.name, got, want)
 			}
 		}
+	}
+	if err := compareSelections(table, filter, seqPool, parPool); err != nil {
+		return err
 	}
 
 	benchmarks := []namedBenchmark{
@@ -118,10 +149,27 @@ func runBenchFilter(outPath string, seed int64, rows int) error {
 				}
 			}
 		}},
+		{"filter_sequential", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sequential(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"filter_parallel", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := parallel(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}
 
 	fmt.Printf("== filter+count execution paths (census %d rows) ==\n", rows)
 	entries := measure(benchmarks)
+	table.SetPool(nil)
 	byOp := make(map[string]BenchEntry, len(entries))
 	for _, e := range entries {
 		byOp[e.Op] = e
@@ -130,5 +178,58 @@ func runBenchFilter(outPath string, seed int64, rows int) error {
 		fmt.Printf("speedup legacy/vectorized:   %.1fx\n", float64(l.NsPerOp)/float64(byOp["filter_vectorized"].NsPerOp))
 		fmt.Printf("speedup legacy/cached:       %.1fx\n", float64(l.NsPerOp)/float64(c.NsPerOp))
 	}
-	return writeBenchEntries(outPath, entries)
+	speedup := 0.0
+	if s, p := byOp["filter_sequential"], byOp["filter_parallel"]; p.NsPerOp > 0 {
+		speedup = float64(s.NsPerOp) / float64(p.NsPerOp)
+		fmt.Printf("speedup sequential/parallel: %.2fx (%d CPUs)\n", speedup, runtime.NumCPU())
+	}
+	if err := writeBenchEntries(outPath, entries); err != nil {
+		return err
+	}
+	return checkSpeedup(speedup, minSpeedup)
+}
+
+// checkSpeedup enforces the CI scaling gate: with minSpeedup > 0 and at least
+// 4 CPUs, the parallel path must beat the sequential reference by the bar.
+// Machines below 4 CPUs cannot meaningfully demonstrate multi-core scaling,
+// so the gate skips there with a notice instead of failing.
+func checkSpeedup(speedup, minSpeedup float64) error {
+	if minSpeedup <= 0 {
+		return nil
+	}
+	if cpus := runtime.NumCPU(); cpus < 4 {
+		fmt.Printf("NOTICE: speedup gate skipped: %d CPUs < 4 (gate requires a multi-core runner)\n", cpus)
+		return nil
+	}
+	if speedup < minSpeedup {
+		return fmt.Errorf("parallel speedup %.2fx below the %.2fx gate", speedup, minSpeedup)
+	}
+	fmt.Printf("speedup gate passed: %.2fx >= %.2fx\n", speedup, minSpeedup)
+	return nil
+}
+
+// compareSelections asserts that the sequential and parallel pools compile
+// the predicate into bit-identical selections over the table: same span, same
+// count, same membership row by row.
+func compareSelections(table *dataset.Table, filter dataset.Predicate, seqPool, parPool *dataset.Pool) error {
+	table.SetPool(seqPool)
+	seq, err := table.Where(filter)
+	if err != nil {
+		return err
+	}
+	table.SetPool(parPool)
+	par, err := table.Where(filter)
+	if err != nil {
+		return err
+	}
+	if seq.Len() != par.Len() || seq.Count() != par.Count() {
+		return fmt.Errorf("parallel selection differs: len %d/%d count %d/%d",
+			seq.Len(), par.Len(), seq.Count(), par.Count())
+	}
+	for i := 0; i < seq.Len(); i++ {
+		if seq.Contains(i) != par.Contains(i) {
+			return fmt.Errorf("parallel selection differs from sequential at row %d", i)
+		}
+	}
+	return nil
 }

@@ -15,6 +15,8 @@
 //	awarebench -exp bench               # core-op timings -> BENCH_core.json
 //	awarebench -exp steps               # step dispatch/replay -> BENCH_core.json
 //	awarebench -exp filter              # filter+count execution paths -> BENCH_core.json
+//	awarebench -exp filter -rows 300000 -minspeedup 1.5   # CI scaling gate
+//	awarebench -exp scaling             # seq-vs-parallel curve at 30k/300k/3M rows
 //	awarebench -exp replay              # hold-out replay of a recorded step log
 //	awarebench -exp drift               # CI gate: allocs_per_op vs committed baseline
 package main
@@ -29,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run: 1a, 1b, 1c, 2, intro, holdout, subsets, bench, steps, filter, replay, drift, all")
+		exp        = flag.String("exp", "all", "experiment to run: 1a, 1b, 1c, 2, intro, holdout, subsets, bench, steps, filter, scaling, replay, drift, all")
 		reps       = flag.Int("reps", 0, "replications per configuration (0 = paper defaults: 1000 synthetic, 20 census)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		nullProp   = flag.Float64("null", -1, "true-null proportion for 1a/1b/1c (-1 = run the paper's set)")
@@ -39,6 +41,8 @@ func main() {
 		benchOut   = flag.String("benchout", "BENCH_core.json", "output path for the machine-readable core benchmarks (-exp bench)")
 		driftBase  = flag.String("driftbase", "BENCH_core.json", "committed baseline for -exp drift")
 		driftPct   = flag.Float64("driftpct", 20, "allowed allocs_per_op increase in percent for -exp drift")
+		minSpeedup = flag.Float64("minspeedup", 0, "fail -exp filter/scaling when parallel speedup over sequential is below this (0 = no gate; skipped below 4 CPUs)")
+		scaleRows  = flag.String("scalerows", "30000,300000,3000000", "comma-separated census sizes for -exp scaling")
 	)
 	flag.Parse()
 
@@ -52,20 +56,26 @@ func main() {
 		return
 	}
 
-	if err := run(*exp, *reps, *seed, *nullProp, *rows, *hypotheses, *randomized, *benchOut); err != nil {
+	if err := run(*exp, *reps, *seed, *nullProp, *rows, *hypotheses, *randomized, *benchOut, *minSpeedup, *scaleRows); err != nil {
 		fmt.Fprintf(os.Stderr, "awarebench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, reps int, seed int64, nullProp float64, rows, hypotheses int, randomized bool, benchOut string) error {
+func run(exp string, reps int, seed int64, nullProp float64, rows, hypotheses int, randomized bool, benchOut string, minSpeedup float64, scaleRows string) error {
 	switch exp {
 	case "bench":
 		return runBenchCore(benchOut, seed, rows)
 	case "steps":
 		return runBenchSteps(benchOut, seed, rows)
 	case "filter":
-		return runBenchFilter(benchOut, seed, rows)
+		return runBenchFilter(benchOut, seed, rows, minSpeedup)
+	case "scaling":
+		sizes, err := parseRowsList(scaleRows)
+		if err != nil {
+			return err
+		}
+		return runBenchScaling(benchOut, seed, sizes, minSpeedup)
 	case "replay":
 		return runReplayHoldout(seed, rows, hypotheses)
 	case "1a":

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"aware/internal/census"
+	"aware/internal/core"
+	"aware/internal/dataset"
+)
+
+// runBenchScaling measures the filter and steps hot paths across census sizes
+// (30k/300k/3M by default) on both the sequential reference (1-worker pool)
+// and the morsel-parallel pool, writing one BENCH_core.json entry per
+// (operation, size) — the scaling curve that shows whether filter+aggregate
+// latency stays interactive as the data grows:
+//
+//	scaling_filter_seq_<size>  uncached Where + CountsFor, 1-worker pool
+//	scaling_filter_par_<size>  same operation, GOMAXPROCS-sized pool
+//	scaling_step_seq_<size>    a full rule-2 step (AddVisualization) through a
+//	                           fresh session, 1-worker pool
+//	scaling_step_par_<size>    same step on the parallel pool
+//
+// Sequential and parallel runs are verified bit-identical per size before any
+// timing is recorded.
+func runBenchScaling(outPath string, seed int64, rowsList []int, minSpeedup float64) error {
+	seqPool := dataset.NewPool(1)
+	defer seqPool.Close()
+	parPool := dataset.NewPool(0)
+	defer parPool.Close()
+
+	var entries []BenchEntry
+	worst := 0.0
+	for _, rows := range rowsList {
+		sized, speedup, err := scaleOne(rows, seed, seqPool, parPool)
+		if err != nil {
+			return fmt.Errorf("scaling at %d rows: %w", rows, err)
+		}
+		entries = append(entries, sized...)
+		if worst == 0 || speedup < worst {
+			worst = speedup
+		}
+	}
+	if err := writeBenchEntries(outPath, entries); err != nil {
+		return err
+	}
+	// The gate (if requested) holds the weakest size on the curve to the bar.
+	return checkSpeedup(worst, minSpeedup)
+}
+
+// scaleOne measures one census size and returns its entries plus the
+// sequential/parallel filter speedup.
+func scaleOne(rows int, seed int64, seqPool, parPool *dataset.Pool) ([]BenchEntry, float64, error) {
+	table, err := census.Generate(census.Config{Rows: rows, Seed: seed, SignalStrength: 1})
+	if err != nil {
+		return nil, 0, err
+	}
+	filter := dataset.And{Terms: []dataset.Predicate{
+		dataset.Equals{Column: census.ColSalaryOver50K, Value: "true"},
+		dataset.Range{Column: census.ColAge, Low: 30, High: 50},
+	}}
+	target := census.ColGender
+	cats, err := table.Categories(target)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := compareSelections(table, filter, seqPool, parPool); err != nil {
+		return nil, 0, err
+	}
+
+	filterCount := func(p *dataset.Pool) func() error {
+		return func() error {
+			table.SetPool(p)
+			view, err := table.View(filter)
+			if err != nil {
+				return err
+			}
+			_, err = view.CountsFor(target, cats)
+			return err
+		}
+	}
+	// One rule-2 step end to end: compile the filter, count against the
+	// population, route the χ² result through α-investing. A fresh session per
+	// iteration keeps the filter cache cold so the kernels are measured, not
+	// the cache.
+	step := func(p *dataset.Pool) func(b *testing.B) {
+		return func(b *testing.B) {
+			table.SetPool(p)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sess, err := core.NewSession(table, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := sess.Apply(core.AddVisualization{Target: target, Filter: filter}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	timed := func(fn func() error) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := fn(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	tag := rowsTag(rows)
+	benchmarks := []namedBenchmark{
+		{"scaling_filter_seq_" + tag, timed(filterCount(seqPool))},
+		{"scaling_filter_par_" + tag, timed(filterCount(parPool))},
+		{"scaling_step_seq_" + tag, step(seqPool)},
+		{"scaling_step_par_" + tag, step(parPool)},
+	}
+	fmt.Printf("== scaling: filter + step paths (census %d rows, %d CPUs) ==\n", rows, runtime.NumCPU())
+	entries := measure(benchmarks)
+	table.SetPool(nil)
+
+	speedup := 0.0
+	byOp := make(map[string]BenchEntry, len(entries))
+	for _, e := range entries {
+		byOp[e.Op] = e
+	}
+	if s, p := byOp["scaling_filter_seq_"+tag], byOp["scaling_filter_par_"+tag]; p.NsPerOp > 0 {
+		speedup = float64(s.NsPerOp) / float64(p.NsPerOp)
+		fmt.Printf("speedup sequential/parallel at %s rows: %.2fx\n", tag, speedup)
+	}
+	return entries, speedup, nil
+}
+
+// rowsTag renders a row count as the short suffix used in scaling op names
+// (30000 -> 30k, 3000000 -> 3m).
+func rowsTag(rows int) string {
+	switch {
+	case rows >= 1_000_000 && rows%1_000_000 == 0:
+		return fmt.Sprintf("%dm", rows/1_000_000)
+	case rows >= 1_000 && rows%1_000 == 0:
+		return fmt.Sprintf("%dk", rows/1_000)
+	default:
+		return strconv.Itoa(rows)
+	}
+}
+
+// parseRowsList parses the -scalerows flag: comma-separated positive ints.
+func parseRowsList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -scalerows entry %q (want positive integers, comma-separated)", p)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-scalerows must name at least one size")
+	}
+	return out, nil
+}

@@ -50,6 +50,7 @@ func main() {
 		sweep    = flag.Duration("sweep", time.Minute, "how often the idle-session sweeper runs")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		journal  = flag.String("journal-dir", "", "directory for per-session step journals; sessions survive restarts (empty = in-memory only)")
+		workers  = flag.Int("workers", 0, "morsel-parallel execution pool size shared by all datasets (0 = GOMAXPROCS, 1 = sequential/deterministic)")
 	)
 	datasets := make(map[string]string)
 	flag.Func("dataset", "register a CSV dataset as name=path (repeatable; columns import as categorical)", func(v string) error {
@@ -62,13 +63,13 @@ func main() {
 	})
 	flag.Parse()
 
-	if err := run(*addr, *rows, *seed, *ttl, *sweep, *logLevel, *journal, datasets); err != nil {
+	if err := run(*addr, *rows, *seed, *ttl, *sweep, *logLevel, *journal, *workers, datasets); err != nil {
 		fmt.Fprintf(os.Stderr, "awared: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, rows int, seed int64, ttl, sweep time.Duration, logLevel, journalDir string, datasets map[string]string) error {
+func run(addr string, rows int, seed int64, ttl, sweep time.Duration, logLevel, journalDir string, workers int, datasets map[string]string) error {
 	level, err := parseLevel(logLevel)
 	if err != nil {
 		return err
@@ -80,6 +81,7 @@ func run(addr string, rows int, seed int64, ttl, sweep time.Duration, logLevel, 
 		SessionTTL:    ttl,
 		SweepInterval: sweep,
 		JournalDir:    journalDir,
+		Workers:       workers,
 	})
 	if err != nil {
 		return err

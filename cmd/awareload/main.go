@@ -57,18 +57,19 @@ func main() {
 		minSupport = flag.Int("min-support", 100, "minimum sub-population size a scenario predicate may select")
 		benchOut   = flag.String("benchout", "BENCH_http.json", "output path for the machine-readable report")
 		checkLeaks = flag.Bool("check-leaks", false, "fail if the server's live-session count does not return to its pre-run value")
+		workers    = flag.Int("workers", 0, "execution pool size of the in-process server (0 = GOMAXPROCS, 1 = sequential; ignored with -addr)")
 	)
 	flag.Parse()
 
 	if err := run(*scenario, *sessions, *duration, *rows, *seed, *addr, *datasetN,
-		*think, *minSupport, *benchOut, *checkLeaks); err != nil {
+		*think, *minSupport, *benchOut, *checkLeaks, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "awareload: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(scenario string, sessions int, duration time.Duration, rows int, seed int64,
-	addr, datasetName string, think time.Duration, minSupport int, benchOut string, checkLeaks bool) error {
+	addr, datasetName string, think time.Duration, minSupport int, benchOut string, checkLeaks bool, workers int) error {
 	sc, err := loadgen.ParseScenario(scenario)
 	if err != nil {
 		return err
@@ -82,7 +83,7 @@ func run(scenario string, sessions int, duration time.Duration, rows int, seed i
 
 	base := addr
 	if base == "" {
-		url, stop, err := startInProcess(table, datasetName)
+		url, stop, err := startInProcess(table, datasetName, workers)
 		if err != nil {
 			return err
 		}
@@ -144,8 +145,11 @@ func run(scenario string, sessions int, duration time.Duration, rows int, seed i
 }
 
 // startInProcess boots awared on a loopback listener serving the table.
-func startInProcess(table *dataset.Table, datasetName string) (url string, stop func(), err error) {
-	srv, err := server.New(server.Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+func startInProcess(table *dataset.Table, datasetName string, workers int) (url string, stop func(), err error) {
+	srv, err := server.New(server.Config{
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+		Workers: workers,
+	})
 	if err != nil {
 		return "", nil, err
 	}
@@ -153,7 +157,7 @@ func startInProcess(table *dataset.Table, datasetName string) (url string, stop 
 		return "", nil, err
 	}
 	ts := httptest.NewServer(srv.Handler())
-	return ts.URL, ts.Close, nil
+	return ts.URL, func() { ts.Close(); srv.Close() }, nil
 }
 
 func firstSample(samples []string) string {

@@ -16,7 +16,7 @@ import (
 // latency percentiles per endpoint.
 func TestRunInProcessSmoke(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_http.json")
-	err := run("mixed", 3, 1200*time.Millisecond, 2000, 1, "", "census", 0, 60, out, true)
+	err := run("mixed", 3, 1200*time.Millisecond, 2000, 1, "", "census", 0, 60, out, true, 2)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -49,7 +49,7 @@ func TestRunInProcessSmoke(t *testing.T) {
 }
 
 func TestRunRejectsUnknownScenario(t *testing.T) {
-	if err := run("bogus", 1, time.Second, 100, 1, "", "census", 0, 10, "", false); err == nil {
+	if err := run("bogus", 1, time.Second, 100, 1, "", "census", 0, 10, "", false, 0); err == nil {
 		t.Fatal("want error for unknown scenario")
 	}
 }

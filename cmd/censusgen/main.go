@@ -2,16 +2,27 @@
 // randomized variant) as CSV, so that other tools — or a re-run of the
 // paper's experiments outside Go — can consume the exact same data.
 //
+// The default path streams rows straight from the generator to the CSV
+// writer via census.EachRow, holding one row in memory at a time — so
+// -rows 3000000 writes a million-row-scale file without materializing the
+// table. Only -randomized materializes the full table first (shuffling every
+// column requires all rows).
+//
 // Usage:
 //
 //	censusgen -rows 30000 -seed 1 -out census.csv
+//	censusgen -rows 3000000 -out census_3m.csv
 //	censusgen -rows 30000 -seed 1 -randomized -out census_random.csv
 package main
 
 import (
+	"bufio"
+	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 
 	"aware/internal/census"
 )
@@ -33,17 +44,7 @@ func main() {
 }
 
 func run(rows int, seed int64, signal float64, randomized bool, out string) error {
-	table, err := census.Generate(census.Config{Rows: rows, Seed: seed, SignalStrength: signal})
-	if err != nil {
-		return err
-	}
-	if randomized {
-		table, err = census.Randomize(table, seed+1)
-		if err != nil {
-			return err
-		}
-	}
-	w := os.Stdout
+	var w io.Writer = os.Stdout
 	if out != "-" {
 		f, err := os.Create(out)
 		if err != nil {
@@ -52,11 +53,59 @@ func run(rows int, seed int64, signal float64, randomized bool, out string) erro
 		defer f.Close()
 		w = f
 	}
-	if err := table.WriteCSV(w); err != nil {
+	cfg := census.Config{Rows: rows, Seed: seed, SignalStrength: signal}
+	if randomized {
+		// Shuffling needs every row at once, so only this path pays for the
+		// full table.
+		table, err := census.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		table, err = census.Randomize(table, seed+1)
+		if err != nil {
+			return err
+		}
+		if err := table.WriteCSV(w); err != nil {
+			return err
+		}
+	} else if err := streamCSV(w, cfg); err != nil {
 		return err
 	}
 	if out != "-" {
-		fmt.Printf("wrote %d rows x %d columns to %s\n", table.NumRows(), table.NumColumns(), out)
+		fmt.Printf("wrote %d rows x %d columns to %s\n", rows, len(census.Columns()), out)
 	}
 	return nil
+}
+
+// streamCSV writes the census as CSV row by row, byte-identical to
+// generating the table and calling Table.WriteCSV but with O(1) memory: the
+// generator hands each Person straight to the (buffered) CSV writer.
+func streamCSV(w io.Writer, cfg census.Config) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	cw := csv.NewWriter(bw)
+	if err := cw.Write(census.Columns()); err != nil {
+		return fmt.Errorf("writing CSV header: %w", err)
+	}
+	record := make([]string, len(census.Columns()))
+	err := census.EachRow(cfg, func(i int, p census.Person) error {
+		record[0] = p.Gender
+		record[1] = strconv.FormatFloat(p.Age, 'g', -1, 64)
+		record[2] = p.Education
+		record[3] = p.MaritalStatus
+		record[4] = p.Occupation
+		record[5] = strconv.FormatFloat(p.HoursPerWeek, 'g', -1, 64)
+		record[6] = strconv.FormatBool(p.SalaryOver50K)
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("writing CSV row %d: %w", i, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
 }

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"aware/internal/census"
 )
 
 func TestCensusgenWritesCSV(t *testing.T) {
@@ -22,6 +26,54 @@ func TestCensusgenWritesCSV(t *testing.T) {
 	}
 	if !strings.Contains(lines[0], "gender") || !strings.Contains(lines[0], "salary_over_50k") {
 		t.Errorf("header %q", lines[0])
+	}
+}
+
+// TestCensusgenStreamMatchesTable pins the streaming path's wire format: the
+// row-at-a-time CSV must be byte-identical to materializing the table and
+// serializing it with Table.WriteCSV.
+func TestCensusgenStreamMatchesTable(t *testing.T) {
+	cfg := census.Config{Rows: 1000, Seed: 7, SignalStrength: 1}
+	var streamed bytes.Buffer
+	if err := streamCSV(&streamed, cfg); err != nil {
+		t.Fatal(err)
+	}
+	table, err := census.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var materialized bytes.Buffer
+	if err := table.WriteCSV(&materialized); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), materialized.Bytes()) {
+		t.Fatal("streamed CSV differs from materialized Table.WriteCSV output")
+	}
+}
+
+// TestCensusgenRowCountSmoke streams a larger file and checks only the row
+// count — the invariant the memory fix must not break.
+func TestCensusgenRowCountSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "census_big.csv")
+	const rows = 50000
+	if err := run(rows, 3, 1, false, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != rows+1 {
+		t.Fatalf("CSV has %d lines, want %d rows + header", lines, rows)
 	}
 }
 

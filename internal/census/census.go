@@ -59,121 +59,172 @@ func DefaultConfig() Config {
 	return Config{Rows: 30000, Seed: 1, SignalStrength: 1}
 }
 
-// Generate builds the synthetic census table.
-func Generate(cfg Config) (*dataset.Table, error) {
+// Person is one generated census row, in the column order of the table
+// (Columns). EachRow streams Person values so million-row datasets can be
+// written to disk without ever materializing the table.
+type Person struct {
+	Gender        string
+	Age           float64
+	Education     string
+	MaritalStatus string
+	Occupation    string
+	HoursPerWeek  float64
+	SalaryOver50K bool
+}
+
+// Columns lists the census column names in table order — the header EachRow
+// consumers write.
+func Columns() []string {
+	return []string{ColGender, ColAge, ColEducation, ColMaritalStatus,
+		ColOccupation, ColHoursPerWeek, ColSalaryOver50K}
+}
+
+// generatePerson draws one census row. The rng call order is the generator's
+// wire format: Generate and EachRow produce identical datasets because both
+// call this exact sequence once per row.
+func generatePerson(rng *rand.Rand, s float64) Person {
+	var p Person
+
+	// Gender: roughly balanced, as in Figure 1 (A).
+	g := rng.Float64()
+	switch {
+	case g < 0.49:
+		p.Gender = "Male"
+	case g < 0.98:
+		p.Gender = "Female"
+	default:
+		p.Gender = "Other"
+	}
+
+	// Age: truncated normal around 40.
+	age := 40 + 13*rng.NormFloat64()
+	if age < 17 {
+		age = 17 + rng.Float64()*3
+	}
+	if age > 90 {
+		age = 90
+	}
+	p.Age = math.Round(age)
+
+	// Education: mostly HS/Bachelor, few PhDs; slightly more likely for
+	// older people.
+	eduRoll := rng.Float64()
+	ageBoost := s * 0.002 * (p.Age - 40)
+	switch {
+	case eduRoll < 0.45-ageBoost:
+		p.Education = "HS"
+	case eduRoll < 0.80-ageBoost:
+		p.Education = "Bachelor"
+	case eduRoll < 0.95:
+		p.Education = "Master"
+	default:
+		p.Education = "PhD"
+	}
+
+	// Marital status depends on age.
+	mRoll := rng.Float64()
+	youngShift := s * 0.3 * sigmoid((30-p.Age)/5)
+	switch {
+	case mRoll < 0.15+youngShift:
+		p.MaritalStatus = "Never-Married"
+	case mRoll < 0.65:
+		p.MaritalStatus = "Married"
+	case mRoll < 0.92:
+		p.MaritalStatus = "Not-Married"
+	default:
+		p.MaritalStatus = "Widowed"
+	}
+
+	// Occupation loosely follows education.
+	oRoll := rng.Float64()
+	if p.Education == "Master" || p.Education == "PhD" {
+		if oRoll < 0.5*s {
+			p.Occupation = "Prof-Specialty"
+		} else if oRoll < 0.7 {
+			p.Occupation = "Exec-Managerial"
+		} else {
+			p.Occupation = Occupations[rng.Intn(len(Occupations))]
+		}
+	} else {
+		p.Occupation = Occupations[rng.Intn(len(Occupations))]
+	}
+
+	// Hours per week: around 40, executives and professionals work more.
+	h := 40 + 8*rng.NormFloat64()
+	if p.Occupation == "Exec-Managerial" || p.Occupation == "Prof-Specialty" {
+		h += s * 5
+	}
+	if h < 5 {
+		h = 5
+	}
+	if h > 99 {
+		h = 99
+	}
+	p.HoursPerWeek = math.Round(h)
+
+	// Salary: logistic model over education years, age, hours and gender.
+	// The gender gap and the education premium are the correlations the
+	// example session of Section 2 discovers.
+	// Covariates are centred so that the overall >50k rate stays near 25%
+	// for every signal strength, including the zero-signal null census.
+	logit := -1.1 +
+		s*0.38*(educationYears[p.Education]-14) +
+		s*0.035*(p.Age-40) +
+		s*0.04*(p.HoursPerWeek-40)
+	if p.Gender == "Female" {
+		logit -= s * 0.9
+	} else {
+		logit += s * 0.1
+	}
+	if p.MaritalStatus == "Married" {
+		logit += s * 0.5
+	}
+	p.SalaryOver50K = rng.Float64() < sigmoid(logit)
+	return p
+}
+
+// EachRow generates the synthetic census one row at a time, calling fn with
+// each row index and Person until the configured row count is reached or fn
+// returns an error. It draws the exact same random sequence as Generate, so
+// streaming consumers (cmd/censusgen writing million-row CSVs) see
+// value-identical data while holding only one row in memory.
+func EachRow(cfg Config, fn func(i int, p Person) error) error {
 	if cfg.Rows <= 0 {
-		return nil, fmt.Errorf("census: rows must be positive, got %d", cfg.Rows)
+		return fmt.Errorf("census: rows must be positive, got %d", cfg.Rows)
 	}
 	if cfg.SignalStrength < 0 {
-		return nil, fmt.Errorf("census: signal strength must be >= 0, got %v", cfg.SignalStrength)
+		return fmt.Errorf("census: signal strength must be >= 0, got %v", cfg.SignalStrength)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	s := cfg.SignalStrength
-
-	genders := make([]string, cfg.Rows)
-	ages := make([]float64, cfg.Rows)
-	educations := make([]string, cfg.Rows)
-	marital := make([]string, cfg.Rows)
-	occupations := make([]string, cfg.Rows)
-	hours := make([]float64, cfg.Rows)
-	salary := make([]bool, cfg.Rows)
-
 	for i := 0; i < cfg.Rows; i++ {
-		// Gender: roughly balanced, as in Figure 1 (A).
-		g := rng.Float64()
-		switch {
-		case g < 0.49:
-			genders[i] = "Male"
-		case g < 0.98:
-			genders[i] = "Female"
-		default:
-			genders[i] = "Other"
+		if err := fn(i, generatePerson(rng, cfg.SignalStrength)); err != nil {
+			return err
 		}
+	}
+	return nil
+}
 
-		// Age: truncated normal around 40.
-		age := 40 + 13*rng.NormFloat64()
-		if age < 17 {
-			age = 17 + rng.Float64()*3
-		}
-		if age > 90 {
-			age = 90
-		}
-		ages[i] = math.Round(age)
-
-		// Education: mostly HS/Bachelor, few PhDs; slightly more likely for
-		// older people.
-		eduRoll := rng.Float64()
-		ageBoost := s * 0.002 * (ages[i] - 40)
-		switch {
-		case eduRoll < 0.45-ageBoost:
-			educations[i] = "HS"
-		case eduRoll < 0.80-ageBoost:
-			educations[i] = "Bachelor"
-		case eduRoll < 0.95:
-			educations[i] = "Master"
-		default:
-			educations[i] = "PhD"
-		}
-
-		// Marital status depends on age.
-		mRoll := rng.Float64()
-		youngShift := s * 0.3 * sigmoid((30-ages[i])/5)
-		switch {
-		case mRoll < 0.15+youngShift:
-			marital[i] = "Never-Married"
-		case mRoll < 0.65:
-			marital[i] = "Married"
-		case mRoll < 0.92:
-			marital[i] = "Not-Married"
-		default:
-			marital[i] = "Widowed"
-		}
-
-		// Occupation loosely follows education.
-		oRoll := rng.Float64()
-		if educations[i] == "Master" || educations[i] == "PhD" {
-			if oRoll < 0.5*s {
-				occupations[i] = "Prof-Specialty"
-			} else if oRoll < 0.7 {
-				occupations[i] = "Exec-Managerial"
-			} else {
-				occupations[i] = Occupations[rng.Intn(len(Occupations))]
-			}
-		} else {
-			occupations[i] = Occupations[rng.Intn(len(Occupations))]
-		}
-
-		// Hours per week: around 40, executives and professionals work more.
-		h := 40 + 8*rng.NormFloat64()
-		if occupations[i] == "Exec-Managerial" || occupations[i] == "Prof-Specialty" {
-			h += s * 5
-		}
-		if h < 5 {
-			h = 5
-		}
-		if h > 99 {
-			h = 99
-		}
-		hours[i] = math.Round(h)
-
-		// Salary: logistic model over education years, age, hours and gender.
-		// The gender gap and the education premium are the correlations the
-		// example session of Section 2 discovers.
-		// Covariates are centred so that the overall >50k rate stays near 25%
-		// for every signal strength, including the zero-signal null census.
-		logit := -1.1 +
-			s*0.38*(educationYears[educations[i]]-14) +
-			s*0.035*(ages[i]-40) +
-			s*0.04*(hours[i]-40)
-		if genders[i] == "Female" {
-			logit -= s * 0.9
-		} else {
-			logit += s * 0.1
-		}
-		if marital[i] == "Married" {
-			logit += s * 0.5
-		}
-		salary[i] = rng.Float64() < sigmoid(logit)
+// Generate builds the synthetic census table.
+func Generate(cfg Config) (*dataset.Table, error) {
+	genders := make([]string, 0, max(cfg.Rows, 0))
+	ages := make([]float64, 0, max(cfg.Rows, 0))
+	educations := make([]string, 0, max(cfg.Rows, 0))
+	marital := make([]string, 0, max(cfg.Rows, 0))
+	occupations := make([]string, 0, max(cfg.Rows, 0))
+	hours := make([]float64, 0, max(cfg.Rows, 0))
+	salary := make([]bool, 0, max(cfg.Rows, 0))
+	err := EachRow(cfg, func(i int, p Person) error {
+		genders = append(genders, p.Gender)
+		ages = append(ages, p.Age)
+		educations = append(educations, p.Education)
+		marital = append(marital, p.MaritalStatus)
+		occupations = append(occupations, p.Occupation)
+		hours = append(hours, p.HoursPerWeek)
+		salary = append(salary, p.SalaryOver50K)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	return dataset.NewTable(

@@ -25,6 +25,14 @@ type Options struct {
 	// dataset's shared cache so all of them reuse each other's compiled
 	// filters. When set, it must be a cache over the session's own table.
 	Selections *dataset.SelectionCache
+	// Pool, when non-nil, pins the execution pool the session's table runs its
+	// morsel-parallel kernels on (dataset.Table.SetPool applies table-wide, so
+	// sessions sharing one table should agree on the pool — a service
+	// configures it once at dataset registration instead). The pool is an
+	// execution hint only: results are bit-identical on any pool, and
+	// dataset.NewPool(1) forces fully sequential execution for deterministic
+	// debugging. Nil leaves the table's current pool untouched.
+	Pool *dataset.Pool
 }
 
 // Session is one AWARE exploration session over a fixed dataset. It owns the
@@ -96,6 +104,9 @@ func NewSession(data *dataset.Table, opts Options) (*Session, error) {
 		sel = dataset.NewSelectionCache(data)
 	} else if sel.Table() != data {
 		return nil, fmt.Errorf("core: selection cache is bound to a different table than the session")
+	}
+	if opts.Pool != nil {
+		data.SetPool(opts.Pool)
 	}
 	return &Session{data: data, sel: sel, investor: inv, alpha: alpha, power: power}, nil
 }

@@ -28,6 +28,20 @@ type Selection struct {
 	n     int
 	words []uint64
 	count int
+
+	// pool is the execution pool the selection was built on — an inherited
+	// hint so that algebra on a selection (And/Or/Not) keeps running where its
+	// table is pinned, even though a Selection carries no table reference.
+	// Nil means the process-wide DefaultPool.
+	pool *Pool
+}
+
+// execPool resolves the pool the selection's algebra runs on.
+func (s *Selection) execPool() *Pool {
+	if s.pool != nil {
+		return s.pool
+	}
+	return DefaultPool()
 }
 
 // newSelection returns an all-clear selection over n rows.
@@ -91,48 +105,100 @@ func (s *Selection) checkSameSpan(o *Selection) {
 }
 
 // And returns the intersection of two selections, which must span the same
-// table.
-func (s *Selection) And(o *Selection) *Selection {
+// table. It runs on the pool the receiver was compiled on (so a table pinned
+// with SetPool keeps its whole selection lineage pinned).
+func (s *Selection) And(o *Selection) *Selection { return s.andWith(o, s.execPool()) }
+
+// Or returns the union of two selections, which must span the same table; it
+// runs on the receiver's pool, like And.
+func (s *Selection) Or(o *Selection) *Selection { return s.orWith(o, s.execPool()) }
+
+// Not returns the complement of the selection, on the receiver's pool.
+func (s *Selection) Not() *Selection { return s.notWith(s.execPool()) }
+
+// andWith is And on an explicit pool: the word array is split into
+// morsel-sized ranges, each intersected and popcounted independently, and the
+// per-range counts summed in range order. Table.Where routes combinators here
+// with the table's pool; the public And uses the default pool.
+func (s *Selection) andWith(o *Selection, p *Pool) *Selection {
 	s.checkSameSpan(o)
 	out := newSelection(s.n)
-	for i := range out.words {
-		out.words[i] = s.words[i] & o.words[i]
-	}
-	out.recount()
+	out.pool = p
+	out.count = runCounted(p, len(out.words), morselWords, func(lo, hi int) int {
+		a, b, dst := s.words[lo:hi], o.words[lo:hi], out.words[lo:hi]
+		c := 0
+		for j := range dst {
+			w := a[j] & b[j]
+			dst[j] = w
+			c += bits.OnesCount64(w)
+		}
+		return c
+	})
 	return out
 }
 
-// Or returns the union of two selections, which must span the same table.
-func (s *Selection) Or(o *Selection) *Selection {
+// orWith is Or on an explicit pool; see andWith.
+func (s *Selection) orWith(o *Selection, p *Pool) *Selection {
 	s.checkSameSpan(o)
 	out := newSelection(s.n)
-	for i := range out.words {
-		out.words[i] = s.words[i] | o.words[i]
-	}
-	out.recount()
+	out.pool = p
+	out.count = runCounted(p, len(out.words), morselWords, func(lo, hi int) int {
+		a, b, dst := s.words[lo:hi], o.words[lo:hi], out.words[lo:hi]
+		c := 0
+		for j := range dst {
+			w := a[j] | b[j]
+			dst[j] = w
+			c += bits.OnesCount64(w)
+		}
+		return c
+	})
 	return out
 }
 
-// Not returns the complement of the selection.
-func (s *Selection) Not() *Selection {
+// notWith is Not on an explicit pool. The complement's count is known without
+// a popcount (n - count, thanks to the zero-tail invariant), so the ranges
+// only flip words; the tail mask is reapplied once at the end.
+func (s *Selection) notWith(p *Pool) *Selection {
 	out := newSelection(s.n)
-	for i := range out.words {
-		out.words[i] = ^s.words[i]
-	}
+	out.pool = p
+	runCounted(p, len(out.words), morselWords, func(lo, hi int) int {
+		src, dst := s.words[lo:hi], out.words[lo:hi]
+		for j := range dst {
+			dst[j] = ^src[j]
+		}
+		return 0
+	})
 	out.maskTail()
 	out.count = s.n - s.count
 	return out
 }
 
 // ForEach calls fn with every selected row index, in ascending order.
-func (s *Selection) ForEach(fn func(row int)) {
-	for wi, w := range s.words {
+func (s *Selection) ForEach(fn func(row int)) { s.forEachIn(0, s.n, fn) }
+
+// forEachIn calls fn with every selected row index in [lo, hi), ascending.
+// lo must be word-aligned; hi is either word-aligned or s.n (the zero-tail
+// invariant makes masking the final word unnecessary). The parallel
+// aggregations give each morsel its own [lo, hi) range.
+func (s *Selection) forEachIn(lo, hi int, fn func(row int)) {
+	for wi := lo / 64; wi < (hi+63)/64; wi++ {
+		w := s.words[wi]
 		base := wi * 64
 		for w != 0 {
 			fn(base + bits.TrailingZeros64(w))
 			w &= w - 1
 		}
 	}
+}
+
+// countIn returns the number of selected rows in the word-aligned range
+// [lo, hi) (hi word-aligned or s.n).
+func (s *Selection) countIn(lo, hi int) int {
+	c := 0
+	for wi := lo / 64; wi < (hi+63)/64; wi++ {
+		c += bits.OnesCount64(s.words[wi])
+	}
+	return c
 }
 
 // Indices returns the selected row indices in ascending order.
@@ -151,7 +217,7 @@ func (s *Selection) Indices() []int {
 // row-at-a-time Matches loop, so external predicates keep working.
 func (t *Table) Where(p Predicate) (*Selection, error) {
 	if p == nil {
-		return FullSelection(t.rows), nil
+		return t.stamp(FullSelection(t.rows)), nil
 	}
 	switch q := p.(type) {
 	case Equals:
@@ -170,9 +236,9 @@ func (t *Table) Where(p Predicate) (*Selection, error) {
 		if err != nil {
 			return nil, err
 		}
-		return inner.Not(), nil
+		return inner.notWith(t.execPool()), nil
 	case And:
-		sel := FullSelection(t.rows)
+		sel := t.stamp(FullSelection(t.rows))
 		for _, term := range q.Terms {
 			// Short-circuit on an empty accumulator: no row would reach the
 			// remaining terms row-at-a-time, so they must not be compiled —
@@ -185,11 +251,11 @@ func (t *Table) Where(p Predicate) (*Selection, error) {
 			if err != nil {
 				return nil, err
 			}
-			sel = sel.And(ts)
+			sel = sel.andWith(ts, t.execPool())
 		}
 		return sel, nil
 	case Or:
-		sel := EmptySelection(t.rows)
+		sel := t.stamp(EmptySelection(t.rows))
 		for _, term := range q.Terms {
 			// Mirror image of the And short-circuit: once every row is
 			// selected, no row would evaluate the remaining terms.
@@ -200,11 +266,11 @@ func (t *Table) Where(p Predicate) (*Selection, error) {
 			if err != nil {
 				return nil, err
 			}
-			sel = sel.Or(ts)
+			sel = sel.orWith(ts, t.execPool())
 		}
 		return sel, nil
 	default:
-		sel := newSelection(t.rows)
+		sel := t.stamp(newSelection(t.rows))
 		for i := 0; i < t.rows; i++ {
 			ok, err := p.Matches(t, i)
 			if err != nil {
@@ -217,6 +283,13 @@ func (t *Table) Where(p Predicate) (*Selection, error) {
 		sel.recount()
 		return sel, nil
 	}
+}
+
+// stamp marks a freshly built selection with the table's execution pool, so
+// later algebra on it (And/Or/Not) stays on the pool the table is pinned to.
+func (t *Table) stamp(sel *Selection) *Selection {
+	sel.pool = t.execPool()
+	return sel
 }
 
 // categoricalColumn resolves a column that Equals/In may scan, with the same
@@ -244,21 +317,23 @@ func (t *Table) whereEquals(q Equals) (*Selection, error) {
 		case "false":
 			return t.whereBools(c, false), nil
 		default:
-			return EmptySelection(t.rows), nil
+			return t.stamp(EmptySelection(t.rows)), nil
 		}
 	}
 	code, ok := c.codeOf[q.Value]
 	if !ok {
-		return EmptySelection(t.rows), nil
+		return t.stamp(EmptySelection(t.rows)), nil
 	}
-	sel := newSelection(t.rows)
-	for i, rc := range c.codes {
-		if rc == code {
-			sel.setBit(i)
+	return t.fillSelection(func(sel *Selection, lo, hi int) int {
+		n := 0
+		for j, rc := range c.codes[lo:hi] {
+			if rc == code {
+				sel.setBit(lo + j)
+				n++
+			}
 		}
-	}
-	sel.recount()
-	return sel, nil
+		return n
+	}), nil
 }
 
 func (t *Table) whereIn(q In) (*Selection, error) {
@@ -278,13 +353,13 @@ func (t *Table) whereIn(q In) (*Selection, error) {
 		}
 		switch {
 		case wantTrue && wantFalse:
-			return FullSelection(t.rows), nil
+			return t.stamp(FullSelection(t.rows)), nil
 		case wantTrue:
 			return t.whereBools(c, true), nil
 		case wantFalse:
 			return t.whereBools(c, false), nil
 		default:
-			return EmptySelection(t.rows), nil
+			return t.stamp(EmptySelection(t.rows)), nil
 		}
 	}
 	// Translate the value set into a code set once, then scan codes.
@@ -295,27 +370,31 @@ func (t *Table) whereIn(q In) (*Selection, error) {
 		}
 	}
 	if len(want) == 0 {
-		return EmptySelection(t.rows), nil
+		return t.stamp(EmptySelection(t.rows)), nil
 	}
-	sel := newSelection(t.rows)
-	for i, rc := range c.codes {
-		if _, ok := want[rc]; ok {
-			sel.setBit(i)
+	return t.fillSelection(func(sel *Selection, lo, hi int) int {
+		n := 0
+		for j, rc := range c.codes[lo:hi] {
+			if _, ok := want[rc]; ok {
+				sel.setBit(lo + j)
+				n++
+			}
 		}
-	}
-	sel.recount()
-	return sel, nil
+		return n
+	}), nil
 }
 
 func (t *Table) whereBools(c *Column, want bool) *Selection {
-	sel := newSelection(t.rows)
-	for i, b := range c.bools {
-		if b == want {
-			sel.setBit(i)
+	return t.fillSelection(func(sel *Selection, lo, hi int) int {
+		n := 0
+		for j, b := range c.bools[lo:hi] {
+			if b == want {
+				sel.setBit(lo + j)
+				n++
+			}
 		}
-	}
-	sel.recount()
-	return sel
+		return n
+	})
 }
 
 func (t *Table) whereNumeric(name string, keep func(float64) bool) (*Selection, error) {
@@ -323,25 +402,32 @@ func (t *Table) whereNumeric(name string, keep func(float64) bool) (*Selection, 
 	if err != nil {
 		return nil, err
 	}
-	sel := newSelection(t.rows)
 	switch c.Type {
 	case Float64:
-		for i, v := range c.floats {
-			if keep(v) {
-				sel.setBit(i)
+		return t.fillSelection(func(sel *Selection, lo, hi int) int {
+			n := 0
+			for j, v := range c.floats[lo:hi] {
+				if keep(v) {
+					sel.setBit(lo + j)
+					n++
+				}
 			}
-		}
+			return n
+		}), nil
 	case Int64:
-		for i, v := range c.ints {
-			if keep(float64(v)) {
-				sel.setBit(i)
+		return t.fillSelection(func(sel *Selection, lo, hi int) int {
+			n := 0
+			for j, v := range c.ints[lo:hi] {
+				if keep(float64(v)) {
+					sel.setBit(lo + j)
+					n++
+				}
 			}
-		}
+			return n
+		}), nil
 	default:
 		return nil, fmt.Errorf("%w: %s is %s, not numeric", ErrTypeMismatch, c.Name, c.Type)
 	}
-	sel.recount()
-	return sel, nil
 }
 
 // --- views ---
@@ -396,32 +482,46 @@ func (v View) CountsFor(name string, categories []string) ([]int, error) {
 	}
 	out := make([]int, len(categories))
 	if c.Type == Bool {
-		var nTrue, nFalse int
-		v.sel.ForEach(func(row int) {
-			if c.bools[row] {
-				nTrue++
-			} else {
-				nFalse++
-			}
-		})
+		tally := v.boolTally(c)
 		for i, cat := range categories {
 			switch cat {
 			case "true":
-				out[i] = nTrue
+				out[i] = tally[1]
 			case "false":
-				out[i] = nFalse
+				out[i] = tally[0]
 			}
 		}
 		return out, nil
 	}
-	byCode := make([]int, len(c.dict))
-	v.sel.ForEach(func(row int) { byCode[c.codes[row]]++ })
+	byCode := v.codeCounts(c)
 	for i, cat := range categories {
 		if code, ok := c.codeOf[cat]; ok {
 			out[i] = byCode[code]
 		}
 	}
 	return out, nil
+}
+
+// codeCounts tallies the selected rows of a categorical column per dictionary
+// code — per-morsel partial histograms merged in morsel order.
+func (v View) codeCounts(c *Column) []int {
+	return reduceInts(v.table.execPool(), v.sel.n, len(c.dict), func(lo, hi int, acc []int) {
+		v.sel.forEachIn(lo, hi, func(row int) { acc[c.codes[row]]++ })
+	})
+}
+
+// boolTally counts the selected false (index 0) and true (index 1) rows of a
+// bool column.
+func (v View) boolTally(c *Column) []int {
+	return reduceInts(v.table.execPool(), v.sel.n, 2, func(lo, hi int, acc []int) {
+		v.sel.forEachIn(lo, hi, func(row int) {
+			if c.bools[row] {
+				acc[1]++
+			} else {
+				acc[0]++
+			}
+		})
+	})
 }
 
 // GroupBy returns the per-value counts of a categorical (or bool) column
@@ -434,24 +534,16 @@ func (v View) GroupBy(name string) ([]GroupCount, error) {
 	}
 	var out []GroupCount
 	if c.Type == Bool {
-		var nTrue, nFalse int
-		v.sel.ForEach(func(row int) {
-			if c.bools[row] {
-				nTrue++
-			} else {
-				nFalse++
-			}
-		})
-		if nFalse > 0 {
-			out = append(out, GroupCount{Value: "false", Count: nFalse})
+		tally := v.boolTally(c)
+		if tally[0] > 0 {
+			out = append(out, GroupCount{Value: "false", Count: tally[0]})
 		}
-		if nTrue > 0 {
-			out = append(out, GroupCount{Value: "true", Count: nTrue})
+		if tally[1] > 0 {
+			out = append(out, GroupCount{Value: "true", Count: tally[1]})
 		}
 		return out, nil
 	}
-	byCode := make([]int, len(c.dict))
-	v.sel.ForEach(func(row int) { byCode[c.codes[row]]++ })
+	byCode := v.codeCounts(c)
 	for code, n := range byCode {
 		if n > 0 {
 			out = append(out, GroupCount{Value: c.dict[code], Count: n})
@@ -461,21 +553,49 @@ func (v View) GroupBy(name string) ([]GroupCount, error) {
 	return out, nil
 }
 
-// Floats returns the numeric values of the named column at the selected rows.
+// Floats returns the numeric values of the named column at the selected rows,
+// in row order. Above the morsel cutoff the gather is parallel: a popcount
+// pass fixes each morsel's output offset (an exclusive prefix sum in morsel
+// order), then every morsel writes its disjoint sub-slice — so the output is
+// byte-identical to the sequential append loop.
 func (v View) Floats(name string) ([]float64, error) {
 	c, err := v.table.Column(name)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, 0, v.sel.Count())
+	var at func(row int) float64
 	switch c.Type {
 	case Float64:
-		v.sel.ForEach(func(row int) { out = append(out, c.floats[row]) })
+		at = func(row int) float64 { return c.floats[row] }
 	case Int64:
-		v.sel.ForEach(func(row int) { out = append(out, float64(c.ints[row])) })
+		at = func(row int) float64 { return float64(c.ints[row]) }
 	default:
 		return nil, fmt.Errorf("%w: %s is %s, not numeric", ErrTypeMismatch, c.Name, c.Type)
 	}
+	sel, p := v.sel, v.table.execPool()
+	out := make([]float64, sel.count)
+	m := chunks(sel.n, morselRows)
+	if m <= 1 || p.workers == 1 {
+		p.cutoffHits.Add(1)
+		i := 0
+		sel.forEachIn(0, sel.n, func(row int) { out[i] = at(row); i++ })
+		return out, nil
+	}
+	offsets := make([]int, m)
+	p.Run(m, func(i int) {
+		lo := i * morselRows
+		offsets[i] = sel.countIn(lo, min(lo+morselRows, sel.n))
+	})
+	sum := 0
+	for i, c := range offsets {
+		offsets[i] = sum
+		sum += c
+	}
+	p.Run(m, func(i int) {
+		lo := i * morselRows
+		j := offsets[i]
+		sel.forEachIn(lo, min(lo+morselRows, sel.n), func(row int) { out[j] = at(row); j++ })
+	})
 	return out, nil
 }
 
@@ -490,8 +610,9 @@ func (v View) BinCounts(name string, bins int) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	counts := make([]int, bins)
-	v.sel.ForEach(func(row int) { counts[ba.assign[row]]++ })
+	counts := reduceInts(v.table.execPool(), v.sel.n, bins, func(lo, hi int, acc []int) {
+		v.sel.forEachIn(lo, hi, func(row int) { acc[ba.assign[row]]++ })
+	})
 	return counts, nil
 }
 
@@ -593,7 +714,7 @@ func NewSelectionCacheCap(t *Table, capacity int) *SelectionCache {
 	return &SelectionCache{
 		table:   t,
 		cap:     capacity,
-		full:    FullSelection(t.NumRows()),
+		full:    t.stamp(FullSelection(t.NumRows())),
 		entries: make(map[string]*Selection),
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // ColumnType enumerates the supported column types.
@@ -232,6 +233,26 @@ type Table struct {
 
 	binsMu sync.RWMutex
 	bins   map[binKey]*binAssignment
+
+	// pool is the execution pool the parallel kernels run on; nil means the
+	// process-wide DefaultPool. It is an atomic pointer so SetPool is safe
+	// against kernels running concurrently — the pool is an execution hint
+	// only, results are bit-identical whichever pool executes them.
+	pool atomic.Pointer[Pool]
+}
+
+// SetPool pins the table's kernels (Where, selection algebra, view
+// aggregations) to the given execution pool; nil restores the process-wide
+// DefaultPool. Pass NewPool(1) to force fully sequential, single-goroutine
+// execution — the deterministic-debugging configuration.
+func (t *Table) SetPool(p *Pool) { t.pool.Store(p) }
+
+// execPool resolves the pool the table's kernels execute on.
+func (t *Table) execPool() *Pool {
+	if p := t.pool.Load(); p != nil {
+		return p
+	}
+	return DefaultPool()
 }
 
 // binKey identifies one memoized binning: a numeric column cut into a fixed
@@ -311,7 +332,14 @@ func (t *Table) Select(indices []int) (*Table, error) {
 	for i, c := range t.columns {
 		cols[i] = c.gather(indices)
 	}
-	return NewTable(cols...)
+	sub, err := NewTable(cols...)
+	if err != nil {
+		return nil, err
+	}
+	// Derived tables (hold-out halves, samples, materialized views) inherit
+	// the parent's execution pool, so pinning a table pins its lineage.
+	sub.pool.Store(t.pool.Load())
+	return sub, nil
 }
 
 // Floats returns the numeric values of the named column (Float64 or Int64).
@@ -459,7 +487,12 @@ func (t *Table) Shuffle(rng *rand.Rand, columns ...string) (*Table, error) {
 		perm := rng.Perm(t.rows)
 		cols[i] = c.gather(perm)
 	}
-	return NewTable(cols...)
+	shuffled, err := NewTable(cols...)
+	if err != nil {
+		return nil, err
+	}
+	shuffled.pool.Store(t.pool.Load())
+	return shuffled, nil
 }
 
 // ShuffleAll returns a copy of the table with every column independently

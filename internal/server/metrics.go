@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"aware/internal/dataset"
 )
 
 // endpointStats accumulates one route pattern's counters. All fields are
@@ -151,6 +153,10 @@ type MetricsSnapshot struct {
 	// SelectionCaches maps dataset names to their shared filter-bitmap cache
 	// counters.
 	SelectionCaches map[string]CacheMetrics `json:"selection_caches"`
+	// Pool is the morsel-parallel execution pool's counters: configured
+	// workers, tasks handed to background workers, morsels processed, and how
+	// often kernels fell back to the sequential small-input path.
+	Pool dataset.PoolStats `json:"pool"`
 }
 
 // snapshot collects the counters. Reads are atomic per counter; the snapshot
@@ -191,6 +197,7 @@ func (s *Server) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
 	// uptime, so the two never mix fake and real time.
 	snap := s.metrics.snapshot(s.now())
 	snap.SessionsLive = s.manager.Len()
+	snap.Pool = s.pool.Stats()
 	datasets := s.registry.List()
 	snap.Datasets = len(datasets)
 	snap.SelectionCaches = make(map[string]CacheMetrics, len(datasets))

@@ -98,6 +98,16 @@ func TestDebugMetricsCounters(t *testing.T) {
 	if cm.Hits+cm.Misses == 0 {
 		t.Errorf("selection cache saw no traffic after a filtered step: %+v", cm)
 	}
+
+	// The morsel-parallel pool's counters travel in the same snapshot. The
+	// test census is small, so the filtered step must have taken at least one
+	// sequential-cutoff path; workers reflect the server's pool size.
+	if snap.Pool.Workers < 1 {
+		t.Errorf("pool.workers = %d, want >= 1", snap.Pool.Workers)
+	}
+	if snap.Pool.SequentialCutoffHits == 0 {
+		t.Errorf("pool counters saw no kernel traffic: %+v", snap.Pool)
+	}
 }
 
 // TestDebugMetricsRecordsPanicsAs5xx checks that a panicking handler is still

@@ -38,6 +38,7 @@ type DatasetRegistry struct {
 	mu     sync.RWMutex
 	tables map[string]*dataset.Table
 	caches map[string]*dataset.SelectionCache
+	pool   *dataset.Pool
 }
 
 // NewDatasetRegistry returns an empty registry.
@@ -46,6 +47,16 @@ func NewDatasetRegistry() *DatasetRegistry {
 		tables: make(map[string]*dataset.Table),
 		caches: make(map[string]*dataset.SelectionCache),
 	}
+}
+
+// SetPool makes every subsequently registered table execute its
+// morsel-parallel kernels on the given pool (nil leaves tables on the
+// process-wide default). The server configures this once at construction so
+// all datasets share one bounded worker set.
+func (r *DatasetRegistry) SetPool(p *dataset.Pool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pool = p
 }
 
 // Register adds a table under a unique name and builds its shared filter
@@ -61,6 +72,9 @@ func (r *DatasetRegistry) Register(name string, t *dataset.Table) error {
 	defer r.mu.Unlock()
 	if _, dup := r.tables[name]; dup {
 		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
+	}
+	if r.pool != nil {
+		t.SetPool(r.pool)
 	}
 	r.tables[name] = t
 	r.caches[name] = dataset.NewSelectionCache(t)

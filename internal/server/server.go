@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"aware/internal/core"
+	"aware/internal/dataset"
 )
 
 // Config configures a Server.
@@ -38,6 +39,12 @@ type Config struct {
 	// RestoreSessions replays the journals after a restart. Empty disables
 	// journaling (sessions are purely in-memory).
 	JournalDir string
+	// Workers sizes the morsel-parallel execution pool shared by every
+	// registered dataset's kernels: 0 uses the process-wide default pool
+	// (GOMAXPROCS workers), 1 pins execution to the request goroutine
+	// (sequential, deterministic debugging), N>1 builds a dedicated N-worker
+	// pool. Results are bit-identical whichever pool executes them.
+	Workers int
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -50,6 +57,8 @@ type Server struct {
 	manager  *SessionManager
 	journal  *journalStore // nil when journaling is disabled
 	metrics  *Metrics
+	pool     *dataset.Pool
+	ownPool  bool // pool was built for this server (Config.Workers > 0), so Close releases it
 	now      func() time.Time
 	sweep    time.Duration
 	handler  http.Handler
@@ -71,14 +80,25 @@ func New(cfg Config) (*Server, error) {
 	if now == nil {
 		now = time.Now
 	}
+	pool := dataset.DefaultPool()
+	ownPool := false
+	if cfg.Workers > 0 {
+		pool = dataset.NewPool(cfg.Workers)
+		ownPool = true
+	}
 	s := &Server{
 		log:      logger,
 		registry: NewDatasetRegistry(),
 		manager:  NewSessionManager(cfg.SessionTTL, cfg.now),
 		metrics:  newMetrics(now()),
+		pool:     pool,
+		ownPool:  ownPool,
 		now:      now,
 		sweep:    sweep,
 	}
+	// Every dataset registered from here on runs its kernels on the server's
+	// pool: one bounded set of workers shared by all sessions and datasets.
+	s.registry.SetPool(pool)
 	if cfg.JournalDir != "" {
 		journal, err := newJournalStore(cfg.JournalDir)
 		if err != nil {
@@ -97,6 +117,21 @@ func New(cfg Config) (*Server, error) {
 // Metrics returns the server's instrumentation registry — the same counters
 // GET /debug/metrics serves.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Pool returns the execution pool the server's datasets run their
+// morsel-parallel kernels on.
+func (s *Server) Pool() *dataset.Pool { return s.pool }
+
+// Close releases resources a server owns outside Run's lifetime: the
+// dedicated execution pool (when Config.Workers > 0 built one) stops its
+// background workers. Callers that serve the Handler themselves (tests,
+// in-process load generation) should Close when done; Run calls it on exit.
+// Close is idempotent and does not touch the shared DefaultPool.
+func (s *Server) Close() {
+	if s.ownPool {
+		s.pool.Close()
+	}
+}
 
 // RestoreSessions recovers journaled sessions from the journal directory:
 // each journal's steps are replayed with core.Replay against the named
@@ -174,6 +209,7 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // listener is torn down. The idle-session sweeper runs alongside the
 // listener. Run returns nil on a clean shutdown.
 func (s *Server) Run(ctx context.Context, addr string) error {
+	defer s.Close()
 	if s.journal != nil {
 		defer s.journal.Close()
 	}
