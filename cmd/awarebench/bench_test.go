@@ -15,7 +15,7 @@ func TestRunBenchCore(t *testing.T) {
 		t.Skip("benchmark harness is slow in -short mode")
 	}
 	out := filepath.Join(t.TempDir(), "BENCH_core.json")
-	if err := run("bench", 0, 1, -1, 300, 0, false, out, 0, ""); err != nil {
+	if err := run("bench", 0, 1, -1, 300, 0, false, out, 0, 0, ""); err != nil {
 		t.Fatalf("run(bench): %v", err)
 	}
 	data, err := os.ReadFile(out)

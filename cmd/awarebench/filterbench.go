@@ -7,6 +7,7 @@ import (
 
 	"aware/internal/census"
 	"aware/internal/dataset"
+	"aware/internal/obs"
 )
 
 // runBenchFilter measures the generations of the filter+count hot path on the
@@ -26,13 +27,19 @@ import (
 //	                            reference)
 //	filter_parallel             the vectorized path on a GOMAXPROCS-sized
 //	                            morsel-parallel pool
+//	filter_traced               the vectorized path under a live request
+//	                            span — every kernel opens a child span and
+//	                            the finished tree is captured into a trace
+//	                            ring, exactly as a traced server request runs
 //
 // Results merge into BENCH_core.json next to the other experiments; the
 // legacy-over-cached and sequential-over-parallel speedups are printed. With
 // minSpeedup > 0 the run fails when the parallel speedup falls below the bar
 // on a machine with at least 4 CPUs (the CI scaling gate); on smaller
-// machines the gate is skipped with a notice.
-func runBenchFilter(outPath string, seed int64, rows int, minSpeedup float64) error {
+// machines the gate is skipped with a notice. With maxTraceOverhead > 0 the
+// run fails when filter_traced is more than that many percent slower than
+// filter_vectorized — the gate that keeps tracing effectively free.
+func runBenchFilter(outPath string, seed int64, rows int, minSpeedup, maxTraceOverhead float64) error {
 	table, err := census.Generate(census.Config{Rows: rows, Seed: seed, SignalStrength: 1})
 	if err != nil {
 		return err
@@ -96,6 +103,25 @@ func runBenchFilter(outPath string, seed int64, rows int, minSpeedup float64) er
 	}
 	sequential, parallel := withPool(seqPool), withPool(parPool)
 
+	// The traced slice mirrors filter_vectorized op for op — same compile,
+	// same count — but under a live request span: both kernels open child
+	// spans with pool-counter deltas, and the finished tree is captured into
+	// a tracer ring, exactly what a traced server request pays.
+	tracer := obs.NewTracer(0)
+	traced := func() ([]int, error) {
+		root := tracer.Start("bench.filter")
+		defer root.End()
+		sel, err := table.WhereSpan(filter, root)
+		if err != nil {
+			return nil, err
+		}
+		view, err := dataset.NewView(table, sel)
+		if err != nil {
+			return nil, err
+		}
+		return view.CountsForSpan(target, cats, root)
+	}
+
 	// Every path must agree before the timings mean anything — and the
 	// parallel path must be bit-identical to the sequential one, not just
 	// count-identical.
@@ -106,7 +132,7 @@ func runBenchFilter(outPath string, seed int64, rows int, minSpeedup float64) er
 	for _, p := range []struct {
 		name string
 		fn   func() ([]int, error)
-	}{{"vectorized", vectorized}, {"cached", cached}, {"sequential", sequential}, {"parallel", parallel}} {
+	}{{"vectorized", vectorized}, {"cached", cached}, {"sequential", sequential}, {"parallel", parallel}, {"traced", traced}} {
 		got, err := p.fn()
 		if err != nil {
 			return fmt.Errorf("%s path: %w", p.name, err)
@@ -165,6 +191,17 @@ func runBenchFilter(outPath string, seed int64, rows int, minSpeedup float64) er
 				}
 			}
 		}},
+		{"filter_traced", func(b *testing.B) {
+			// Same default pool as filter_vectorized, so the traced-minus-
+			// vectorized delta is the cost of tracing alone.
+			table.SetPool(nil)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := traced(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 	}
 
 	fmt.Printf("== filter+count execution paths (census %d rows) ==\n", rows)
@@ -183,10 +220,32 @@ func runBenchFilter(outPath string, seed int64, rows int, minSpeedup float64) er
 		speedup = float64(s.NsPerOp) / float64(p.NsPerOp)
 		fmt.Printf("speedup sequential/parallel: %.2fx (%d CPUs)\n", speedup, runtime.NumCPU())
 	}
+	traceOverhead := 0.0
+	if v, tr := byOp["filter_vectorized"], byOp["filter_traced"]; v.NsPerOp > 0 {
+		traceOverhead = (float64(tr.NsPerOp)/float64(v.NsPerOp) - 1) * 100
+		fmt.Printf("tracing overhead:            %+.2f%% (traced vs vectorized)\n", traceOverhead)
+	}
 	if err := writeBenchEntries(outPath, entries); err != nil {
 		return err
 	}
-	return checkSpeedup(speedup, minSpeedup)
+	if err := checkSpeedup(speedup, minSpeedup); err != nil {
+		return err
+	}
+	return checkTraceOverhead(traceOverhead, maxTraceOverhead)
+}
+
+// checkTraceOverhead enforces the tracing-cost gate: with a positive bar, the
+// traced filter slice may not run more than maxPct percent slower than the
+// untraced one.
+func checkTraceOverhead(overheadPct, maxPct float64) error {
+	if maxPct <= 0 {
+		return nil
+	}
+	if overheadPct > maxPct {
+		return fmt.Errorf("tracing overhead %.2f%% above the %.2f%% gate", overheadPct, maxPct)
+	}
+	fmt.Printf("tracing-overhead gate passed: %.2f%% <= %.2f%%\n", overheadPct, maxPct)
+	return nil
 }
 
 // checkSpeedup enforces the CI scaling gate: with minSpeedup > 0 and at least

@@ -25,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"aware/internal/simulation"
 )
@@ -42,34 +44,66 @@ func main() {
 		driftBase  = flag.String("driftbase", "BENCH_core.json", "committed baseline for -exp drift")
 		driftPct   = flag.Float64("driftpct", 20, "allowed allocs_per_op increase in percent for -exp drift")
 		minSpeedup = flag.Float64("minspeedup", 0, "fail -exp filter/scaling when parallel speedup over sequential is below this (0 = no gate; skipped below 4 CPUs)")
+		maxTraceOv = flag.Float64("maxtraceoverhead", 0, "fail -exp filter when the traced path is more than this percent slower than the untraced one (0 = no gate)")
 		scaleRows  = flag.String("scalerows", "30000,300000,3000000", "comma-separated census sizes for -exp scaling")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+		memProfile = flag.String("memprofile", "", "write a heap profile at the end of the run to this path")
 	)
 	flag.Parse()
 
-	if *exp == "drift" {
-		// The drift gate compares the file an earlier bench run wrote
-		// (-benchout) against the committed baseline (-driftbase).
-		if err := runDrift(*driftBase, *benchOut, *driftPct); err != nil {
-			fmt.Fprintf(os.Stderr, "awarebench: %v\n", err)
-			os.Exit(1)
+	if err := runProfiled(*cpuProfile, *memProfile, func() error {
+		if *exp == "drift" {
+			// The drift gate compares the file an earlier bench run wrote
+			// (-benchout) against the committed baseline (-driftbase).
+			return runDrift(*driftBase, *benchOut, *driftPct)
 		}
-		return
-	}
-
-	if err := run(*exp, *reps, *seed, *nullProp, *rows, *hypotheses, *randomized, *benchOut, *minSpeedup, *scaleRows); err != nil {
+		return run(*exp, *reps, *seed, *nullProp, *rows, *hypotheses, *randomized, *benchOut, *minSpeedup, *maxTraceOv, *scaleRows)
+	}); err != nil {
 		fmt.Fprintf(os.Stderr, "awarebench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, reps int, seed int64, nullProp float64, rows, hypotheses int, randomized bool, benchOut string, minSpeedup float64, scaleRows string) error {
+// runProfiled brackets fn with the optional pprof captures: the CPU profile
+// covers the whole run, the heap profile is written after a final GC so it
+// shows live retention rather than transient garbage.
+func runProfiled(cpuPath, memPath string, fn func() error) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func run(exp string, reps int, seed int64, nullProp float64, rows, hypotheses int, randomized bool, benchOut string, minSpeedup, maxTraceOverhead float64, scaleRows string) error {
 	switch exp {
 	case "bench":
 		return runBenchCore(benchOut, seed, rows)
 	case "steps":
 		return runBenchSteps(benchOut, seed, rows)
 	case "filter":
-		return runBenchFilter(benchOut, seed, rows, minSpeedup)
+		return runBenchFilter(benchOut, seed, rows, minSpeedup, maxTraceOverhead)
 	case "scaling":
 		sizes, err := parseRowsList(scaleRows)
 		if err != nil {

@@ -21,6 +21,11 @@
 //	curl -s localhost:8080/sessions/1/gauge
 //	curl -s localhost:8080/sessions/1/report
 //
+// Observability: GET /metrics serves the Prometheus text exposition,
+// GET /debug/trace the captured request span trees; -slow-op logs requests
+// over a threshold with their span tree, -pprof mounts net/http/pprof, and
+// -version prints the build metadata and exits.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM, letting in-flight
 // requests finish.
 package main
@@ -38,55 +43,97 @@ import (
 
 	"aware/internal/census"
 	"aware/internal/dataset"
+	"aware/internal/obs"
 	"aware/internal/server"
 )
 
+// options is awared's resolved command line.
+type options struct {
+	addr       string
+	rows       int
+	seed       int64
+	ttl        time.Duration
+	sweep      time.Duration
+	logLevel   string
+	logFormat  string
+	journalDir string
+	workers    int
+	traceCap   int
+	slowOp     time.Duration
+	pprof      bool
+	datasets   map[string]string
+}
+
 func main() {
-	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		rows     = flag.Int("rows", 30000, "rows of the preloaded synthetic census (0 disables preloading)")
-		seed     = flag.Int64("seed", 1, "seed for the synthetic census")
-		ttl      = flag.Duration("session-ttl", 30*time.Minute, "idle time before a session is reclaimed (0 = never)")
-		sweep    = flag.Duration("sweep", time.Minute, "how often the idle-session sweeper runs")
-		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
-		journal  = flag.String("journal-dir", "", "directory for per-session step journals; sessions survive restarts (empty = in-memory only)")
-		workers  = flag.Int("workers", 0, "morsel-parallel execution pool size shared by all datasets (0 = GOMAXPROCS, 1 = sequential/deterministic)")
-	)
-	datasets := make(map[string]string)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&o.rows, "rows", 30000, "rows of the preloaded synthetic census (0 disables preloading)")
+	flag.Int64Var(&o.seed, "seed", 1, "seed for the synthetic census")
+	flag.DurationVar(&o.ttl, "session-ttl", 30*time.Minute, "idle time before a session is reclaimed (0 = never)")
+	flag.DurationVar(&o.sweep, "sweep", time.Minute, "how often the idle-session sweeper runs")
+	flag.StringVar(&o.logLevel, "log-level", "info", "log level: debug, info, warn, error")
+	flag.StringVar(&o.logFormat, "log-format", "json", "log format: json, text")
+	flag.StringVar(&o.journalDir, "journal-dir", "", "directory for per-session step journals; sessions survive restarts (empty = in-memory only)")
+	flag.IntVar(&o.workers, "workers", 0, "morsel-parallel execution pool size shared by all datasets (0 = GOMAXPROCS, 1 = sequential/deterministic)")
+	flag.IntVar(&o.traceCap, "trace-capacity", 0, "request-trace ring size served at /debug/trace (0 = default, negative disables tracing)")
+	flag.DurationVar(&o.slowOp, "slow-op", time.Second, "log requests and steps at least this slow with their span tree (0 disables)")
+	flag.BoolVar(&o.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default: profiling has no business on an exposed port)")
+	version := flag.Bool("version", false, "print build metadata and exit")
+	o.datasets = make(map[string]string)
 	flag.Func("dataset", "register a CSV dataset as name=path (repeatable; columns import as categorical)", func(v string) error {
 		name, path, ok := strings.Cut(v, "=")
 		if !ok || name == "" || path == "" {
 			return fmt.Errorf("want name=path, got %q", v)
 		}
-		datasets[name] = path
+		o.datasets[name] = path
 		return nil
 	})
 	flag.Parse()
 
-	if err := run(*addr, *rows, *seed, *ttl, *sweep, *logLevel, *journal, *workers, datasets); err != nil {
+	if *version {
+		b := obs.ReadBuild()
+		dirty := ""
+		if b.VCSDirty {
+			dirty = "-dirty"
+		}
+		fmt.Printf("awared %s (%s%s, %s, %s/%s)\n", b.Version, b.ShortRev(), dirty, b.GoVersion, b.GoOS, b.GoArch)
+		return
+	}
+
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "awared: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, rows int, seed int64, ttl, sweep time.Duration, logLevel, journalDir string, workers int, datasets map[string]string) error {
-	level, err := parseLevel(logLevel)
+func run(o options) error {
+	logger, err := newLogger(o.logFormat, o.logLevel)
 	if err != nil {
 		return err
 	}
-	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	srv, err := server.New(server.Config{
 		Logger:        logger,
-		SessionTTL:    ttl,
-		SweepInterval: sweep,
-		JournalDir:    journalDir,
-		Workers:       workers,
+		SessionTTL:    o.ttl,
+		SweepInterval: o.sweep,
+		JournalDir:    o.journalDir,
+		Workers:       o.workers,
+		TraceCapacity: o.traceCap,
+		SlowOp:        o.slowOp,
+		EnablePprof:   o.pprof,
 	})
 	if err != nil {
 		return err
 	}
-	if err := registerDatasets(srv.Registry(), rows, seed, datasets); err != nil {
+	build := srv.Build()
+	// One startup line with the fully resolved configuration: what the flags
+	// defaulted to matters more in a log than what was typed.
+	logger.Info("awared starting",
+		"version", build.Version, "revision", build.ShortRev(), "go", build.GoVersion,
+		"addr", o.addr, "workers", srv.Pool().Stats().Workers,
+		"session_ttl", o.ttl, "journal_dir", o.journalDir,
+		"trace_capacity", srv.Tracer().Capacity(), "slow_op", o.slowOp, "pprof", o.pprof)
+	if err := registerDatasets(srv.Registry(), o.rows, o.seed, o.datasets); err != nil {
 		return err
 	}
 	for _, info := range srv.Registry().List() {
@@ -99,12 +146,30 @@ func run(addr string, rows int, seed int64, ttl, sweep time.Duration, logLevel, 
 		return err
 	}
 	if restored > 0 {
-		logger.Info("sessions restored from journal", "count", restored, "dir", journalDir)
+		logger.Info("sessions restored from journal", "count", restored, "dir", o.journalDir)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	return srv.Run(ctx, addr)
+	return srv.Run(ctx, o.addr)
+}
+
+// newLogger builds the process logger: structured JSON by default (one line
+// per event, machine-ingestible), text for humans tailing a terminal.
+func newLogger(format, level string) (*slog.Logger, error) {
+	lvl, err := parseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want json or text)", format)
+	}
 }
 
 // registerDatasets preloads the synthetic census and any CSV files named on

@@ -20,9 +20,12 @@
 // scenario pre-validation (the default awared flags already do).
 //
 // awareload exits non-zero if any request failed (non-2xx or transport
-// error), and with -check-leaks also if the server's live-session count did
-// not return to its pre-run value — the two invariants the CI smoke job
-// gates on.
+// error), with -check-leaks also if the server's live-session count did not
+// return to its pre-run value, and with -check-obs also if the server's
+// /metrics exposition was malformed at either scrape or the run captured zero
+// request traces. -trace-out saves the post-run /debug/trace document as a CI
+// artifact. Status lines are structured slog (JSON by default); the run
+// report stays plain text on stdout.
 package main
 
 import (
@@ -44,52 +47,77 @@ import (
 	"aware/internal/server"
 )
 
+// options is awareload's resolved command line.
+type options struct {
+	scenario   string
+	sessions   int
+	duration   time.Duration
+	rows       int
+	seed       int64
+	addr       string
+	dataset    string
+	think      time.Duration
+	minSupport int
+	benchOut   string
+	traceOut   string
+	checkLeaks bool
+	checkObs   bool
+	workers    int
+	logLevel   string
+	logFormat  string
+}
+
 func main() {
-	var (
-		scenario   = flag.String("scenario", "mixed", "workload mix: filter, viz, steps, holdout, mixed")
-		sessions   = flag.Int("sessions", 8, "concurrent simulated analysts")
-		duration   = flag.Duration("duration", 10*time.Second, "how long to issue load")
-		rows       = flag.Int("rows", 30000, "rows of the synthetic census (served in-process, and used for scenario pre-validation)")
-		seed       = flag.Int64("seed", 1, "seed for the census and the analysts' choices")
-		addr       = flag.String("addr", "", "base URL of a running awared (empty = boot one in-process)")
-		datasetN   = flag.String("dataset", "census", "registered dataset name the sessions explore")
-		think      = flag.Duration("think", 0, "pause between one analyst's operations (0 = closed loop)")
-		minSupport = flag.Int("min-support", 100, "minimum sub-population size a scenario predicate may select")
-		benchOut   = flag.String("benchout", "BENCH_http.json", "output path for the machine-readable report")
-		checkLeaks = flag.Bool("check-leaks", false, "fail if the server's live-session count does not return to its pre-run value")
-		workers    = flag.Int("workers", 0, "execution pool size of the in-process server (0 = GOMAXPROCS, 1 = sequential; ignored with -addr)")
-	)
+	var o options
+	flag.StringVar(&o.scenario, "scenario", "mixed", "workload mix: filter, viz, steps, holdout, mixed")
+	flag.IntVar(&o.sessions, "sessions", 8, "concurrent simulated analysts")
+	flag.DurationVar(&o.duration, "duration", 10*time.Second, "how long to issue load")
+	flag.IntVar(&o.rows, "rows", 30000, "rows of the synthetic census (served in-process, and used for scenario pre-validation)")
+	flag.Int64Var(&o.seed, "seed", 1, "seed for the census and the analysts' choices")
+	flag.StringVar(&o.addr, "addr", "", "base URL of a running awared (empty = boot one in-process)")
+	flag.StringVar(&o.dataset, "dataset", "census", "registered dataset name the sessions explore")
+	flag.DurationVar(&o.think, "think", 0, "pause between one analyst's operations (0 = closed loop)")
+	flag.IntVar(&o.minSupport, "min-support", 100, "minimum sub-population size a scenario predicate may select")
+	flag.StringVar(&o.benchOut, "benchout", "BENCH_http.json", "output path for the machine-readable report")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write the post-run /debug/trace document to this path (empty = skip)")
+	flag.BoolVar(&o.checkLeaks, "check-leaks", false, "fail if the server's live-session count does not return to its pre-run value")
+	flag.BoolVar(&o.checkObs, "check-obs", false, "fail on a malformed /metrics exposition or a run that captured zero request traces")
+	flag.IntVar(&o.workers, "workers", 0, "execution pool size of the in-process server (0 = GOMAXPROCS, 1 = sequential; ignored with -addr)")
+	flag.StringVar(&o.logLevel, "log-level", "info", "log level: debug, info, warn, error")
+	flag.StringVar(&o.logFormat, "log-format", "json", "log format: json, text")
 	flag.Parse()
 
-	if err := run(*scenario, *sessions, *duration, *rows, *seed, *addr, *datasetN,
-		*think, *minSupport, *benchOut, *checkLeaks, *workers); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "awareload: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenario string, sessions int, duration time.Duration, rows int, seed int64,
-	addr, datasetName string, think time.Duration, minSupport int, benchOut string, checkLeaks bool, workers int) error {
-	sc, err := loadgen.ParseScenario(scenario)
+func run(o options) error {
+	logger, err := newLogger(o.logFormat, o.logLevel)
+	if err != nil {
+		return err
+	}
+	sc, err := loadgen.ParseScenario(o.scenario)
 	if err != nil {
 		return err
 	}
 	// The scenario source: a local census identical (by rows and seed) to the
 	// served one, so predicate pre-validation reflects the server's data.
-	table, err := census.Generate(census.Config{Rows: rows, Seed: seed, SignalStrength: 1})
+	table, err := census.Generate(census.Config{Rows: o.rows, Seed: o.seed, SignalStrength: 1})
 	if err != nil {
 		return err
 	}
 
-	base := addr
+	base := o.addr
 	if base == "" {
-		url, stop, err := startInProcess(table, datasetName, workers)
+		url, stop, err := startInProcess(table, o.dataset, o.workers)
 		if err != nil {
 			return err
 		}
 		defer stop()
 		base = url
-		fmt.Printf("serving %d-row census in-process at %s\n", rows, base)
+		logger.Info("serving census in-process", "rows", o.rows, "url", base)
 	}
 
 	before, err := loadgen.SessionCount(base, nil)
@@ -99,49 +127,93 @@ func run(scenario string, sessions int, duration time.Duration, rows int, seed i
 
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer cancel()
-	fmt.Printf("running %s scenario: %d sessions for %v against %s\n", sc, sessions, duration, base)
+	logger.Info("load run starting", "scenario", string(sc), "sessions", o.sessions,
+		"duration", o.duration, "target", base, "dataset", o.dataset)
 	res, err := loadgen.Run(ctx, loadgen.Config{
 		BaseURL:    base,
-		Dataset:    datasetName,
+		Dataset:    o.dataset,
 		Table:      table,
 		Scenario:   sc,
-		Sessions:   sessions,
-		Duration:   duration,
-		Seed:       seed,
-		Think:      think,
-		MinSupport: minSupport,
+		Sessions:   o.sessions,
+		Duration:   o.duration,
+		Seed:       o.seed,
+		Think:      o.think,
+		MinSupport: o.minSupport,
 	})
 	if err != nil {
 		return err
 	}
-	if addr == "" {
+	if o.addr == "" {
 		// Only the in-process server's size is known for certain; a remote
 		// server may serve a different table than the local scenario source.
-		res.Rows = rows
+		res.Rows = o.rows
 	}
 
 	if err := res.WriteText(os.Stdout); err != nil {
 		return err
 	}
-	if err := benchio.WriteFileJSON(benchOut, res); err != nil {
+	if err := benchio.WriteFileJSON(o.benchOut, res); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n", benchOut)
+	logger.Info("report written", "path", o.benchOut)
+
+	if o.traceOut != "" {
+		if err := writeTraceArtifact(base, o.traceOut); err != nil {
+			return fmt.Errorf("saving trace artifact: %w", err)
+		}
+		logger.Info("trace artifact written", "path", o.traceOut)
+	}
 
 	after, err := loadgen.SessionCount(base, nil)
 	if err != nil {
 		return fmt.Errorf("probing %s after the run: %w", base, err)
 	}
 	leaked := after - before
-	fmt.Printf("live sessions: %d before, %d after\n", before, after)
+	logger.Info("live sessions probed", "before", before, "after", after)
 
 	if res.TotalErrors > 0 {
 		return fmt.Errorf("%d of %d requests failed (first: %v)", res.TotalErrors, res.TotalRequests, firstSample(res.ErrorSamples))
 	}
-	if checkLeaks && leaked != 0 {
+	if o.checkLeaks && leaked != 0 {
 		return fmt.Errorf("session leak: live count went from %d to %d", before, after)
 	}
+	if o.checkObs {
+		if err := res.Observability.Check(); err != nil {
+			return fmt.Errorf("observability check failed: %w", err)
+		}
+		logger.Info("observability check passed",
+			"metric_samples", res.Observability.MetricsSamples,
+			"traces_captured", res.Observability.TraceCapturedDelta)
+	}
 	return nil
+}
+
+// writeTraceArtifact saves the server's full /debug/trace document — the CI
+// artifact a red smoke run is debugged from.
+func writeTraceArtifact(base, path string) error {
+	body, err := loadgen.FetchBody(nil, base+"/debug/trace")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, body, 0o644)
+}
+
+// newLogger builds the status logger on stderr: structured JSON by default,
+// text for humans. Stdout stays reserved for the run report.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("unknown log level %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want json or text)", format)
+	}
 }
 
 // startInProcess boots awared on a loopback listener serving the table.

@@ -12,11 +12,29 @@ import (
 
 // TestRunInProcessSmoke is the CI smoke in miniature: a short mixed run
 // against an in-process server on a small census must succeed, leave no
-// sessions behind (checkLeaks on) and write a parseable BENCH_http.json with
-// latency percentiles per endpoint.
+// sessions behind (checkLeaks on), pass the observability gate (checkObs on:
+// parseable /metrics mid-run and after, non-zero trace captures), save the
+// trace artifact, and write a parseable BENCH_http.json with latency
+// percentiles per endpoint.
 func TestRunInProcessSmoke(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_http.json")
-	err := run("mixed", 3, 1200*time.Millisecond, 2000, 1, "", "census", 0, 60, out, true, 2)
+	traceOut := filepath.Join(t.TempDir(), "trace.json")
+	err := run(options{
+		scenario:   "mixed",
+		sessions:   3,
+		duration:   1200 * time.Millisecond,
+		rows:       2000,
+		seed:       1,
+		dataset:    "census",
+		minSupport: 60,
+		benchOut:   out,
+		traceOut:   traceOut,
+		checkLeaks: true,
+		checkObs:   true,
+		workers:    2,
+		logLevel:   "warn",
+		logFormat:  "text",
+	})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -46,10 +64,35 @@ func TestRunInProcessSmoke(t *testing.T) {
 	if !found {
 		t.Error("POST /sessions missing from BENCH_http.json")
 	}
+
+	// The observability section must carry the gate's inputs, and the trace
+	// artifact must be a parseable /debug/trace document with span trees.
+	if res.Observability == nil {
+		t.Fatal("BENCH_http.json has no observability section")
+	}
+	if res.Observability.MetricsSamples == 0 || res.Observability.TraceCapturedDelta == 0 {
+		t.Errorf("observability section empty: %+v", res.Observability)
+	}
+	traceData, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatalf("trace artifact: %v", err)
+	}
+	var trace struct {
+		Returned int               `json:"returned"`
+		Traces   []json.RawMessage `json:"traces"`
+	}
+	if err := json.Unmarshal(traceData, &trace); err != nil {
+		t.Fatalf("trace artifact does not parse: %v", err)
+	}
+	if trace.Returned == 0 || len(trace.Traces) != trace.Returned {
+		t.Errorf("trace artifact has %d traces, returned=%d, want a non-empty consistent ring", len(trace.Traces), trace.Returned)
+	}
 }
 
 func TestRunRejectsUnknownScenario(t *testing.T) {
-	if err := run("bogus", 1, time.Second, 100, 1, "", "census", 0, 10, "", false, 0); err == nil {
+	err := run(options{scenario: "bogus", sessions: 1, duration: time.Second, rows: 100,
+		seed: 1, dataset: "census", minSupport: 10, logLevel: "warn", logFormat: "text"})
+	if err == nil {
 		t.Fatal("want error for unknown scenario")
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"aware/internal/dataset"
+	"aware/internal/obs"
 	"aware/internal/stats"
 )
 
@@ -27,8 +28,9 @@ const numericBins = 10
 
 // referenceCounts returns the per-category (or per-bin, for numeric targets)
 // counts of target within the view, using the view's full table as the
-// reference that fixes the category set / bin edges.
-func referenceCounts(sub dataset.View, target string) ([]int, error) {
+// reference that fixes the category set / bin edges. A non-nil span records
+// the counting kernel under the caller's trace.
+func referenceCounts(sub dataset.View, target string, span *obs.Span) ([]int, error) {
 	ref := sub.Table()
 	col, err := ref.Column(target)
 	if err != nil {
@@ -39,12 +41,12 @@ func referenceCounts(sub dataset.View, target string) ([]int, error) {
 		if err != nil {
 			return nil, err
 		}
-		return sub.CountsFor(target, cats)
+		return sub.CountsForSpan(target, cats, span)
 	}
 	// Numeric target: bin on edges computed over the reference table. The
 	// per-row bin assignment is memoized on the table, so only the first
 	// hypothesis over this target pays the binning arithmetic.
-	return sub.BinCounts(target, numericBins)
+	return sub.BinCountsSpan(target, numericBins, span)
 }
 
 // FilterVsPopulationTest runs heuristic rule 2's default test: the
@@ -59,19 +61,26 @@ func FilterVsPopulationTest(ref *dataset.Table, target string, filter dataset.Pr
 // through the given selection cache (the session's own, or a server-wide
 // per-dataset cache shared across sessions).
 func FilterVsPopulationTestWith(sel *dataset.SelectionCache, target string, filter dataset.Predicate) (stats.TestResult, int, error) {
-	sub, err := sel.View(filter)
+	return filterVsPopulationTest(sel, target, filter, nil)
+}
+
+// filterVsPopulationTest is the span-aware body behind
+// FilterVsPopulationTestWith: a traced session passes its step span so the
+// filter compilation and both counting passes appear as kernel spans.
+func filterVsPopulationTest(sel *dataset.SelectionCache, target string, filter dataset.Predicate, span *obs.Span) (stats.TestResult, int, error) {
+	sub, err := sel.ViewSpan(filter, span)
 	if err != nil {
 		return stats.TestResult{}, 0, err
 	}
-	observed, err := referenceCounts(sub, target)
+	observed, err := referenceCounts(sub, target, span)
 	if err != nil {
 		return stats.TestResult{}, 0, err
 	}
-	pop, err := sel.View(nil)
+	pop, err := sel.ViewSpan(nil, span)
 	if err != nil {
 		return stats.TestResult{}, 0, err
 	}
-	popCounts, err := referenceCounts(pop, target)
+	popCounts, err := referenceCounts(pop, target, span)
 	if err != nil {
 		return stats.TestResult{}, 0, err
 	}
@@ -97,19 +106,24 @@ func ComparisonTest(ref *dataset.Table, target string, filterA, filterB dataset.
 // ComparisonTestWith is ComparisonTest resolving filters through the given
 // selection cache.
 func ComparisonTestWith(sel *dataset.SelectionCache, target string, filterA, filterB dataset.Predicate) (stats.TestResult, int, int, error) {
-	subA, err := sel.View(filterA)
+	return comparisonTest(sel, target, filterA, filterB, nil)
+}
+
+// comparisonTest is the span-aware body behind ComparisonTestWith.
+func comparisonTest(sel *dataset.SelectionCache, target string, filterA, filterB dataset.Predicate, span *obs.Span) (stats.TestResult, int, int, error) {
+	subA, err := sel.ViewSpan(filterA, span)
 	if err != nil {
 		return stats.TestResult{}, 0, 0, err
 	}
-	subB, err := sel.View(filterB)
+	subB, err := sel.ViewSpan(filterB, span)
 	if err != nil {
 		return stats.TestResult{}, 0, 0, err
 	}
-	countsA, err := referenceCounts(subA, target)
+	countsA, err := referenceCounts(subA, target, span)
 	if err != nil {
 		return stats.TestResult{}, 0, 0, err
 	}
-	countsB, err := referenceCounts(subB, target)
+	countsB, err := referenceCounts(subB, target, span)
 	if err != nil {
 		return stats.TestResult{}, 0, 0, err
 	}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"aware/internal/dataset"
+	"aware/internal/obs"
 	"aware/internal/stats"
 )
 
@@ -71,8 +72,20 @@ func (h *HoldoutValidator) Validation() *dataset.Table { return h.validation }
 // exploration and validation halves, and reports whether the finding is
 // confirmed by both.
 func (h *HoldoutValidator) CompareMeans(numericAttr string, filter dataset.Predicate, alt stats.Alternative) (HoldoutResult, error) {
-	run := func(sel *dataset.SelectionCache) (stats.TestResult, error) {
-		in, err := sel.View(filter)
+	return h.CompareMeansSpan(numericAttr, filter, alt, nil)
+}
+
+// CompareMeansSpan is CompareMeans with one step-depth span per holdout half
+// recorded under parent (nil parent: identical to CompareMeans), so a traced
+// validation request attributes its time to the exploration and validation
+// replays separately, down to their kernels.
+func (h *HoldoutValidator) CompareMeansSpan(numericAttr string, filter dataset.Predicate, alt stats.Alternative, parent *obs.Span) (HoldoutResult, error) {
+	run := func(sel *dataset.SelectionCache, half string) (stats.TestResult, error) {
+		span := parent.Child(obs.KindStep, "holdout.compare_means")
+		defer span.End()
+		span.Set("half", half)
+		span.Set("rows", sel.Table().NumRows())
+		in, err := sel.ViewSpan(filter, span)
 		if err != nil {
 			return stats.TestResult{}, err
 		}
@@ -82,21 +95,21 @@ func (h *HoldoutValidator) CompareMeans(numericAttr string, filter dataset.Predi
 		if err != nil {
 			return stats.TestResult{}, err
 		}
-		xs, err := in.Floats(numericAttr)
+		xs, err := in.FloatsSpan(numericAttr, span)
 		if err != nil {
 			return stats.TestResult{}, err
 		}
-		ys, err := out.Floats(numericAttr)
+		ys, err := out.FloatsSpan(numericAttr, span)
 		if err != nil {
 			return stats.TestResult{}, err
 		}
 		return stats.WelchTTest(xs, ys, alt)
 	}
-	explorationRes, err := run(h.explorationSel)
+	explorationRes, err := run(h.explorationSel, "exploration")
 	if err != nil {
 		return HoldoutResult{}, fmt.Errorf("core: holdout exploration test: %w", err)
 	}
-	validationRes, err := run(h.validationSel)
+	validationRes, err := run(h.validationSel, "validation")
 	if err != nil {
 		return HoldoutResult{}, fmt.Errorf("core: holdout validation test: %w", err)
 	}
@@ -177,7 +190,21 @@ type ReplayValidation struct {
 // opts must not carry the Policy instance of a session that is still live —
 // pass a fresh policy, or leave it nil for the paper's default.
 func (h *HoldoutValidator) ReplayLog(opts Options, steps []Step) (ReplayValidation, error) {
-	replayPrefix := func(data *dataset.Table, sel *dataset.SelectionCache, limit int) (*Session, int, error) {
+	return h.ReplayLogSpan(opts, steps, nil)
+}
+
+// ReplayLogSpan is ReplayLog with one step-depth span per replayed half
+// recorded under parent (nil parent: identical to ReplayLog). Each half's
+// span nests the step spans of its replay, which in turn nest their kernels,
+// so a traced holdout request explains exactly where a long replay spent its
+// time and on which half.
+func (h *HoldoutValidator) ReplayLogSpan(opts Options, steps []Step, parent *obs.Span) (ReplayValidation, error) {
+	replayPrefix := func(data *dataset.Table, sel *dataset.SelectionCache, limit int, half string) (*Session, int, error) {
+		span := parent.Child(obs.KindStep, "holdout.replay")
+		defer span.End()
+		span.Set("half", half)
+		span.Set("rows", data.NumRows())
+		span.Set("steps", limit)
 		// Each half replays against its own filter-bitmap cache (any caller
 		// cache in opts is bound to the full table, not the halves), so the
 		// N-step replay compiles each distinct filter once instead of
@@ -190,18 +217,19 @@ func (h *HoldoutValidator) ReplayLog(opts Options, steps []Step) (ReplayValidati
 		}
 		applied := 0
 		for _, step := range steps[:limit] {
-			if _, err := sess.Apply(step); err != nil {
+			if _, err := sess.ApplyTraced(span, step); err != nil {
 				break
 			}
 			applied++
 		}
+		span.Set("applied", applied)
 		return sess, applied, nil
 	}
-	exploration, explApplied, err := replayPrefix(h.exploration, h.explorationSel, len(steps))
+	exploration, explApplied, err := replayPrefix(h.exploration, h.explorationSel, len(steps), "exploration")
 	if err != nil {
 		return ReplayValidation{}, err
 	}
-	validation, validApplied, err := replayPrefix(h.validation, h.validationSel, explApplied)
+	validation, validApplied, err := replayPrefix(h.validation, h.validationSel, explApplied, "validation")
 	if err != nil {
 		return ReplayValidation{}, err
 	}

@@ -6,6 +6,7 @@ import (
 
 	"aware/internal/dataset"
 	"aware/internal/investing"
+	"aware/internal/obs"
 	"aware/internal/stats"
 )
 
@@ -62,6 +63,12 @@ type Session struct {
 	investor *investing.Investor
 	alpha    float64
 	power    float64
+
+	// trace is the step span of the Apply in flight, set by ApplyTraced for
+	// exactly the duration of the dispatch (the single-threaded contract makes
+	// a plain field sufficient). Nil — the common case — keeps every kernel
+	// call on its untraced fast path.
+	trace *obs.Span
 
 	visualizations []*Visualization
 	hypotheses     []*Hypothesis
@@ -317,7 +324,7 @@ func (s *Session) compareVisualizations(aID, bID int) (*Hypothesis, error) {
 	if a.Target != b.Target {
 		return nil, fmt.Errorf("%w: %q vs %q", ErrNotComplementary, a.Target, b.Target)
 	}
-	test, nA, nB, err := ComparisonTestWith(s.sel, a.Target, a.Filter, b.Filter)
+	test, nA, nB, err := comparisonTest(s.sel, a.Target, a.Filter, b.Filter, s.trace)
 	if err != nil {
 		return nil, fmt.Errorf("core: comparison hypothesis for %q vs %q: %w", a.Describe(), b.Describe(), err)
 	}
@@ -342,7 +349,7 @@ func (s *Session) testAgainstExpectation(vizID int, expected map[string]float64)
 	if err != nil {
 		return nil, err
 	}
-	sub, err := s.sel.View(viz.Filter)
+	sub, err := s.sel.ViewSpan(viz.Filter, s.trace)
 	if err != nil {
 		return nil, err
 	}
@@ -350,7 +357,7 @@ func (s *Session) testAgainstExpectation(vizID int, expected map[string]float64)
 	if err != nil {
 		return nil, err
 	}
-	observed, err := sub.CountsFor(viz.Target, cats)
+	observed, err := sub.CountsForSpan(viz.Target, cats, s.trace)
 	if err != nil {
 		return nil, err
 	}
@@ -431,18 +438,18 @@ func (s *Session) comparedFloats(numericAttr string, aID, bID int) (a, b *Visual
 	if b, err = s.visualization(bID); err != nil {
 		return nil, nil, nil, nil, err
 	}
-	subA, err := s.sel.View(a.Filter)
+	subA, err := s.sel.ViewSpan(a.Filter, s.trace)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	subB, err := s.sel.View(b.Filter)
+	subB, err := s.sel.ViewSpan(b.Filter, s.trace)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	if xs, err = subA.Floats(numericAttr); err != nil {
+	if xs, err = subA.FloatsSpan(numericAttr, s.trace); err != nil {
 		return nil, nil, nil, nil, err
 	}
-	if ys, err = subB.Floats(numericAttr); err != nil {
+	if ys, err = subB.FloatsSpan(numericAttr, s.trace); err != nil {
 		return nil, nil, nil, nil, err
 	}
 	return a, b, xs, ys, nil
@@ -490,7 +497,7 @@ func (s *Session) supersedeAttached(replacement *Hypothesis, vizzes ...*Visualiz
 // testFilterVsPopulation runs the rule-2 default hypothesis for a filtered
 // visualization.
 func (s *Session) testFilterVsPopulation(viz *Visualization) (*Hypothesis, error) {
-	test, support, err := FilterVsPopulationTestWith(s.sel, viz.Target, viz.Filter)
+	test, support, err := filterVsPopulationTest(s.sel, viz.Target, viz.Filter, s.trace)
 	if err != nil {
 		return nil, fmt.Errorf("core: default hypothesis for %q: %w", viz.Describe(), err)
 	}

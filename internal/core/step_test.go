@@ -278,7 +278,7 @@ func TestReferenceCountsConstantColumn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	counts, err := referenceCounts(sub, "constant")
+	counts, err := referenceCounts(sub, "constant", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +318,7 @@ func TestZeroWidthBinGuard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	counts, err := referenceCounts(full, "v")
+	counts, err := referenceCounts(full, "v", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

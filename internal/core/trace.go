@@ -1,0 +1,41 @@
+package core
+
+import (
+	"aware/internal/obs"
+)
+
+// ApplyTraced is Apply with a step-depth span recorded under parent: the
+// step's kind, its outcome on the α-investing ledger (p-value, α invested,
+// rejected, remaining wealth) and — through the Session.trace field it sets
+// for the duration of the dispatch — kernel spans for every filter
+// compilation and counting pass the step executed.
+//
+// A nil parent is exactly Apply: no span, no annotations, no allocations.
+// ApplyTraced shares Session's single-threaded contract; the server applies
+// steps under the per-session lock, so the trace field never sees two
+// writers.
+func (s *Session) ApplyTraced(parent *obs.Span, step Step) (StepResult, error) {
+	if parent == nil || step == nil {
+		return s.Apply(step)
+	}
+	span := parent.Child(obs.KindStep, "step."+step.Kind())
+	s.trace = span
+	// Clear via defer so a panicking step (recovered by the server middleware)
+	// cannot leave a stale span attached to the session.
+	defer func() { s.trace = nil }()
+	res, err := s.Apply(step)
+	if err != nil {
+		span.Set("error", err.Error())
+	}
+	if res.Hypothesis != nil {
+		h := res.Hypothesis
+		span.Set("hypothesis_id", h.ID)
+		span.Set("p_value", h.Test.PValue)
+		span.Set("alpha_invested", h.AlphaInvested)
+		span.Set("rejected", h.Rejected)
+		span.Set("support", h.SupportSize)
+	}
+	span.Set("wealth", s.Wealth())
+	span.End()
+	return res, err
+}

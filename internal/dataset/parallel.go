@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file is the morsel-parallel execution layer of the substrate
@@ -50,6 +51,17 @@ type PoolStats struct {
 	// because the input was smaller than one morsel (or the pool is pinned to
 	// a single worker).
 	SequentialCutoffHits uint64 `json:"sequential_cutoff_hits"`
+	// HelperHandoffs counts helper closures accepted by an idle background
+	// worker; HelperRejections counts the attempts that found every worker
+	// busy, so the calling goroutine kept the morsels for itself. Their ratio
+	// is the pool's contention signal.
+	HelperHandoffs   uint64 `json:"helper_handoffs"`
+	HelperRejections uint64 `json:"helper_rejections"`
+	// QueueWaitNs is the cumulative delay between handing a helper to the
+	// task channel and the worker starting it — the pool's queueing time. It
+	// stays near zero by design: handoff is non-blocking, so helpers never
+	// queue behind other callers' work, only behind the worker's wakeup.
+	QueueWaitNs uint64 `json:"queue_wait_ns"`
 }
 
 // Pool is a bounded worker pool shared by the parallel kernels. A pool of W
@@ -71,6 +83,9 @@ type Pool struct {
 	tasksExecuted    atomic.Uint64
 	morselsProcessed atomic.Uint64
 	cutoffHits       atomic.Uint64
+	helperHandoffs   atomic.Uint64
+	helperRejections atomic.Uint64
+	queueWaitNs      atomic.Uint64
 }
 
 // NewPool builds a pool with the given parallelism; workers <= 0 means
@@ -113,6 +128,9 @@ func (p *Pool) Stats() PoolStats {
 		TasksExecuted:        p.tasksExecuted.Load(),
 		MorselsProcessed:     p.morselsProcessed.Load(),
 		SequentialCutoffHits: p.cutoffHits.Load(),
+		HelperHandoffs:       p.helperHandoffs.Load(),
+		HelperRejections:     p.helperRejections.Load(),
+		QueueWaitNs:          p.queueWaitNs.Load(),
 	}
 }
 
@@ -173,6 +191,9 @@ func (p *Pool) Run(n int, fn func(i int)) {
 	}
 	for i := 0; i < helpers; i++ {
 		wg.Add(1)
+		// handedAt is written before the channel send and read by the worker
+		// after the receive, so the send's happens-before edge covers it.
+		handedAt := time.Now()
 		helper := func() {
 			defer func() {
 				if r := recover(); r != nil {
@@ -180,15 +201,20 @@ func (p *Pool) Run(n int, fn func(i int)) {
 				}
 				wg.Done()
 			}()
+			if wait := time.Since(handedAt); wait > 0 {
+				p.queueWaitNs.Add(uint64(wait.Nanoseconds()))
+			}
 			loop()
 		}
 		// Hand the helper to an idle worker; if none is free (other callers
 		// own them right now), this caller simply does the work itself.
 		select {
 		case p.tasks <- helper:
+			p.helperHandoffs.Add(1)
 		case <-p.done:
 			wg.Done()
 		default:
+			p.helperRejections.Add(1)
 			wg.Done()
 		}
 	}

@@ -727,24 +727,33 @@ func (c *SelectionCache) Table() *Table { return c.table }
 // it is on the hot path of every population-vs-filter test); predicates that
 // cannot be canonically serialized are compiled uncached.
 func (c *SelectionCache) Where(p Predicate) (*Selection, error) {
+	sel, _, err := c.whereCached(p)
+	return sel, err
+}
+
+// whereCached is Where plus the cache outcome — "full" (shared nil-predicate
+// selection), "hit", "miss" or "uncacheable" — which the traced variant
+// (WhereSpan) records on its kernel span.
+func (c *SelectionCache) whereCached(p Predicate) (*Selection, string, error) {
 	if p == nil {
-		return c.full, nil
+		return c.full, "full", nil
 	}
 	key, err := CanonicalPredicateKey(p)
 	if err != nil {
-		return c.table.Where(p)
+		sel, werr := c.table.Where(p)
+		return sel, "uncacheable", werr
 	}
 	c.mu.RLock()
 	sel := c.entries[key]
 	c.mu.RUnlock()
 	if sel != nil {
 		c.hits.Add(1)
-		return sel, nil
+		return sel, "hit", nil
 	}
 	c.misses.Add(1)
 	sel, err = c.table.Where(p)
 	if err != nil {
-		return nil, err
+		return nil, "miss", err
 	}
 	c.mu.Lock()
 	if prev, ok := c.entries[key]; ok {
@@ -759,7 +768,7 @@ func (c *SelectionCache) Where(p Predicate) (*Selection, error) {
 		c.entries[key] = sel
 	}
 	c.mu.Unlock()
-	return sel, nil
+	return sel, "miss", nil
 }
 
 // View is Where wrapped into a zero-copy view.

@@ -1,0 +1,142 @@
+package dataset
+
+import (
+	"aware/internal/obs"
+)
+
+// This file threads request tracing down to kernel depth. Each traced entry
+// point is a thin span-aware wrapper over the untraced method — the wrappers
+// exist so that the hot untraced paths (Where, View, CountsFor, ...) carry no
+// tracing branches at all, and a nil span short-circuits the wrappers back to
+// those same untraced bodies at zero cost.
+//
+// Kernel spans are annotated with deltas of the pool's process-wide counters
+// (morsels, cutoff hits, queue-wait ns) taken around the kernel call. Under
+// concurrent load the deltas include other requests' morsels that executed in
+// the same window — they are an attribution aid, not an exact per-call
+// accounting, and /debug/trace documents them as such.
+
+// kernelTrace carries one kernel span plus the pool-counter baseline taken
+// when it was opened. The zero value (nil span) is a free no-op.
+type kernelTrace struct {
+	span   *obs.Span
+	pool   *Pool
+	before PoolStats
+}
+
+// startKernel opens a kernel-depth child span, or returns the no-op trace
+// when the parent is nil.
+func startKernel(parent *obs.Span, p *Pool, name string) kernelTrace {
+	if parent == nil {
+		return kernelTrace{}
+	}
+	return kernelTrace{span: parent.Child(obs.KindKernel, name), pool: p, before: p.Stats()}
+}
+
+// end closes the kernel span with the standard kernel annotations: rows
+// spanned, rows selected, and the pool-counter deltas observed during the
+// kernel.
+func (k kernelTrace) end(rows, selected int) {
+	if k.span == nil {
+		return
+	}
+	after := k.pool.Stats()
+	k.span.Set("rows", rows)
+	k.span.Set("selected", selected)
+	k.span.Set("morsels", after.MorselsProcessed-k.before.MorselsProcessed)
+	k.span.Set("cutoff_hits", after.SequentialCutoffHits-k.before.SequentialCutoffHits)
+	k.span.Set("pool_queue_wait_ns", after.QueueWaitNs-k.before.QueueWaitNs)
+	k.span.End()
+}
+
+// WhereSpan is Table.Where with a kernel span recorded under parent (nil
+// parent: identical to Where).
+func (t *Table) WhereSpan(p Predicate, parent *obs.Span) (*Selection, error) {
+	if parent == nil {
+		return t.Where(p)
+	}
+	k := startKernel(parent, t.execPool(), "table.where")
+	sel, err := t.Where(p)
+	if err != nil {
+		k.span.Set("error", err.Error())
+		k.end(t.rows, 0)
+		return nil, err
+	}
+	k.end(t.rows, sel.Count())
+	return sel, nil
+}
+
+// WhereSpan is SelectionCache.Where with a kernel span recorded under parent,
+// annotated with the cache outcome (full/hit/miss/uncacheable) so a trace
+// shows whether the filter compiled or was served from the shared bitmap.
+func (c *SelectionCache) WhereSpan(p Predicate, parent *obs.Span) (*Selection, error) {
+	if parent == nil {
+		sel, _, err := c.whereCached(p)
+		return sel, err
+	}
+	k := startKernel(parent, c.table.execPool(), "cache.where")
+	sel, outcome, err := c.whereCached(p)
+	k.span.Set("cache", outcome)
+	if err != nil {
+		k.span.Set("error", err.Error())
+		k.end(c.table.rows, 0)
+		return nil, err
+	}
+	k.end(c.table.rows, sel.Count())
+	return sel, nil
+}
+
+// ViewSpan is SelectionCache.View through WhereSpan.
+func (c *SelectionCache) ViewSpan(p Predicate, parent *obs.Span) (View, error) {
+	sel, err := c.WhereSpan(p, parent)
+	if err != nil {
+		return View{}, err
+	}
+	return View{table: c.table, sel: sel}, nil
+}
+
+// CountsForSpan is View.CountsFor with a kernel span under parent.
+func (v View) CountsForSpan(name string, categories []string, parent *obs.Span) ([]int, error) {
+	if parent == nil {
+		return v.CountsFor(name, categories)
+	}
+	k := startKernel(parent, v.table.execPool(), "view.counts_for")
+	k.span.Set("column", name)
+	out, err := v.CountsFor(name, categories)
+	if err != nil {
+		k.span.Set("error", err.Error())
+	}
+	k.end(v.sel.n, v.sel.count)
+	return out, err
+}
+
+// BinCountsSpan is View.BinCounts with a kernel span under parent.
+func (v View) BinCountsSpan(name string, bins int, parent *obs.Span) ([]int, error) {
+	if parent == nil {
+		return v.BinCounts(name, bins)
+	}
+	k := startKernel(parent, v.table.execPool(), "view.bin_counts")
+	k.span.Set("column", name)
+	k.span.Set("bins", bins)
+	out, err := v.BinCounts(name, bins)
+	if err != nil {
+		k.span.Set("error", err.Error())
+	}
+	k.end(v.sel.n, v.sel.count)
+	return out, err
+}
+
+// FloatsSpan is View.Floats with a kernel span under parent.
+func (v View) FloatsSpan(name string, parent *obs.Span) ([]float64, error) {
+	if parent == nil {
+		return v.Floats(name)
+	}
+	k := startKernel(parent, v.table.execPool(), "view.floats")
+	k.span.Set("column", name)
+	out, err := v.Floats(name)
+	if err != nil {
+		k.span.Set("error", err.Error())
+	}
+	k.end(v.sel.n, v.sel.count)
+	return out, err
+}

@@ -14,7 +14,7 @@ import (
 const (
 	histBuckets   = 160
 	histGrowth    = 1.15
-	histFirstNs   = 1000 // 1µs
+	histFirstNs   = 1000        // 1µs
 	histOverflows = histBuckets // index of the overflow bucket
 )
 

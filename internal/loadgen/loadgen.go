@@ -559,8 +559,34 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("loadgen: server probe failed: %w", err)
 	}
 
+	// Trace-ring baseline, so the report carries the run's own capture delta
+	// rather than a long-running server's lifetime total. A failed baseline is
+	// not fatal here: the post-run scrape records the real error.
+	baseCaptured := uint64(0)
+	if st, err := scrapeTrace(c.HTTPClient, c.BaseURL, 0); err == nil {
+		baseCaptured = st.Captured
+	}
+
 	runCtx, cancel := context.WithTimeout(ctx, c.Duration)
 	defer cancel()
+
+	// Scrape /metrics halfway through the load window: the exposition must be
+	// well-formed while its counters are being hammered, not just at rest.
+	type midScrape struct {
+		samples int
+		err     error
+		ran     bool
+	}
+	midc := make(chan midScrape, 1)
+	go func() {
+		select {
+		case <-runCtx.Done():
+			midc <- midScrape{}
+		case <-time.After(c.Duration / 2):
+			samples, err := ScrapeMetrics(c.HTTPClient, c.BaseURL)
+			midc <- midScrape{samples: samples, err: err, ran: true}
+		}
+	}()
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < c.Sessions; i++ {
@@ -600,6 +626,31 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if err := probe.do(http.MethodGet, "GET /debug/metrics", "/debug/metrics", nil, &snap); err == nil {
 		res.ServerMetrics = snap
 	}
+
+	// Observability section: the mid-run scrape outcome, the post-run
+	// exposition, and the trace ring after the load.
+	obsRep := &ObsReport{}
+	if m := <-midc; m.ran {
+		obsRep.MidRunSamples = m.samples
+		if m.err != nil {
+			obsRep.MidRunError = m.err.Error()
+		}
+	}
+	if samples, err := ScrapeMetrics(c.HTTPClient, c.BaseURL); err != nil {
+		obsRep.MetricsError = err.Error()
+	} else {
+		obsRep.MetricsSamples = samples
+	}
+	if st, err := scrapeTrace(c.HTTPClient, c.BaseURL, -1); err != nil {
+		obsRep.TraceError = err.Error()
+	} else {
+		obsRep.TraceCapacity = st.Capacity
+		obsRep.TraceCaptured = st.Captured
+		obsRep.TraceDropped = st.Dropped
+		obsRep.TraceCapturedDelta = st.Captured - baseCaptured
+		obsRep.TraceReturned = st.Returned
+	}
+	res.Observability = obsRep
 	return res, nil
 }
 

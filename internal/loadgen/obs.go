@@ -1,0 +1,124 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"aware/internal/obs"
+)
+
+// This file is the load generator's view of the server's observability
+// surface: every run scrapes GET /metrics (validated as Prometheus text
+// exposition, once mid-run and once after the load window) and the
+// GET /debug/trace ring counters (before and after, so the report carries the
+// number of traces the run itself produced). Scrape failures never abort a
+// run — they are recorded in the report, and awareload's -check-obs mode
+// turns them into a non-zero exit for CI.
+
+// ObsReport is the observability section of BENCH_http.json: proof that the
+// server's exposition stayed parseable under load and that the trace ring
+// actually captured the run's requests.
+type ObsReport struct {
+	// MetricsSamples is the number of samples the post-run GET /metrics
+	// exposition parsed into; MetricsError is the validation failure, if any.
+	MetricsSamples int    `json:"metrics_samples"`
+	MetricsError   string `json:"metrics_error,omitempty"`
+	// MidRunSamples and MidRunError describe the scrape taken halfway through
+	// the load window — the exposition must be well-formed while counters are
+	// being hammered, not just at rest.
+	MidRunSamples int    `json:"mid_run_samples"`
+	MidRunError   string `json:"mid_run_error,omitempty"`
+	// TraceCapacity/Captured/Dropped are the ring's counters after the run;
+	// TraceCapturedDelta is how many traces the run itself added (0 with
+	// tracing disabled server-side — or, suspiciously, with a broken tracer).
+	TraceCapacity      int    `json:"trace_capacity"`
+	TraceCaptured      uint64 `json:"trace_captured"`
+	TraceDropped       uint64 `json:"trace_dropped"`
+	TraceCapturedDelta uint64 `json:"trace_captured_delta"`
+	// TraceReturned is the number of span trees the post-run GET /debug/trace
+	// returned (at most TraceCapacity).
+	TraceReturned int    `json:"trace_returned"`
+	TraceError    string `json:"trace_error,omitempty"`
+}
+
+// Check returns the first reason this report should fail a CI gate: a
+// malformed exposition at either scrape, an unreachable trace endpoint, or a
+// run that produced zero trace captures.
+func (o *ObsReport) Check() error {
+	if o == nil {
+		return fmt.Errorf("no observability section in the report")
+	}
+	if o.MetricsError != "" {
+		return fmt.Errorf("post-run /metrics: %s", o.MetricsError)
+	}
+	if o.MidRunError != "" {
+		return fmt.Errorf("mid-run /metrics: %s", o.MidRunError)
+	}
+	if o.TraceError != "" {
+		return fmt.Errorf("/debug/trace: %s", o.TraceError)
+	}
+	if o.TraceCapturedDelta == 0 {
+		return fmt.Errorf("the run captured zero request traces (ring capacity %d)", o.TraceCapacity)
+	}
+	return nil
+}
+
+// FetchBody GETs url and returns the raw response body; non-2xx statuses are
+// errors. It backs the /metrics scrapes and awareload's trace artifact.
+func FetchBody(client *http.Client, url string) ([]byte, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, truncate(string(body), 200))
+	}
+	return body, nil
+}
+
+// ScrapeMetrics fetches base's /metrics and validates the Prometheus text
+// exposition, returning the parsed sample count.
+func ScrapeMetrics(client *http.Client, base string) (int, error) {
+	body, err := FetchBody(client, base+"/metrics")
+	if err != nil {
+		return 0, err
+	}
+	return obs.ValidateExposition(string(body))
+}
+
+// ringStats is the counter header of the GET /debug/trace document.
+type ringStats struct {
+	Capacity int             `json:"capacity"`
+	Captured uint64          `json:"captured"`
+	Dropped  uint64          `json:"dropped"`
+	Returned int             `json:"returned"`
+	Traces   json.RawMessage `json:"traces"`
+}
+
+// scrapeTrace fetches base's /debug/trace counters. limit bounds the returned
+// span trees (0: counters only, -1: the whole ring).
+func scrapeTrace(client *http.Client, base string, limit int) (ringStats, error) {
+	url := base + "/debug/trace"
+	if limit >= 0 {
+		url = fmt.Sprintf("%s?limit=%d", url, limit)
+	}
+	body, err := FetchBody(client, url)
+	if err != nil {
+		return ringStats{}, err
+	}
+	var st ringStats
+	if err := json.Unmarshal(body, &st); err != nil {
+		return ringStats{}, fmt.Errorf("decoding trace response: %w", err)
+	}
+	return st, nil
+}

@@ -39,6 +39,10 @@ type Result struct {
 	// right after the run, so client- and server-side numbers travel
 	// together.
 	ServerMetrics json.RawMessage `json:"server_metrics,omitempty"`
+	// Observability records the mid-run and post-run scrapes of the server's
+	// /metrics exposition and the /debug/trace ring — the numbers awareload's
+	// -check-obs gate enforces.
+	Observability *ObsReport `json:"observability,omitempty"`
 }
 
 // EndpointResult is one endpoint's latency distribution and throughput.
@@ -69,7 +73,18 @@ func (r *Result) WriteText(w io.Writer) error {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "total: %d requests (%.1f req/s), %d errors, %d session lifecycles\n",
-		r.TotalRequests, r.RequestsPerSecond, r.TotalErrors, r.SessionsCompleted)
-	return err
+	if _, err := fmt.Fprintf(w, "total: %d requests (%.1f req/s), %d errors, %d session lifecycles\n",
+		r.TotalRequests, r.RequestsPerSecond, r.TotalErrors, r.SessionsCompleted); err != nil {
+		return err
+	}
+	if o := r.Observability; o != nil {
+		status := "ok"
+		if err := o.Check(); err != nil {
+			status = err.Error()
+		}
+		_, err := fmt.Fprintf(w, "observability: %d metric samples (%d mid-run), traces +%d this run (%d in ring, %d dropped) — %s\n",
+			o.MetricsSamples, o.MidRunSamples, o.TraceCapturedDelta, o.TraceReturned, o.TraceDropped, status)
+		return err
+	}
+	return nil
 }

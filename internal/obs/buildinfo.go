@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo is the binary's identity, read once from the embedded module and
+// VCS metadata. It backs `awared -version`, the /healthz payload and the
+// build_info gauge on /metrics, so a scraped metric can always be tied to the
+// exact commit that produced it.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"version,omitempty"`
+	VCSRev    string `json:"vcs_revision,omitempty"`
+	VCSTime   string `json:"vcs_time,omitempty"`
+	VCSDirty  bool   `json:"vcs_dirty,omitempty"`
+	GoOS      string `json:"goos"`
+	GoArch    string `json:"goarch"`
+}
+
+// ReadBuild collects build metadata from runtime/debug.ReadBuildInfo.
+// Fields missing from the binary (e.g. VCS stamps in a plain `go test`
+// build) are left empty rather than invented.
+func ReadBuild() BuildInfo {
+	info := BuildInfo{
+		GoVersion: runtime.Version(),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Module = bi.Main.Path
+	info.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.VCSRev = s.Value
+		case "vcs.time":
+			info.VCSTime = s.Value
+		case "vcs.modified":
+			info.VCSDirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// ShortRev returns the revision truncated to 12 characters, or "unknown".
+func (b BuildInfo) ShortRev() string {
+	if b.VCSRev == "" {
+		return "unknown"
+	}
+	if len(b.VCSRev) > 12 {
+		return b.VCSRev[:12]
+	}
+	return b.VCSRev
+}

@@ -1,0 +1,174 @@
+// Package obs is the service's dependency-free observability layer:
+// request-scoped span trees captured into a bounded lock-light ring buffer
+// (tracer.go), Prometheus text exposition rendered from atomic counters and
+// explicit-bucket latency histograms (prom.go), a structured slow-operation
+// log (slowlog.go) and build metadata (buildinfo.go). Everything is stdlib
+// only — no client_golang, no OpenTelemetry — because the substrate it
+// observes (bitmap kernels at microsecond latency) cannot afford either the
+// dependency or the per-call overhead.
+//
+// The central design rule is the nil fast path: a nil *Tracer starts nil
+// *Spans, and every Span method is a no-op on a nil receiver, so code under
+// instrumentation calls Child/Set/End unconditionally and pays zero
+// allocations when tracing is off. Only requests that are actually traced
+// allocate.
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// SpanKind classifies a span's depth in the request tree.
+const (
+	// KindRequest marks a root span opened by the HTTP middleware.
+	KindRequest = "request"
+	// KindStep marks a session step applied inside a request.
+	KindStep = "step"
+	// KindKernel marks a dataset kernel execution (predicate compile,
+	// aggregation, gather) inside a step.
+	KindKernel = "kernel"
+)
+
+// Attr is one span annotation: a key and a JSON-serializable value.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// Span is one timed operation in a request's trace tree. Spans are built by
+// exactly one goroutine (the request's), ended exactly once, and become
+// immutable — and therefore safely shareable with /debug/trace readers — when
+// their root is ended and captured by the Tracer.
+//
+// All methods are no-ops on a nil receiver: untraced code paths carry nil
+// spans at zero cost.
+type Span struct {
+	name     string
+	kind     string
+	start    time.Time
+	duration time.Duration
+	attrs    []Attr
+	children []*Span
+	tracer   *Tracer // non-nil on roots only; capture target of End
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the span's measured duration (0 on nil or before End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.duration
+}
+
+// Child opens a sub-span under s. It returns nil when s is nil, so entire
+// untraced call chains stay allocation-free.
+func (s *Span) Child(kind, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, kind: kind, start: time.Now()}
+	s.children = append(s.children, c)
+	return c
+}
+
+// Set records one annotation on the span. Values should be small scalars
+// (numbers, strings, bools); they are serialized verbatim into the trace JSON
+// and the slow-op log.
+func (s *Span) Set(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End stamps the span's duration. Ending a root span hands the finished tree
+// to its tracer's ring buffer. End is a no-op on nil and idempotent on roots
+// (only the first End captures).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	if s.duration == 0 {
+		s.duration = time.Since(s.start)
+		if s.duration == 0 {
+			s.duration = 1 // a captured span is always distinguishable from an unfinished one
+		}
+	}
+	if s.tracer != nil {
+		t := s.tracer
+		s.tracer = nil
+		t.capture(s)
+	}
+}
+
+// SpanJSON is the wire form of a span tree, served by /debug/trace and
+// embedded in slow-op log lines.
+type SpanJSON struct {
+	Name       string         `json:"name"`
+	Kind       string         `json:"kind,omitempty"`
+	Start      time.Time      `json:"start"`
+	DurationMs float64        `json:"duration_ms"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []SpanJSON     `json:"children,omitempty"`
+}
+
+// JSON converts the (finished) span tree to its wire form. Call only after
+// End: a live tree is still being mutated by its owning goroutine.
+func (s *Span) JSON() SpanJSON {
+	if s == nil {
+		return SpanJSON{}
+	}
+	out := SpanJSON{
+		Name:       s.name,
+		Kind:       s.kind,
+		Start:      s.start,
+		DurationMs: durationMs(s.duration),
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	if len(s.children) > 0 {
+		out.Children = make([]SpanJSON, len(s.children))
+		for i, c := range s.children {
+			out.Children[i] = c.JSON()
+		}
+	}
+	return out
+}
+
+func durationMs(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
+}
+
+// --- context propagation ---
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying the span; requests propagate
+// their root span to handlers (and from there into steps and kernels) this
+// way.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the context's span, or nil when the request is
+// untraced — the nil then short-circuits every downstream Child/Set/End.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Tracer captures finished request span trees into a bounded ring buffer.
+// The ring is lock-light: one atomic add claims a slot, one atomic pointer
+// store publishes the tree. Writers never block each other and never block
+// readers; readers (/debug/trace) see each slot's most recently published
+// tree. The span tree is immutable once its root is ended, and the atomic
+// Store/Load pair gives the reader a happens-before edge over the whole tree,
+// so no further synchronization is needed.
+//
+// A nil *Tracer is a valid "tracing off" tracer: Start returns a nil span and
+// the entire downstream instrumentation short-circuits.
+type Tracer struct {
+	ring     []atomic.Pointer[Span]
+	next     atomic.Uint64
+	captured atomic.Uint64
+	dropped  atomic.Uint64 // captures that overwrote an earlier slot occupant
+}
+
+// DefaultTraceCapacity is the ring size used when a capacity of 0 is asked
+// for: enough recent requests to debug a burst, small enough to be free.
+const DefaultTraceCapacity = 256
+
+// NewTracer returns a tracer whose ring holds up to capacity finished
+// request traces (oldest overwritten first). capacity <= 0 selects
+// DefaultTraceCapacity.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]atomic.Pointer[Span], capacity)}
+}
+
+// Start opens a root request span. On a nil tracer it returns nil, and every
+// Child/Set/End on the result is a free no-op.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{name: name, kind: KindRequest, start: time.Now(), tracer: t}
+}
+
+// capture publishes a finished root span into the ring.
+func (t *Tracer) capture(s *Span) {
+	slot := (t.next.Add(1) - 1) % uint64(len(t.ring))
+	if t.ring[slot].Swap(s) != nil {
+		t.dropped.Add(1)
+	}
+	t.captured.Add(1)
+}
+
+// Capacity returns the ring's bound (0 on nil).
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ring)
+}
+
+// TracerStats summarizes the ring for /metrics and load reports.
+type TracerStats struct {
+	Capacity int    `json:"capacity"`
+	Captured uint64 `json:"captured"`
+	Dropped  uint64 `json:"dropped"`
+}
+
+// Stats returns capture counters (zero value on nil).
+func (t *Tracer) Stats() TracerStats {
+	if t == nil {
+		return TracerStats{}
+	}
+	return TracerStats{
+		Capacity: len(t.ring),
+		Captured: t.captured.Load(),
+		Dropped:  t.dropped.Load(),
+	}
+}
+
+// Snapshot returns the captured traces currently in the ring, newest first,
+// at most the ring's capacity. On a nil tracer it returns nil.
+func (t *Tracer) Snapshot() []*Span {
+	if t == nil {
+		return nil
+	}
+	n := len(t.ring)
+	out := make([]*Span, 0, n)
+	// Walk backwards from the most recently claimed slot so the result is
+	// newest-first. Concurrent captures may race individual slots; each Load
+	// still yields either a complete older tree or a complete newer one.
+	head := t.next.Load()
+	for i := 0; i < n; i++ {
+		slot := (head + uint64(n) - 1 - uint64(i)) % uint64(n)
+		if s := t.ring[slot].Load(); s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}

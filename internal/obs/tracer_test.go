@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTracerIsFree pins the nil fast path: a nil tracer starts nil spans,
+// and every downstream operation on them is a no-op that neither panics nor
+// allocates.
+func TestNilTracerIsFree(t *testing.T) {
+	var tr *Tracer
+	span := tr.Start("GET /x")
+	if span != nil {
+		t.Fatalf("nil tracer started a non-nil span: %v", span)
+	}
+	child := span.Child(KindStep, "step.x")
+	if child != nil {
+		t.Fatalf("nil span produced a non-nil child")
+	}
+	child.Set("k", 1)
+	child.End()
+	span.End()
+	if got := tr.Stats(); got != (TracerStats{}) {
+		t.Errorf("nil tracer stats = %+v, want zero", got)
+	}
+	if tr.Snapshot() != nil {
+		t.Error("nil tracer snapshot should be nil")
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		s := tr.Start("GET /x")
+		c := s.Child(KindKernel, "table.where")
+		c.Set("rows", 100)
+		c.End()
+		s.End()
+	})
+	if allocs != 0 {
+		t.Errorf("untraced path allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestSpanTreeCapture builds one request→step→kernel tree and checks the
+// captured JSON carries the full structure and annotations.
+func TestSpanTreeCapture(t *testing.T) {
+	tr := NewTracer(4)
+	root := tr.Start("POST /sessions/{id}/steps")
+	root.Set("status", 200)
+	step := root.Child(KindStep, "step.add_visualization")
+	step.Set("p_value", 0.003)
+	kernel := step.Child(KindKernel, "cache.where")
+	kernel.Set("cache", "miss")
+	kernel.End()
+	step.End()
+	root.End()
+
+	stats := tr.Stats()
+	if stats.Captured != 1 || stats.Dropped != 0 || stats.Capacity != 4 {
+		t.Fatalf("stats = %+v, want 1 captured, 0 dropped, capacity 4", stats)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d traces, want 1", len(snap))
+	}
+	j := snap[0].JSON()
+	if j.Name != "POST /sessions/{id}/steps" || j.Kind != KindRequest || j.DurationMs <= 0 {
+		t.Errorf("root JSON = %+v", j)
+	}
+	if len(j.Children) != 1 || j.Children[0].Name != "step.add_visualization" || j.Children[0].Kind != KindStep {
+		t.Fatalf("step child missing: %+v", j.Children)
+	}
+	k := j.Children[0].Children
+	if len(k) != 1 || k[0].Name != "cache.where" || k[0].Kind != KindKernel || k[0].Attrs["cache"] != "miss" {
+		t.Fatalf("kernel child missing or unannotated: %+v", k)
+	}
+}
+
+// TestEndIsIdempotent checks a double End captures exactly once and keeps the
+// first duration.
+func TestEndIsIdempotent(t *testing.T) {
+	tr := NewTracer(2)
+	s := tr.Start("GET /x")
+	s.End()
+	d := s.Duration()
+	time.Sleep(time.Millisecond)
+	s.End()
+	if s.Duration() != d {
+		t.Errorf("second End changed the duration: %v -> %v", d, s.Duration())
+	}
+	if got := tr.Stats().Captured; got != 1 {
+		t.Errorf("captured = %d, want 1", got)
+	}
+}
+
+// TestRingStaysBounded overfills a small ring and checks the capture/drop
+// accounting and the snapshot bound: the ring never returns more than its
+// capacity, newest first.
+func TestRingStaysBounded(t *testing.T) {
+	const capacity, total = 4, 11
+	tr := NewTracer(capacity)
+	for i := 0; i < total; i++ {
+		s := tr.Start(fmt.Sprintf("req-%d", i))
+		s.End()
+	}
+	stats := tr.Stats()
+	if stats.Captured != total {
+		t.Errorf("captured = %d, want %d", stats.Captured, total)
+	}
+	if stats.Dropped != total-capacity {
+		t.Errorf("dropped = %d, want %d", stats.Dropped, total-capacity)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != capacity {
+		t.Fatalf("snapshot holds %d traces, want exactly the capacity %d", len(snap), capacity)
+	}
+	for i, s := range snap {
+		if want := fmt.Sprintf("req-%d", total-1-i); s.Name() != want {
+			t.Errorf("snapshot[%d] = %q, want %q (newest first)", i, s.Name(), want)
+		}
+	}
+}
+
+// TestConcurrentCapture hammers one ring from many goroutines under -race:
+// every capture must be counted, the snapshot stays within capacity, and
+// every tree read back is complete (ended root with its child present).
+func TestConcurrentCapture(t *testing.T) {
+	const workers, perWorker = 8, 200
+	tr := NewTracer(16)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s := tr.Start(fmt.Sprintf("w%d", w))
+				c := s.Child(KindKernel, "k")
+				c.Set("i", i)
+				c.End()
+				s.End()
+				if i%10 == 0 {
+					for _, got := range tr.Snapshot() {
+						if got.Duration() == 0 {
+							t.Error("snapshot returned an unfinished span")
+							return
+						}
+						if j := got.JSON(); len(j.Children) != 1 {
+							t.Errorf("captured tree incomplete: %+v", j)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stats := tr.Stats()
+	if stats.Captured != workers*perWorker {
+		t.Errorf("captured = %d, want %d", stats.Captured, workers*perWorker)
+	}
+	if got := len(tr.Snapshot()); got > 16 {
+		t.Errorf("snapshot exceeded capacity: %d > 16", got)
+	}
+}

@@ -1,18 +1,21 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"aware/internal/core"
 	"aware/internal/dataset"
+	"aware/internal/obs"
 	"aware/internal/stats"
 )
 
@@ -26,10 +29,21 @@ const maxUploadBytes = 32 << 20
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	handle := func(pattern string, h http.HandlerFunc) {
-		mux.HandleFunc(pattern, s.metrics.instrument(pattern, h))
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
 	}
 	handle("GET /healthz", s.handleHealth)
+	handle("GET /metrics", s.handlePromMetrics)
 	handle("GET /debug/metrics", s.handleDebugMetrics)
+	handle("GET /debug/trace", s.handleDebugTrace)
+	if s.pprof {
+		// Profiling handlers stay outside instrument: a 30-second CPU profile
+		// would dominate every latency series it shares.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	handle("GET /datasets", s.handleListDatasets)
 	handle("POST /datasets", s.handleUploadDataset)
 	handle("POST /sessions", s.handleCreateSession)
@@ -156,6 +170,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"status":   "ok",
 		"sessions": s.manager.Len(),
 		"datasets": len(s.registry.List()),
+		"build":    s.build,
 	})
 }
 
@@ -301,11 +316,18 @@ type appliedStepView struct {
 }
 
 // applyStep applies one step to the identified session, journals it, and
-// snapshots the result.
-func (s *Server) applyStep(id int64, step core.Step) (appliedStepView, error) {
+// snapshots the result. A traced request's span rides in on ctx and collects
+// the step's span tree (kind, p-value path, kernels) under the session lock.
+func (s *Server) applyStep(ctx context.Context, id int64, step core.Step) (appliedStepView, error) {
 	var view appliedStepView
+	span := obs.SpanFromContext(ctx)
 	err := s.manager.With(id, func(sess *core.Session) error {
-		res, err := sess.Apply(step)
+		stepStart := time.Now()
+		res, err := sess.ApplyTraced(span, step)
+		// A slow step is logged even when it fails (failing slow is still
+		// worth an operator's attention) and even on untraced requests; the
+		// request-level slow-op line carries the span tree.
+		s.slow.Observe("step", step.Kind(), time.Since(stepStart), nil)
 		if err != nil {
 			return err
 		}
@@ -377,7 +399,7 @@ func (s *Server) handleApplyStep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	view, err := s.applyStep(id, step)
+	view, err := s.applyStep(r.Context(), id, step)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -438,7 +460,7 @@ func (s *Server) handleCreateVisualization(w http.ResponseWriter, r *http.Reques
 		writeErr(w, err)
 		return
 	}
-	view, err := s.applyStep(id, core.AddVisualization{Target: req.Target, Filter: pred})
+	view, err := s.applyStep(r.Context(), id, core.AddVisualization{Target: req.Target, Filter: pred})
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -489,7 +511,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	default:
 		step = core.CompareVisualizations{A: req.A, B: req.B}
 	}
-	view, err := s.applyStep(id, step)
+	view, err := s.applyStep(r.Context(), id, step)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -521,7 +543,7 @@ func (s *Server) handleStar(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	if _, err := s.applyStep(id, core.Star{Hypothesis: hid, Starred: req.Starred}); err != nil {
+	if _, err := s.applyStep(r.Context(), id, core.Star{Hypothesis: hid, Starred: req.Starred}); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -666,7 +688,7 @@ func (s *Server) handleHoldoutValidate(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return err
 		}
-		result, err := validator.CompareMeans(req.Attribute, pred, alt)
+		result, err := validator.CompareMeansSpan(req.Attribute, pred, alt, obs.SpanFromContext(r.Context()))
 		if err != nil {
 			return err
 		}
@@ -783,7 +805,7 @@ func (s *Server) handleHoldoutReplay(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	replay, err := validator.ReplayLog(opts, steps)
+	replay, err := validator.ReplayLogSpan(opts, steps, obs.SpanFromContext(r.Context()))
 	if err != nil {
 		writeErr(w, err)
 		return

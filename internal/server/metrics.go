@@ -7,11 +7,13 @@ import (
 	"time"
 
 	"aware/internal/dataset"
+	"aware/internal/obs"
 )
 
 // endpointStats accumulates one route pattern's counters. All fields are
-// atomics: the hot path (every request) never takes a lock, and /debug/metrics
-// reads a consistent-enough snapshot without stopping traffic.
+// atomics (the histogram's buckets included): the hot path (every request)
+// never takes a lock, and /debug/metrics reads a consistent-enough snapshot
+// without stopping traffic.
 type endpointStats struct {
 	requests  atomic.Int64
 	errors4xx atomic.Int64
@@ -19,6 +21,10 @@ type endpointStats struct {
 	inFlight  atomic.Int64
 	totalNs   atomic.Int64
 	maxNs     atomic.Int64
+	// latency distributes request durations over explicit buckets; it backs
+	// the per-endpoint histogram series on GET /metrics, where totalNs/maxNs
+	// only give a mean and a worst case.
+	latency *obs.Histogram
 }
 
 func (e *endpointStats) record(status int, elapsed time.Duration) {
@@ -29,6 +35,7 @@ func (e *endpointStats) record(status int, elapsed time.Duration) {
 	case status >= 400:
 		e.errors4xx.Add(1)
 	}
+	e.latency.Observe(elapsed)
 	ns := elapsed.Nanoseconds()
 	e.totalNs.Add(ns)
 	for {
@@ -71,36 +78,9 @@ func (m *Metrics) register(pattern string) *endpointStats {
 	if st, ok := m.endpoints[pattern]; ok {
 		return st
 	}
-	st := &endpointStats{}
+	st := &endpointStats{latency: obs.NewHistogram(nil)}
 	m.endpoints[pattern] = st
 	return st
-}
-
-// instrument wraps a handler with the pattern's counters: in-flight gauge up
-// for the duration of the call, then status and latency recorded — also when
-// the handler panics (the recovery middleware turns the panic into a 500
-// further out, so the panicking request is recorded as one).
-func (m *Metrics) instrument(pattern string, next http.HandlerFunc) http.HandlerFunc {
-	st := m.register(pattern)
-	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		rec := &statusRecorder{ResponseWriter: w}
-		st.inFlight.Add(1)
-		completed := false
-		defer func() {
-			st.inFlight.Add(-1)
-			status := rec.status
-			if !completed && status == 0 {
-				status = http.StatusInternalServerError
-			}
-			if status == 0 {
-				status = http.StatusOK
-			}
-			st.record(status, time.Since(start))
-		}()
-		next(rec, r)
-		completed = true
-	}
 }
 
 // recordUnrouted counts a request the router rejected before any handler ran.
@@ -157,6 +137,9 @@ type MetricsSnapshot struct {
 	// workers, tasks handed to background workers, morsels processed, and how
 	// often kernels fell back to the sequential small-input path.
 	Pool dataset.PoolStats `json:"pool"`
+	// Trace is the request-trace ring's capture counters (zero value when
+	// tracing is disabled).
+	Trace obs.TracerStats `json:"trace"`
 }
 
 // snapshot collects the counters. Reads are atomic per counter; the snapshot
@@ -198,6 +181,7 @@ func (s *Server) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.snapshot(s.now())
 	snap.SessionsLive = s.manager.Len()
 	snap.Pool = s.pool.Stats()
+	snap.Trace = s.tracer.Stats()
 	datasets := s.registry.List()
 	snap.Datasets = len(datasets)
 	snap.SelectionCaches = make(map[string]CacheMetrics, len(datasets))

@@ -119,7 +119,7 @@ func TestDebugMetricsRecordsPanicsAs5xx(t *testing.T) {
 	// with a nil table... not possible through the API, so panic via the
 	// metrics instrumentation directly instead: wrap a panicking handler the
 	// same way routes() does and serve it under the recovery middleware.
-	h := withRecovery(s.log, s.metrics.instrument("GET /boom", func(w http.ResponseWriter, r *http.Request) {
+	h := withRecovery(s.log, s.instrument("GET /boom", func(w http.ResponseWriter, r *http.Request) {
 		panic("boom")
 	}))
 	req, err := http.NewRequest(http.MethodGet, ts.URL+"/boom", nil)

@@ -22,6 +22,7 @@ import (
 
 	"aware/internal/core"
 	"aware/internal/dataset"
+	"aware/internal/obs"
 )
 
 // Config configures a Server.
@@ -45,6 +46,17 @@ type Config struct {
 	// (sequential, deterministic debugging), N>1 builds a dedicated N-worker
 	// pool. Results are bit-identical whichever pool executes them.
 	Workers int
+	// TraceCapacity bounds the request-trace ring buffer: 0 means
+	// obs.DefaultTraceCapacity, negative disables tracing entirely (requests
+	// run with a nil span: no trace allocations anywhere).
+	TraceCapacity int
+	// SlowOp is the slow-operation threshold: any request at least this slow
+	// is logged as a structured warning carrying its span tree. 0 disables
+	// the slow-op log.
+	SlowOp time.Duration
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/ — opt-in
+	// because profiling endpoints have no business on an exposed port.
+	EnablePprof bool
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -57,6 +69,10 @@ type Server struct {
 	manager  *SessionManager
 	journal  *journalStore // nil when journaling is disabled
 	metrics  *Metrics
+	tracer   *obs.Tracer  // nil when tracing is disabled (Config.TraceCapacity < 0)
+	slow     *obs.SlowLog // nil when the slow-op log is disabled (Config.SlowOp == 0)
+	build    obs.BuildInfo
+	pprof    bool
 	pool     *dataset.Pool
 	ownPool  bool // pool was built for this server (Config.Workers > 0), so Close releases it
 	now      func() time.Time
@@ -86,11 +102,19 @@ func New(cfg Config) (*Server, error) {
 		pool = dataset.NewPool(cfg.Workers)
 		ownPool = true
 	}
+	var tracer *obs.Tracer
+	if cfg.TraceCapacity >= 0 {
+		tracer = obs.NewTracer(cfg.TraceCapacity)
+	}
 	s := &Server{
 		log:      logger,
 		registry: NewDatasetRegistry(),
 		manager:  NewSessionManager(cfg.SessionTTL, cfg.now),
 		metrics:  newMetrics(now()),
+		tracer:   tracer,
+		slow:     obs.NewSlowLog(logger, cfg.SlowOp),
+		build:    obs.ReadBuild(),
+		pprof:    cfg.EnablePprof,
 		pool:     pool,
 		ownPool:  ownPool,
 		now:      now,
@@ -117,6 +141,13 @@ func New(cfg Config) (*Server, error) {
 // Metrics returns the server's instrumentation registry — the same counters
 // GET /debug/metrics serves.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Tracer returns the request-trace ring (nil when tracing is disabled) — the
+// same spans GET /debug/trace serves.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// Build returns the binary's build metadata.
+func (s *Server) Build() obs.BuildInfo { return s.build }
 
 // Pool returns the execution pool the server's datasets run their
 // morsel-parallel kernels on.
