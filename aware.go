@@ -11,6 +11,8 @@
 //     rules (β-farsighted, γ-fixed, δ-hopeful, ε-hybrid, ψ-support)
 //   - internal/multcomp  — classic batch procedures (Bonferroni, BH, ...)
 //   - internal/dataset   — the columnar data substrate (tables, filters)
+//   - internal/colstore  — the storage engine: SoA column store + mmap-able
+//     versioned snapshot files (*.aware) with streaming CSV/JSONL ingestion
 //   - internal/census    — synthetic census data and user-study workflows
 //   - internal/stats     — distributions, tests, effect sizes, power
 //   - internal/simulation — the harness that regenerates the paper's figures
@@ -40,6 +42,7 @@ package aware
 
 import (
 	"aware/internal/census"
+	"aware/internal/colstore"
 	"aware/internal/core"
 	"aware/internal/dataset"
 	"aware/internal/investing"
@@ -183,6 +186,43 @@ var (
 	NewPool = dataset.NewPool
 	// DefaultPool returns the process-wide shared execution pool.
 	DefaultPool = dataset.DefaultPool
+)
+
+// Storage engine re-exports: the column store under every Table and its
+// mmap-able snapshot format (*.aware). Table.Snapshot writes a snapshot
+// atomically and deterministically; OpenSnapshot maps one back in with full
+// structural + checksum validation (zero re-parse — the awared -data restart
+// path). See internal/colstore for the format specification.
+type (
+	// ColumnStore is the structure-of-arrays column store backing a Table.
+	ColumnStore = colstore.Store
+	// ColumnSchema types one ingested column by name and kind.
+	ColumnSchema = colstore.ColumnSchema
+	// Schema is the ordered column typing used by the streaming ingesters.
+	Schema = colstore.Schema
+	// RowBuilder streams rows into a snapshot file in O(1) row memory.
+	RowBuilder = colstore.RowBuilder
+)
+
+// Snapshot and ingestion functions.
+var (
+	// OpenSnapshot mmaps (or, off unix, heap-loads) a snapshot into a Table.
+	OpenSnapshot = dataset.OpenSnapshot
+	// NewRowBuilder opens a streaming snapshot builder for a schema.
+	NewRowBuilder = colstore.NewRowBuilder
+	// IngestCSVFile streams a CSV file into a snapshot (nil schema = infer).
+	IngestCSVFile = colstore.IngestCSVFile
+	// IngestJSONLFile streams a JSONL file into a snapshot (nil schema = infer).
+	IngestJSONLFile = colstore.IngestJSONLFile
+)
+
+// Typed snapshot load errors: corruption and format-version mismatches are
+// reported, never panicked on.
+var (
+	// ErrBadSnapshot reports a structurally invalid or corrupt snapshot.
+	ErrBadSnapshot = colstore.ErrBadSnapshot
+	// ErrSnapshotVersion reports an unsupported snapshot format version.
+	ErrSnapshotVersion = colstore.ErrSnapshotVersion
 )
 
 // Census data generation re-exports.

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aware/internal/census"
+	"aware/internal/colstore"
+	"aware/internal/dataset"
+)
+
+// runBenchIngest measures the storage engine's offline and cold-start paths
+// across census sizes (30k/300k/3M by default), writing one BENCH_core.json
+// entry per (operation, size):
+//
+//	generate_<size>        synthesize the census table in memory — the
+//	                       no-snapshot cold start `awared -rows N` pays on
+//	                       every boot
+//	ingest_csv_<size>      stream the census CSV into a snapshot under the
+//	                       explicit schema (O(1) row memory)
+//	snapshot_write_<size>  write a snapshot from the in-memory column store
+//	snapshot_load_<size>   open (mmap + validate) the snapshot — the
+//	                       `awared -data` restart path
+//
+// Rows/s and MB/s are printed per operation, plus the load-over-generate
+// speedup per size — the number that justifies snapshotting at all. With
+// minSpeedup > 0 the run fails when the weakest size's load speedup falls
+// below the bar (the CI cold-start gate; the paper-scale claim is that a
+// 3M-row mmap load beats regeneration by well over 10x).
+func runBenchIngest(outPath string, seed int64, sizes []int, minSpeedup float64) error {
+	var entries []BenchEntry
+	worst := 0.0
+	for _, rows := range sizes {
+		sized, speedup, err := ingestOne(rows, seed)
+		if err != nil {
+			return fmt.Errorf("ingest at %d rows: %w", rows, err)
+		}
+		entries = append(entries, sized...)
+		if worst == 0 || speedup < worst {
+			worst = speedup
+		}
+	}
+	if err := writeBenchEntries(outPath, entries); err != nil {
+		return err
+	}
+	if minSpeedup > 0 {
+		if worst < minSpeedup {
+			return fmt.Errorf("snapshot load is only %.1fx faster than generation (gate %.1fx)", worst, minSpeedup)
+		}
+		fmt.Printf("cold-start gate passed: load %.1fx faster than generation (>= %.1fx)\n", worst, minSpeedup)
+	}
+	return nil
+}
+
+// ingestOne measures one census size and returns its entries plus the
+// load-over-generate speedup.
+func ingestOne(rows int, seed int64) ([]BenchEntry, float64, error) {
+	dir, err := os.MkdirTemp("", "awarebench-ingest-")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Materialize the size once: the table is the snapshot-write source and
+	// its CSV the ingestion source.
+	cfg := census.Config{Rows: rows, Seed: seed, SignalStrength: 1}
+	table, err := census.Generate(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	csvPath := filepath.Join(dir, "census.csv")
+	if err := writeTableCSV(table, csvPath); err != nil {
+		return nil, 0, err
+	}
+	csvInfo, err := os.Stat(csvPath)
+	if err != nil {
+		return nil, 0, err
+	}
+	snapPath := filepath.Join(dir, "census.aware")
+	if err := table.Snapshot(snapPath); err != nil {
+		return nil, 0, err
+	}
+	snapInfo, err := os.Stat(snapPath)
+	if err != nil {
+		return nil, 0, err
+	}
+	schema := census.Schema()
+	ingestOut := filepath.Join(dir, "ingested.aware")
+
+	tag := rowsTag(rows)
+	benchmarks := []namedBenchmark{
+		{"generate_" + tag, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := census.Generate(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ingest_csv_" + tag, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := colstore.IngestCSVFile(csvPath, schema, ingestOut); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"snapshot_write_" + tag, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := table.Snapshot(snapPath); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"snapshot_load_" + tag, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st, err := colstore.Open(snapPath)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st.Close()
+			}
+		}},
+	}
+	fmt.Printf("== storage engine: generate vs ingest vs snapshot (census %d rows) ==\n", rows)
+	entries := measure(benchmarks)
+
+	// Throughput per operation: rows always, bytes where a file is involved
+	// (the CSV for ingestion, the snapshot for write and load).
+	byOp := make(map[string]BenchEntry, len(entries))
+	for _, e := range entries {
+		byOp[e.Op] = e
+	}
+	for _, tp := range []struct {
+		op    string
+		bytes int64
+	}{
+		{"generate_" + tag, 0},
+		{"ingest_csv_" + tag, csvInfo.Size()},
+		{"snapshot_write_" + tag, snapInfo.Size()},
+		{"snapshot_load_" + tag, snapInfo.Size()},
+	} {
+		e := byOp[tp.op]
+		if e.NsPerOp <= 0 {
+			continue
+		}
+		secs := float64(e.NsPerOp) / 1e9
+		line := fmt.Sprintf("  %-22s %14.0f rows/s", tp.op, float64(rows)/secs)
+		if tp.bytes > 0 {
+			line += fmt.Sprintf(" %10.1f MB/s", float64(tp.bytes)/secs/1e6)
+		}
+		fmt.Println(line)
+	}
+
+	speedup := 0.0
+	if g, l := byOp["generate_"+tag], byOp["snapshot_load_"+tag]; l.NsPerOp > 0 {
+		speedup = float64(g.NsPerOp) / float64(l.NsPerOp)
+		fmt.Printf("cold start at %s rows: snapshot load %.0fx faster than generation\n", tag, speedup)
+	}
+	return entries, speedup, nil
+}
+
+// writeTableCSV streams the table to a CSV file on disk.
+func writeTableCSV(table *dataset.Table, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = table.WriteCSV(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -16,7 +16,10 @@
 //	awarebench -exp steps               # step dispatch/replay -> BENCH_core.json
 //	awarebench -exp filter              # filter+count execution paths -> BENCH_core.json
 //	awarebench -exp filter -rows 300000 -minspeedup 1.5   # CI scaling gate
-//	awarebench -exp scaling             # seq-vs-parallel curve at 30k/300k/3M rows
+//	awarebench -exp scaling             # seq-vs-parallel curve at 30k/300k/3M/10M rows
+//	awarebench -exp ingest              # storage engine: generate vs CSV ingest vs
+//	                                    # snapshot write/mmap load -> BENCH_core.json
+//	awarebench -exp ingest -ingestrows 3000000 -minspeedup 10   # CI cold-start gate
 //	awarebench -exp replay              # hold-out replay of a recorded step log
 //	awarebench -exp drift               # CI gate: allocs_per_op vs committed baseline
 package main
@@ -33,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run: 1a, 1b, 1c, 2, intro, holdout, subsets, bench, steps, filter, scaling, replay, drift, all")
+		exp        = flag.String("exp", "all", "experiment to run: 1a, 1b, 1c, 2, intro, holdout, subsets, bench, steps, filter, scaling, ingest, replay, drift, all")
 		reps       = flag.Int("reps", 0, "replications per configuration (0 = paper defaults: 1000 synthetic, 20 census)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		nullProp   = flag.Float64("null", -1, "true-null proportion for 1a/1b/1c (-1 = run the paper's set)")
@@ -43,9 +46,10 @@ func main() {
 		benchOut   = flag.String("benchout", "BENCH_core.json", "output path for the machine-readable core benchmarks (-exp bench)")
 		driftBase  = flag.String("driftbase", "BENCH_core.json", "committed baseline for -exp drift")
 		driftPct   = flag.Float64("driftpct", 20, "allowed allocs_per_op increase in percent for -exp drift")
-		minSpeedup = flag.Float64("minspeedup", 0, "fail -exp filter/scaling when parallel speedup over sequential is below this (0 = no gate; skipped below 4 CPUs)")
+		minSpeedup = flag.Float64("minspeedup", 0, "fail -exp filter/scaling when parallel speedup over sequential is below this (0 = no gate; skipped below 4 CPUs); for -exp ingest, fail when snapshot load is not this much faster than generation")
 		maxTraceOv = flag.Float64("maxtraceoverhead", 0, "fail -exp filter when the traced path is more than this percent slower than the untraced one (0 = no gate)")
-		scaleRows  = flag.String("scalerows", "30000,300000,3000000", "comma-separated census sizes for -exp scaling")
+		scaleRows  = flag.String("scalerows", "30000,300000,3000000,10000000", "comma-separated census sizes for -exp scaling")
+		ingestRows = flag.String("ingestrows", "30000,300000,3000000", "comma-separated census sizes for -exp ingest")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 		memProfile = flag.String("memprofile", "", "write a heap profile at the end of the run to this path")
 	)
@@ -57,7 +61,7 @@ func main() {
 			// (-benchout) against the committed baseline (-driftbase).
 			return runDrift(*driftBase, *benchOut, *driftPct)
 		}
-		return run(*exp, *reps, *seed, *nullProp, *rows, *hypotheses, *randomized, *benchOut, *minSpeedup, *maxTraceOv, *scaleRows)
+		return run(*exp, *reps, *seed, *nullProp, *rows, *hypotheses, *randomized, *benchOut, *minSpeedup, *maxTraceOv, *scaleRows, *ingestRows)
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "awarebench: %v\n", err)
 		os.Exit(1)
@@ -96,7 +100,7 @@ func runProfiled(cpuPath, memPath string, fn func() error) error {
 	return nil
 }
 
-func run(exp string, reps int, seed int64, nullProp float64, rows, hypotheses int, randomized bool, benchOut string, minSpeedup, maxTraceOverhead float64, scaleRows string) error {
+func run(exp string, reps int, seed int64, nullProp float64, rows, hypotheses int, randomized bool, benchOut string, minSpeedup, maxTraceOverhead float64, scaleRows, ingestRows string) error {
 	switch exp {
 	case "bench":
 		return runBenchCore(benchOut, seed, rows)
@@ -110,6 +114,12 @@ func run(exp string, reps int, seed int64, nullProp float64, rows, hypotheses in
 			return err
 		}
 		return runBenchScaling(benchOut, seed, sizes, minSpeedup)
+	case "ingest":
+		sizes, err := parseRowsList(ingestRows)
+		if err != nil {
+			return err
+		}
+		return runBenchIngest(benchOut, seed, sizes, minSpeedup)
 	case "replay":
 		return runReplayHoldout(seed, rows, hypotheses)
 	case "1a":

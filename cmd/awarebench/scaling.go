@@ -150,19 +150,20 @@ func rowsTag(rows int) string {
 	}
 }
 
-// parseRowsList parses the -scalerows flag: comma-separated positive ints.
+// parseRowsList parses a size-list flag (-scalerows, -ingestrows):
+// comma-separated positive ints.
 func parseRowsList(s string) ([]int, error) {
 	parts := strings.Split(s, ",")
 	out := make([]int, 0, len(parts))
 	for _, p := range parts {
 		n, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("bad -scalerows entry %q (want positive integers, comma-separated)", p)
+			return nil, fmt.Errorf("bad row-list entry %q (want positive integers, comma-separated)", p)
 		}
 		out = append(out, n)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("-scalerows must name at least one size")
+		return nil, fmt.Errorf("the row list must name at least one size")
 	}
 	return out, nil
 }

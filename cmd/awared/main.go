@@ -9,6 +9,8 @@
 //	awared                                    # serve the census on :8080
 //	awared -addr :9090 -rows 100000           # bigger census, custom port
 //	awared -dataset sales=sales.csv           # also serve a CSV (repeatable)
+//	awared -data /var/lib/aware -rows 0       # mmap every *.aware snapshot in a
+//	                                          # directory; no re-parse on restart
 //	awared -session-ttl 10m -sweep 30s        # reclaim idle sessions faster
 //	awared -journal-dir /var/lib/awared       # durable sessions: journal every
 //	                                          # step and replay them on restart
@@ -57,6 +59,7 @@ type options struct {
 	logLevel   string
 	logFormat  string
 	journalDir string
+	dataDir    string
 	workers    int
 	traceCap   int
 	slowOp     time.Duration
@@ -74,6 +77,7 @@ func main() {
 	flag.StringVar(&o.logLevel, "log-level", "info", "log level: debug, info, warn, error")
 	flag.StringVar(&o.logFormat, "log-format", "json", "log format: json, text")
 	flag.StringVar(&o.journalDir, "journal-dir", "", "directory for per-session step journals; sessions survive restarts (empty = in-memory only)")
+	flag.StringVar(&o.dataDir, "data", "", "directory of *.aware columnar snapshots to mmap and serve (each registers under its file name; corrupt files are skipped with a warning)")
 	flag.IntVar(&o.workers, "workers", 0, "morsel-parallel execution pool size shared by all datasets (0 = GOMAXPROCS, 1 = sequential/deterministic)")
 	flag.IntVar(&o.traceCap, "trace-capacity", 0, "request-trace ring size served at /debug/trace (0 = default, negative disables tracing)")
 	flag.DurationVar(&o.slowOp, "slow-op", time.Second, "log requests and steps at least this slow with their span tree (0 disables)")
@@ -133,11 +137,19 @@ func run(o options) error {
 		"addr", o.addr, "workers", srv.Pool().Stats().Workers,
 		"session_ttl", o.ttl, "journal_dir", o.journalDir,
 		"trace_capacity", srv.Tracer().Capacity(), "slow_op", o.slowOp, "pprof", o.pprof)
+	if o.dataDir != "" {
+		// Snapshots first: mmap'd datasets come up in O(columns) time — the
+		// zero-re-parse restart path — before any generation or CSV parsing.
+		if _, err := srv.Registry().RegisterSnapshotDir(o.dataDir, logger); err != nil {
+			return err
+		}
+	}
 	if err := registerDatasets(srv.Registry(), o.rows, o.seed, o.datasets); err != nil {
 		return err
 	}
 	for _, info := range srv.Registry().List() {
-		logger.Info("dataset ready", "name", info.Name, "rows", info.Rows, "columns", len(info.Columns))
+		logger.Info("dataset ready", "name", info.Name, "rows", info.Rows,
+			"columns", len(info.Columns), "storage", info.Storage)
 	}
 	// With journaling on, resurrect the sessions the previous run persisted;
 	// the datasets must be registered first so the journals can replay.
@@ -173,9 +185,10 @@ func newLogger(format, level string) (*slog.Logger, error) {
 }
 
 // registerDatasets preloads the synthetic census and any CSV files named on
-// the command line.
+// the command line. A snapshot already registered under "census" (via -data)
+// takes precedence over generating one.
 func registerDatasets(registry *server.DatasetRegistry, rows int, seed int64, datasets map[string]string) error {
-	if rows > 0 {
+	if _, err := registry.Get("census"); rows > 0 && err != nil {
 		table, err := census.Generate(census.Config{Rows: rows, Seed: seed, SignalStrength: 1})
 		if err != nil {
 			return err
@@ -199,7 +212,7 @@ func registerDatasets(registry *server.DatasetRegistry, rows int, seed int64, da
 		}
 	}
 	if len(registry.List()) == 0 {
-		return fmt.Errorf("no datasets to serve (census disabled and no -dataset flags)")
+		return fmt.Errorf("no datasets to serve (census disabled, no -dataset flags, no -data snapshots)")
 	}
 	return nil
 }

@@ -56,6 +56,7 @@ type options struct {
 	seed       int64
 	addr       string
 	dataset    string
+	dataDir    string
 	think      time.Duration
 	minSupport int
 	benchOut   string
@@ -76,6 +77,7 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "seed for the census and the analysts' choices")
 	flag.StringVar(&o.addr, "addr", "", "base URL of a running awared (empty = boot one in-process)")
 	flag.StringVar(&o.dataset, "dataset", "census", "registered dataset name the sessions explore")
+	flag.StringVar(&o.dataDir, "data", "", "directory of *.aware snapshots the in-process server mmaps and serves instead of the generated census; the -dataset snapshot must hold a census of -rows/-seed for scenario pre-validation (ignored with -addr)")
 	flag.DurationVar(&o.think, "think", 0, "pause between one analyst's operations (0 = closed loop)")
 	flag.IntVar(&o.minSupport, "min-support", 100, "minimum sub-population size a scenario predicate may select")
 	flag.StringVar(&o.benchOut, "benchout", "BENCH_http.json", "output path for the machine-readable report")
@@ -111,13 +113,17 @@ func run(o options) error {
 
 	base := o.addr
 	if base == "" {
-		url, stop, err := startInProcess(table, o.dataset, o.workers)
+		url, stop, err := startInProcess(table, o.dataset, o.workers, o.dataDir, logger)
 		if err != nil {
 			return err
 		}
 		defer stop()
 		base = url
-		logger.Info("serving census in-process", "rows", o.rows, "url", base)
+		if o.dataDir != "" {
+			logger.Info("serving snapshots in-process", "data", o.dataDir, "url", base)
+		} else {
+			logger.Info("serving census in-process", "rows", o.rows, "url", base)
+		}
 	}
 
 	before, err := loadgen.SessionCount(base, nil)
@@ -216,8 +222,12 @@ func newLogger(format, level string) (*slog.Logger, error) {
 	}
 }
 
-// startInProcess boots awared on a loopback listener serving the table.
-func startInProcess(table *dataset.Table, datasetName string, workers int) (url string, stop func(), err error) {
+// startInProcess boots awared on a loopback listener. With dataDir empty it
+// registers the generated census table; otherwise it mmaps every snapshot in
+// dataDir and verifies the scenario's dataset is among them with the expected
+// row count — the load generator pre-validates predicates against its local
+// census, so serving a snapshot of different data would make the run lie.
+func startInProcess(table *dataset.Table, datasetName string, workers int, dataDir string, logger *slog.Logger) (url string, stop func(), err error) {
 	srv, err := server.New(server.Config{
 		Logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
 		Workers: workers,
@@ -225,8 +235,23 @@ func startInProcess(table *dataset.Table, datasetName string, workers int) (url 
 	if err != nil {
 		return "", nil, err
 	}
-	if err := srv.Registry().Register(datasetName, table); err != nil {
-		return "", nil, err
+	if dataDir == "" {
+		if err := srv.Registry().Register(datasetName, table); err != nil {
+			return "", nil, err
+		}
+	} else {
+		n, err := srv.Registry().RegisterSnapshotDir(dataDir, logger)
+		if err != nil {
+			return "", nil, err
+		}
+		served, err := srv.Registry().Get(datasetName)
+		if err != nil {
+			return "", nil, fmt.Errorf("-data %s registered %d snapshots but none named %q: %w", dataDir, n, datasetName, err)
+		}
+		if served.NumRows() != table.NumRows() {
+			return "", nil, fmt.Errorf("snapshot %q has %d rows, scenario source has %d (pass matching -rows/-seed)",
+				datasetName, served.NumRows(), table.NumRows())
+		}
 	}
 	ts := httptest.NewServer(srv.Handler())
 	return ts.URL, func() { ts.Close(); srv.Close() }, nil

@@ -18,6 +18,7 @@ import (
 	"math"
 	"math/rand"
 
+	"aware/internal/colstore"
 	"aware/internal/dataset"
 )
 
@@ -77,6 +78,30 @@ type Person struct {
 func Columns() []string {
 	return []string{ColGender, ColAge, ColEducation, ColMaritalStatus,
 		ColOccupation, ColHoursPerWeek, ColSalaryOver50K}
+}
+
+// Schema returns the storage schema of the census table in column order —
+// the explicit schema for ingesting censusgen CSV output (bypassing
+// inference, which would type the integral-valued age and hours columns as
+// int64) and for streaming the generator straight into a snapshot builder.
+func Schema() colstore.Schema {
+	return colstore.Schema{
+		{Name: ColGender, Kind: colstore.Categorical},
+		{Name: ColAge, Kind: colstore.Float64},
+		{Name: ColEducation, Kind: colstore.Categorical},
+		{Name: ColMaritalStatus, Kind: colstore.Categorical},
+		{Name: ColOccupation, Kind: colstore.Categorical},
+		{Name: ColHoursPerWeek, Kind: colstore.Float64},
+		{Name: ColSalaryOver50K, Kind: colstore.Bool},
+	}
+}
+
+// Row returns the Person's values in Columns order, typed for
+// colstore.RowBuilder.Append — the bridge that streams the generator into a
+// snapshot in O(1) row memory.
+func (p Person) Row() []any {
+	return []any{p.Gender, p.Age, p.Education, p.MaritalStatus,
+		p.Occupation, p.HoursPerWeek, p.SalaryOver50K}
 }
 
 // generatePerson draws one census row. The rng call order is the generator's

@@ -1,0 +1,196 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// smallSnapshotBytes builds a compact but fully-featured snapshot (every
+// column kind, a multi-entry dictionary) and returns its bytes.
+func smallSnapshotBytes(t *testing.T) []byte {
+	t.Helper()
+	st := randomStore(t, rand.New(rand.NewSource(3)), 9)
+	path := filepath.Join(t.TempDir(), "small.aware")
+	if err := st.WriteSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// decodeNoPanic runs Decode and converts a panic into a test failure, so the
+// corruption sweeps assert the "never panic on hostile input" contract.
+func decodeNoPanic(t *testing.T, data []byte) (st *Store, err error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Decode panicked on %d-byte input: %v", len(data), r)
+		}
+	}()
+	return Decode(data)
+}
+
+// TestCorruptEveryByte flips every single byte of a valid snapshot, one at a
+// time, and requires each mutant to fail decoding with a typed snapshot error
+// — payload flips are caught by the CRC, preamble flips by structural
+// validation. No mutant may panic, and none may decode successfully (a
+// one-byte flip always changes logical content or metadata).
+func TestCorruptEveryByte(t *testing.T) {
+	orig := smallSnapshotBytes(t)
+	if _, err := decodeNoPanic(t, orig); err != nil {
+		t.Fatalf("pristine snapshot failed to decode: %v", err)
+	}
+	mutant := make([]byte, len(orig))
+	for i := range orig {
+		copy(mutant, orig)
+		mutant[i] ^= 0xFF
+		_, err := decodeNoPanic(t, mutant)
+		if err == nil {
+			t.Fatalf("flipping byte %d went undetected", i)
+		}
+		if !errors.Is(err, ErrBadSnapshot) && !errors.Is(err, ErrSnapshotVersion) {
+			t.Fatalf("flipping byte %d: error is not typed: %v", i, err)
+		}
+	}
+}
+
+// TestCorruptTruncation decodes every prefix of a valid snapshot. All proper
+// prefixes must fail with a typed error and never panic.
+func TestCorruptTruncation(t *testing.T) {
+	orig := smallSnapshotBytes(t)
+	for n := 0; n < len(orig); n++ {
+		_, err := decodeNoPanic(t, orig[:n])
+		if err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", n)
+		}
+		if !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("truncation to %d bytes: error is not typed: %v", n, err)
+		}
+	}
+}
+
+// TestCorruptTrailingGarbage appends bytes past the last column.
+func TestCorruptTrailingGarbage(t *testing.T) {
+	orig := smallSnapshotBytes(t)
+	ext := append(append([]byte(nil), orig...), 0xAB, 0xCD)
+	if _, err := decodeNoPanic(t, ext); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("trailing garbage: got %v, want ErrBadSnapshot", err)
+	}
+}
+
+// TestSnapshotVersionGate rewrites the version field (and recomputes nothing
+// else — the version lives in the preamble, outside the CRC'd payload) and
+// expects ErrSnapshotVersion specifically, so future format revisions fail
+// loudly and distinguishably.
+func TestSnapshotVersionGate(t *testing.T) {
+	orig := smallSnapshotBytes(t)
+	for _, v := range []uint32{0, 2, 7, 1 << 30} {
+		mutant := append([]byte(nil), orig...)
+		binary.LittleEndian.PutUint32(mutant[8:], v)
+		_, err := decodeNoPanic(t, mutant)
+		if !errors.Is(err, ErrSnapshotVersion) {
+			t.Fatalf("version %d: got %v, want ErrSnapshotVersion", v, err)
+		}
+	}
+}
+
+// TestCorruptBoolByte targets the bool-byte validation: a bool byte that is
+// neither 0 nor 1 must be rejected even when the CRC is fixed up to match, as
+// aliasing it into a []bool would be undefined behaviour.
+func TestCorruptBoolByte(t *testing.T) {
+	floats := []float64{1, 2, 3}
+	bools := []bool{true, false, true}
+	st, err := NewStore(NewFloatColumn("f", floats), NewBoolColumn("b", bools))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "b.aware")
+	if err := st.WriteSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	// The bool segment is the last value segment; its first byte is a 1.
+	// Find it from the end: 3 bool bytes + 5 pad bytes trail the file.
+	boolOff := len(data) - 8
+	if data[boolOff] != 1 || data[boolOff+1] != 0 || data[boolOff+2] != 1 {
+		t.Fatalf("bool segment not where expected: % x", data[boolOff:])
+	}
+	data[boolOff+1] = 0x42
+	patchCRC(data)
+	_, err = decodeNoPanic(t, data)
+	if !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("bool byte 0x42: got %v, want ErrBadSnapshot", err)
+	}
+}
+
+// TestCorruptDictCode fixes up the CRC after writing an out-of-range
+// dictionary code, exercising the NewStore re-validation path.
+func TestCorruptDictCode(t *testing.T) {
+	st, err := NewStore(NewCategoricalColumn("c", []string{"a", "b", "a", "b"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "d.aware")
+	if err := st.WriteSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	// Codes are the final segment: 4 rows x 4 bytes, 8-byte aligned.
+	codeOff := len(data) - 16
+	binary.LittleEndian.PutUint32(data[codeOff:], 999)
+	patchCRC(data)
+	_, err = decodeNoPanic(t, data)
+	if !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("out-of-range code: got %v, want ErrBadSnapshot", err)
+	}
+}
+
+// patchCRC recomputes the payload CRC so validation beyond the checksum is
+// reachable in corruption tests.
+func patchCRC(data []byte) {
+	crc := crc32.Checksum(data[preambleSize:], castagnoli)
+	binary.LittleEndian.PutUint32(data[28:], crc)
+}
+
+// TestOpenMissingAndEmpty covers environment-level failures of Open.
+func TestOpenMissingAndEmpty(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(filepath.Join(dir, "nope.aware")); err == nil {
+		t.Error("Open of missing file succeeded")
+	}
+	empty := filepath.Join(dir, "empty.aware")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(empty); err == nil {
+		t.Error("Open of empty file succeeded")
+	}
+}
+
+// TestOpenCorruptFileTyped checks that Open (the mmap path) surfaces content
+// corruption as a typed error, which is what lets awared -data skip bad
+// snapshots instead of refusing to start.
+func TestOpenCorruptFileTyped(t *testing.T) {
+	data := smallSnapshotBytes(t)
+	data[len(data)-1] ^= 0x01
+	path := filepath.Join(t.TempDir(), "bad.aware")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(path)
+	if !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("Open(corrupt): got %v, want ErrBadSnapshot", err)
+	}
+	_, err = OpenFile(path, OpenOptions{NoMmap: true})
+	if !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("OpenFile(corrupt, NoMmap): got %v, want ErrBadSnapshot", err)
+	}
+}

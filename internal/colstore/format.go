@@ -1,0 +1,179 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Snapshot format v1 (".aware" files). All integers little-endian; every
+// segment is zero-padded to an 8-byte boundary so that, once the file is
+// mmap'd (page-aligned), every value vector is naturally aligned and can be
+// aliased in place.
+//
+//	preamble (48 bytes)
+//	  [ 0: 8)  magic   "AWARECS\n"
+//	  [ 8:12)  version u32 (currently 1)
+//	  [12:16)  flags   u32 (must be 0)
+//	  [16:24)  rows    u64
+//	  [24:28)  ncols   u32
+//	  [28:32)  crc     u32  CRC-32C (Castagnoli) of every byte after the preamble
+//	  [32:48)  reserved, must be zero
+//	per column, sequentially:
+//	  column header (32 bytes)
+//	    [ 0: 4)  kind      u32 (Kind values)
+//	    [ 4: 8)  nameLen   u32
+//	    [ 8:16)  dictLen   u64  dictionary entries (0 unless categorical)
+//	    [16:24)  dictBytes u64  dictionary blob payload bytes (before padding)
+//	    [24:32)  dataBytes u64  value segment payload bytes (before padding)
+//	  name       nameLen bytes, zero-padded to 8
+//	  dict blob  (categorical only) u32 offsets[dictLen+1] then the
+//	             concatenated UTF-8 dictionary bytes, zero-padded to 8;
+//	             entries must be sorted and unique, offsets ascending
+//	  values     zero-padded to 8:
+//	               float64/int64  rows × 8 bytes
+//	               categorical    rows × 4 bytes (u32 codes < dictLen)
+//	               bool           rows × 1 byte  (0 or 1)
+//
+// The CRC covers everything after the preamble, including padding; the
+// preamble itself is covered by field-level validation (magic, version,
+// flags, zero reserved bytes, and rows/ncols agreeing with the structure), so
+// any single flipped byte anywhere in the file is detected.
+const (
+	// SnapshotVersion is the current format version WriteSnapshot emits.
+	SnapshotVersion = 1
+
+	// SnapshotExt is the conventional file extension awared -data discovers.
+	SnapshotExt = ".aware"
+
+	preambleSize  = 48
+	colHeaderSize = 32
+	segmentAlign  = 8
+)
+
+var snapshotMagic = [8]byte{'A', 'W', 'A', 'R', 'E', 'C', 'S', '\n'}
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Typed snapshot errors. Every load failure wraps one of these, so callers
+// (awared's -data scanner, awarestore verify, the corruption tests)
+// distinguish "not/damaged snapshot" from "snapshot from a different format
+// era" with errors.Is.
+var (
+	// ErrBadSnapshot means the file is not a snapshot or is corrupt
+	// (truncated, flipped bytes, CRC mismatch, impossible structure).
+	ErrBadSnapshot = errors.New("colstore: bad snapshot")
+	// ErrSnapshotVersion means a well-formed preamble declares a version this
+	// build does not read.
+	ErrSnapshotVersion = errors.New("colstore: unsupported snapshot version")
+)
+
+// badf builds an ErrBadSnapshot with detail.
+func badf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadSnapshot, fmt.Sprintf(format, args...))
+}
+
+// preamble is the decoded fixed file header.
+type preamble struct {
+	version uint32
+	rows    uint64
+	ncols   uint32
+	crc     uint32
+}
+
+// encodePreamble renders the 48-byte preamble.
+func encodePreamble(p preamble) [preambleSize]byte {
+	var b [preambleSize]byte
+	copy(b[0:8], snapshotMagic[:])
+	binary.LittleEndian.PutUint32(b[8:12], p.version)
+	binary.LittleEndian.PutUint32(b[12:16], 0) // flags
+	binary.LittleEndian.PutUint64(b[16:24], p.rows)
+	binary.LittleEndian.PutUint32(b[24:28], p.ncols)
+	binary.LittleEndian.PutUint32(b[28:32], p.crc)
+	return b
+}
+
+// parsePreamble validates and decodes the fixed header.
+func parsePreamble(data []byte) (preamble, error) {
+	var p preamble
+	if len(data) < preambleSize {
+		return p, badf("file is %d bytes, smaller than the %d-byte preamble", len(data), preambleSize)
+	}
+	if [8]byte(data[0:8]) != snapshotMagic {
+		return p, badf("bad magic %q", data[0:8])
+	}
+	p.version = binary.LittleEndian.Uint32(data[8:12])
+	if p.version != SnapshotVersion {
+		return p, fmt.Errorf("%w: file declares version %d, this build reads %d", ErrSnapshotVersion, p.version, SnapshotVersion)
+	}
+	if flags := binary.LittleEndian.Uint32(data[12:16]); flags != 0 {
+		return p, badf("unknown flags %#x", flags)
+	}
+	p.rows = binary.LittleEndian.Uint64(data[16:24])
+	p.ncols = binary.LittleEndian.Uint32(data[24:28])
+	p.crc = binary.LittleEndian.Uint32(data[28:32])
+	for i := 32; i < preambleSize; i++ {
+		if data[i] != 0 {
+			return p, badf("reserved preamble byte %d is %#x, want 0", i, data[i])
+		}
+	}
+	if p.rows > math.MaxInt64/8 {
+		return p, badf("implausible row count %d", p.rows)
+	}
+	if p.ncols > 1<<20 {
+		return p, badf("implausible column count %d", p.ncols)
+	}
+	return p, nil
+}
+
+// colHeader is one decoded per-column header.
+type colHeader struct {
+	kind      Kind
+	nameLen   uint32
+	dictLen   uint64
+	dictBytes uint64
+	dataBytes uint64
+}
+
+// encodeColHeader renders the 32-byte column header.
+func encodeColHeader(h colHeader) [colHeaderSize]byte {
+	var b [colHeaderSize]byte
+	binary.LittleEndian.PutUint32(b[0:4], uint32(h.kind))
+	binary.LittleEndian.PutUint32(b[4:8], h.nameLen)
+	binary.LittleEndian.PutUint64(b[8:16], h.dictLen)
+	binary.LittleEndian.PutUint64(b[16:24], h.dictBytes)
+	binary.LittleEndian.PutUint64(b[24:32], h.dataBytes)
+	return b
+}
+
+// parseColHeader decodes one column header (bounds already checked).
+func parseColHeader(b []byte) colHeader {
+	return colHeader{
+		kind:      Kind(binary.LittleEndian.Uint32(b[0:4])),
+		nameLen:   binary.LittleEndian.Uint32(b[4:8]),
+		dictLen:   binary.LittleEndian.Uint64(b[8:16]),
+		dictBytes: binary.LittleEndian.Uint64(b[16:24]),
+		dataBytes: binary.LittleEndian.Uint64(b[24:32]),
+	}
+}
+
+// kindDataBytes returns the exact value-segment payload size for a kind at a
+// row count, or an error for unknown kinds.
+func kindDataBytes(k Kind, rows uint64) (uint64, error) {
+	switch k {
+	case Float64, Int64:
+		return rows * 8, nil
+	case Categorical:
+		return rows * 4, nil
+	case Bool:
+		return rows, nil
+	default:
+		return 0, fmt.Errorf("unknown kind %d", int(k))
+	}
+}
+
+// pad8 returns the number of zero bytes needed to align n up to 8.
+func pad8(n uint64) uint64 { return (segmentAlign - n%segmentAlign) % segmentAlign }

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package colstore
+
+import (
+	"errors"
+)
+
+// errNoMmap tells OpenFile to take the heap path on platforms without a
+// POSIX mmap.
+var errNoMmap = errors.New("colstore: mmap not supported on this platform")
+
+// mmapFile is the non-unix stub: always reports unsupported, so Open falls
+// back to reading the file into the heap.
+func mmapFile(path string) ([]byte, func() error, error) {
+	return nil, nil, errNoMmap
+}

@@ -1,0 +1,36 @@
+//go:build unix
+
+package colstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only and returns the mapping plus its release
+// function. Zero-length files are rejected (mmap of length 0 is an error, and
+// no valid snapshot is empty).
+func mmapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close() // the mapping outlives the descriptor
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size <= 0 {
+		return nil, nil, fmt.Errorf("colstore: %s: empty file, cannot mmap", path)
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("colstore: %s: file size %d overflows int", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("colstore: mmap %s: %w", path, err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,279 @@
+package colstore
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// randomStore builds a store with every column kind and rng-driven content.
+// Dictionary cardinality and row count vary so padding paths (name pad, dict
+// pad, bool pad) all get exercised across seeds.
+func randomStore(t *testing.T, rng *rand.Rand, rows int) *Store {
+	t.Helper()
+	floats := make([]float64, rows)
+	ints := make([]int64, rows)
+	cats := make([]string, rows)
+	bools := make([]bool, rows)
+	card := 1 + rng.Intn(40)
+	for i := 0; i < rows; i++ {
+		floats[i] = math.Round(rng.NormFloat64()*1000) / 16
+		ints[i] = rng.Int63n(1<<40) - 1<<39
+		cats[i] = fmt.Sprintf("val-%03d", rng.Intn(card))
+		bools[i] = rng.Intn(2) == 1
+	}
+	// Occasionally include special float values — they must round-trip bit-for-bit.
+	if rows > 4 {
+		floats[0] = math.Inf(1)
+		floats[1] = math.Inf(-1)
+		floats[2] = math.Copysign(0, -1)
+		floats[3] = math.NaN()
+	}
+	st, err := NewStore(
+		NewFloatColumn("f", floats),
+		NewIntColumn("i", ints),
+		NewCategoricalColumn("c", cats),
+		NewBoolColumn("b", bools),
+	)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	return st
+}
+
+// sameStore asserts b holds exactly a's logical content.
+func sameStore(t *testing.T, a, b *Store) {
+	t.Helper()
+	if a.Rows() != b.Rows() {
+		t.Fatalf("rows: %d vs %d", a.Rows(), b.Rows())
+	}
+	if a.NumColumns() != b.NumColumns() {
+		t.Fatalf("columns: %d vs %d", a.NumColumns(), b.NumColumns())
+	}
+	for idx, ca := range a.Columns() {
+		cb := b.Columns()[idx]
+		if ca.Name != cb.Name || ca.Kind != cb.Kind {
+			t.Fatalf("column %d: (%q,%v) vs (%q,%v)", idx, ca.Name, ca.Kind, cb.Name, cb.Kind)
+		}
+		switch ca.Kind {
+		case Float64:
+			for i := range ca.Floats {
+				if math.Float64bits(ca.Floats[i]) != math.Float64bits(cb.Floats[i]) {
+					t.Fatalf("column %q row %d: %v vs %v", ca.Name, i, ca.Floats[i], cb.Floats[i])
+				}
+			}
+		case Int64:
+			for i := range ca.Ints {
+				if ca.Ints[i] != cb.Ints[i] {
+					t.Fatalf("column %q row %d: %d vs %d", ca.Name, i, ca.Ints[i], cb.Ints[i])
+				}
+			}
+		case Categorical:
+			if len(ca.Dict) != len(cb.Dict) {
+				t.Fatalf("column %q: dict %d vs %d entries", ca.Name, len(ca.Dict), len(cb.Dict))
+			}
+			for i := range ca.Dict {
+				if ca.Dict[i] != cb.Dict[i] {
+					t.Fatalf("column %q dict[%d]: %q vs %q", ca.Name, i, ca.Dict[i], cb.Dict[i])
+				}
+			}
+			for i := range ca.Codes {
+				if ca.Codes[i] != cb.Codes[i] {
+					t.Fatalf("column %q row %d: code %d vs %d", ca.Name, i, ca.Codes[i], cb.Codes[i])
+				}
+			}
+			if cb.CodeOf == nil {
+				t.Fatalf("column %q: CodeOf not built", cb.Name)
+			}
+		case Bool:
+			for i := range ca.Bools {
+				if ca.Bools[i] != cb.Bools[i] {
+					t.Fatalf("column %q row %d: %v vs %v", ca.Name, i, ca.Bools[i], cb.Bools[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, rows := range []int{0, 1, 2, 7, 8, 9, 63, 64, 65, 1000} {
+		t.Run(fmt.Sprintf("rows=%d", rows), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(rows) + 1))
+			st := randomStore(t, rng, rows)
+			path := filepath.Join(t.TempDir(), "rt.aware")
+			if err := st.WriteSnapshot(path); err != nil {
+				t.Fatalf("WriteSnapshot: %v", err)
+			}
+
+			mapped, err := Open(path)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			defer mapped.Close()
+			sameStore(t, st, mapped)
+			if mapped.Path() != path {
+				t.Errorf("Path() = %q, want %q", mapped.Path(), path)
+			}
+			if fi, _ := os.Stat(path); mapped.SizeBytes() != fi.Size() {
+				t.Errorf("SizeBytes() = %d, file is %d", mapped.SizeBytes(), fi.Size())
+			}
+			if mapped.Version() != SnapshotVersion {
+				t.Errorf("Version() = %d, want %d", mapped.Version(), SnapshotVersion)
+			}
+
+			heap, err := OpenFile(path, OpenOptions{NoMmap: true})
+			if err != nil {
+				t.Fatalf("OpenFile(NoMmap): %v", err)
+			}
+			defer heap.Close()
+			if heap.Resident() {
+				t.Error("NoMmap store reports Resident")
+			}
+			sameStore(t, st, heap)
+		})
+	}
+}
+
+func TestSnapshotWriteDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	st := randomStore(t, rng, 257)
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.aware")
+	p2 := filepath.Join(dir, "b.aware")
+	if err := st.WriteSnapshot(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteSnapshot(p2); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(p1)
+	b2, _ := os.ReadFile(p2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("two writes of the same store differ")
+	}
+}
+
+func TestStoreCloseIdempotent(t *testing.T) {
+	st := randomStore(t, rand.New(rand.NewSource(7)), 100)
+	path := filepath.Join(t.TempDir(), "c.aware")
+	if err := st.WriteSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("heap-store Close: %v", err)
+	}
+}
+
+func TestZeroColumnSnapshotKeepsRows(t *testing.T) {
+	st, err := NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "empty.aware")
+	if err := st.WriteSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	if got.Rows() != 0 || got.NumColumns() != 0 {
+		t.Fatalf("got %d rows, %d columns", got.Rows(), got.NumColumns())
+	}
+}
+
+// TestBuilderMatchesWriteSnapshot is the byte-identity contract between the
+// two producer paths: a RowBuilder fed rows (in an order that makes its
+// provisional first-seen dictionary differ from sorted order) must emit
+// exactly the file Store.WriteSnapshot emits for the same logical content.
+func TestBuilderMatchesWriteSnapshot(t *testing.T) {
+	rows := 513
+	rng := rand.New(rand.NewSource(99))
+	st := randomStore(t, rng, rows)
+	dir := t.TempDir()
+	direct := filepath.Join(dir, "direct.aware")
+	built := filepath.Join(dir, "built.aware")
+	if err := st.WriteSnapshot(direct); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := NewRowBuilder(st.Schema(), built)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := st.Columns()
+	for i := 0; i < rows; i++ {
+		err := b.Append(cols[0].Floats[i], cols[1].Ints[i], cols[2].Dict[cols[2].Codes[i]], cols[3].Bools[i])
+		if err != nil {
+			t.Fatalf("Append row %d: %v", i, err)
+		}
+	}
+	if err := b.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+
+	d1, _ := os.ReadFile(direct)
+	d2, _ := os.ReadFile(built)
+	if !bytes.Equal(d1, d2) {
+		t.Fatalf("builder output differs from WriteSnapshot: %d vs %d bytes", len(d2), len(d1))
+	}
+}
+
+func TestBuilderTypeErrors(t *testing.T) {
+	schema := Schema{{Name: "f", Kind: Float64}, {Name: "c", Kind: Categorical}}
+	dest := filepath.Join(t.TempDir(), "x.aware")
+	b, err := NewRowBuilder(schema, dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Abort()
+	if err := b.Append(1.5); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := b.Append("not-a-float", "ok"); err == nil {
+		t.Error("wrong type accepted")
+	}
+	if err := b.Finish(); err == nil {
+		t.Error("Finish after failure succeeded")
+	}
+	if _, err := os.Stat(dest); !os.IsNotExist(err) {
+		t.Errorf("failed builder left output file: %v", err)
+	}
+}
+
+func TestKindTextRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		text, err := k.MarshalText()
+		if err != nil {
+			t.Fatalf("MarshalText(%v): %v", k, err)
+		}
+		var back Kind
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", text, err)
+		}
+		if back != k {
+			t.Fatalf("%v round-tripped to %v", k, back)
+		}
+	}
+	if _, err := Kind(99).MarshalText(); err == nil {
+		t.Error("unknown kind marshalled")
+	}
+	if _, err := ParseKind("decimal"); err == nil {
+		t.Error("unknown kind parsed")
+	}
+}

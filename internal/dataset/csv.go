@@ -29,7 +29,7 @@ func (t *Table) WriteCSV(w io.Writer) error {
 			case Int64:
 				record[j] = strconv.FormatInt(c.ints[i], 10)
 			case Categorical:
-				record[j] = c.strings[i]
+				record[j] = c.dict[c.codes[i]]
 			case Bool:
 				record[j] = strconv.FormatBool(c.bools[i])
 			}

@@ -1,0 +1,184 @@
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"aware/internal/colstore"
+)
+
+// This file is the differential test bed for the storage engine: a table
+// round-tripped through the snapshot format — directly (Snapshot →
+// OpenSnapshot) and via the full text path (WriteCSV → IngestCSV →
+// OpenSnapshot) — must be indistinguishable from the directly-constructed
+// in-memory table under every kernel: bitmap-word-identical Where selections
+// and identical aggregations, across pool sizes 1, 2 and 8. This is what
+// licenses awared to serve mmap'd snapshots with the same engine that serves
+// heap tables.
+
+// snapshotVariants returns the table reloaded through each storage path,
+// labelled, plus closers.
+func snapshotVariants(t *testing.T, mem *Table) map[string]*Table {
+	t.Helper()
+	dir := t.TempDir()
+
+	direct := filepath.Join(dir, "direct.aware")
+	if err := mem.Snapshot(direct); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	mapped, err := OpenSnapshot(direct)
+	if err != nil {
+		t.Fatalf("OpenSnapshot: %v", err)
+	}
+	t.Cleanup(func() { mapped.Close() })
+
+	heapStore, err := colstore.OpenFile(direct, colstore.OpenOptions{NoMmap: true})
+	if err != nil {
+		t.Fatalf("OpenFile(NoMmap): %v", err)
+	}
+	heap, err := FromStore(heapStore)
+	if err != nil {
+		t.Fatalf("FromStore: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := mem.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	ingested := filepath.Join(dir, "ingested.aware")
+	rows, err := colstore.IngestCSV(&buf, mem.Store().Schema(), ingested)
+	if err != nil {
+		t.Fatalf("IngestCSV: %v", err)
+	}
+	if rows != mem.NumRows() {
+		t.Fatalf("IngestCSV saw %d rows, table has %d", rows, mem.NumRows())
+	}
+	viaCSV, err := OpenSnapshot(ingested)
+	if err != nil {
+		t.Fatalf("OpenSnapshot(ingested): %v", err)
+	}
+	t.Cleanup(func() { viaCSV.Close() })
+
+	return map[string]*Table{"mmap": mapped, "heap": heap, "csv-ingest": viaCSV}
+}
+
+func TestSnapshotDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1701))
+	seqPool := NewPool(1)
+	defer seqPool.Close()
+	pools := []*Pool{NewPool(2), NewPool(8)}
+	defer pools[0].Close()
+	defer pools[1].Close()
+
+	sizes := []int{1, 63, 64, 65, morselRows + 1, 1 + rng.Intn(200_000)}
+	for _, rows := range sizes {
+		mem := randomSizedTable(rng, rows)
+		variants := snapshotVariants(t, mem)
+
+		for trial := 0; trial < 3; trial++ {
+			pred := randomPredicate(rng, 2)
+			ctx := fmt.Sprintf("rows=%d trial=%d pred=%s", rows, trial, pred.Describe())
+
+			mem.SetPool(seqPool)
+			wantSel, wantErr := mem.Where(pred)
+			var wantCounts, wantBins []int
+			var wantGroups []GroupCount
+			var wantFloats []float64
+			if wantErr == nil {
+				view := View{table: mem, sel: wantSel}
+				wantCounts, _ = view.CountsFor("color", []string{"red", "green", "blue", "violet"})
+				wantGroups, _ = view.GroupBy("color")
+				wantBins, _ = view.BinCounts("score", 10)
+				wantFloats, _ = view.Floats("score")
+			}
+
+			for name, loaded := range variants {
+				for _, pool := range append(pools, seqPool) {
+					loaded.SetPool(pool)
+					gotSel, gotErr := loaded.Where(pred)
+					lctx := fmt.Sprintf("%s variant=%s workers=%d", ctx, name, pool.Workers())
+					if (wantErr == nil) != (gotErr == nil) {
+						t.Fatalf("%s: error parity broke: in-memory %v, loaded %v", lctx, wantErr, gotErr)
+					}
+					if wantErr != nil {
+						continue
+					}
+					sameSelection(t, lctx, wantSel, gotSel)
+
+					view := View{table: loaded, sel: gotSel}
+					gotCounts, err := view.CountsFor("color", []string{"red", "green", "blue", "violet"})
+					if err != nil || !reflect.DeepEqual(wantCounts, gotCounts) {
+						t.Fatalf("%s: CountsFor %v (err %v), want %v", lctx, gotCounts, err, wantCounts)
+					}
+					gotGroups, err := view.GroupBy("color")
+					if err != nil || !reflect.DeepEqual(wantGroups, gotGroups) {
+						t.Fatalf("%s: GroupBy %v (err %v), want %v", lctx, gotGroups, err, wantGroups)
+					}
+					gotBins, err := view.BinCounts("score", 10)
+					if err != nil || !reflect.DeepEqual(wantBins, gotBins) {
+						t.Fatalf("%s: BinCounts %v (err %v), want %v", lctx, gotBins, err, wantBins)
+					}
+					gotFloats, err := view.Floats("score")
+					if err != nil || !reflect.DeepEqual(wantFloats, gotFloats) {
+						t.Fatalf("%s: Floats differ (err %v)", lctx, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotTableFacade covers the facade plumbing itself: store metadata
+// surfaces through the table, derived tables keep working on loaded data, and
+// CSV written from a loaded table matches CSV written from the original.
+func TestSnapshotTableFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mem := randomSizedTable(rng, 1000)
+	path := filepath.Join(t.TempDir(), "t.aware")
+	if err := mem.Snapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+
+	if loaded.Store() == nil || loaded.Store().Path() != path {
+		t.Fatalf("loaded store path = %v", loaded.Store())
+	}
+	if mem.Store().Path() != "" || mem.Store().Resident() {
+		t.Error("in-memory store claims snapshot provenance")
+	}
+	if got, want := loaded.ColumnNames(), mem.ColumnNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("columns %v, want %v", got, want)
+	}
+
+	var a, b bytes.Buffer
+	if err := mem.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("CSV from loaded table differs from original")
+	}
+
+	// Derived tables (Select copies rows to fresh heap columns) must work on
+	// top of mmap'd storage.
+	sub, err := loaded.Select([]int{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumRows() != 3 {
+		t.Fatalf("sub has %d rows", sub.NumRows())
+	}
+	if sub.Store().Resident() {
+		t.Error("derived table claims to be mmap-resident")
+	}
+}

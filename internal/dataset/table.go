@@ -1,10 +1,18 @@
-// Package dataset provides the in-memory columnar data substrate that the
-// AWARE reproduction explores: typed columns, filter predicates and filter
-// chains, group-by/histogram aggregation, random sampling, hold-out splits,
-// column shuffling (for building randomised null datasets) and CSV
-// import/export. It is intentionally small — a visualization front-end needs
-// counts, group-bys and filtered sub-populations, not a full query engine —
-// but it is the same substrate every experiment in the paper runs on.
+// Package dataset provides the columnar data substrate that the AWARE
+// reproduction explores: typed columns, filter predicates and filter chains,
+// group-by/histogram aggregation, random sampling, hold-out splits, column
+// shuffling (for building randomised null datasets) and CSV import/export. It
+// is intentionally small — a visualization front-end needs counts, group-bys
+// and filtered sub-populations, not a full query engine — but it is the same
+// substrate every experiment in the paper runs on.
+//
+// Since the internal/colstore split, Table is a query facade: the physical
+// column vectors (dictionary codes, float/int/bool payloads, dictionaries)
+// are owned by a colstore.Store, and the Column fields the kernels scan alias
+// the store's slices directly. That makes every table snapshottable
+// (Table.Snapshot) and every snapshot servable (OpenSnapshot mmaps the file
+// and wraps it in a Table with zero re-parse), without the kernels changing
+// at all.
 package dataset
 
 import (
@@ -15,6 +23,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"aware/internal/colstore"
 )
 
 // ColumnType enumerates the supported column types.
@@ -61,73 +71,101 @@ var (
 	ErrEmptyTable = errors.New("dataset: empty table")
 )
 
-// Column is a named, typed vector of values. Exactly one of the value slices
-// is populated, matching Type.
+// kindOfType maps the dataset-level column type to its colstore kind. The
+// numeric values coincide, but the mapping is spelled out so neither
+// enumeration silently constrains the other.
+func kindOfType(t ColumnType) colstore.Kind {
+	switch t {
+	case Float64:
+		return colstore.Float64
+	case Int64:
+		return colstore.Int64
+	case Categorical:
+		return colstore.Categorical
+	case Bool:
+		return colstore.Bool
+	default:
+		panic(fmt.Sprintf("dataset: unknown column type %d", int(t)))
+	}
+}
+
+// typeOfKind inverts kindOfType.
+func typeOfKind(k colstore.Kind) ColumnType {
+	switch k {
+	case colstore.Float64:
+		return Float64
+	case colstore.Int64:
+		return Int64
+	case colstore.Categorical:
+		return Categorical
+	case colstore.Bool:
+		return Bool
+	default:
+		panic(fmt.Sprintf("dataset: unknown column kind %d", int(k)))
+	}
+}
+
+// Column is a named, typed vector of values: the query-facing view of one
+// colstore.Column. The unexported slices alias the physical column's vectors
+// (which may in turn alias a read-only mmap'd snapshot), so the vectorized
+// predicate kernels in selection.go scan storage-owned memory directly —
+// there is no copy between the storage engine and the execution engine.
 //
-// Categorical columns are dictionary-encoded at construction: dict holds the
-// sorted distinct values, codes holds one uint32 per row indexing into dict,
-// and codeOf inverts the dictionary. The vectorized predicate kernels
-// (selection.go) scan codes instead of comparing strings, and Categories and
-// ValueCounts read the dictionary instead of re-scanning the rows. Bool
-// columns need no explicit dictionary — their native []bool representation is
-// already the two-code encoding (false = 0, true = 1).
+// Categorical columns are dictionary-encoded: dict holds the sorted distinct
+// values, codes holds one uint32 per row indexing into dict, and codeOf
+// inverts the dictionary. The kernels scan codes instead of comparing
+// strings; row-at-a-time string access is a dict lookup, so no per-row string
+// payload exists at all. Bool columns need no explicit dictionary — their
+// native []bool representation is already the two-code encoding.
 type Column struct {
 	Name string
 	Type ColumnType
 
-	floats  []float64
-	ints    []int64
-	strings []string
-	bools   []bool
+	phys *colstore.Column // the storage-engine column the slices below alias
+
+	floats []float64
+	ints   []int64
+	bools  []bool
 
 	dict   []string          // sorted distinct values (Categorical only)
 	codes  []uint32          // per-row index into dict (Categorical only)
 	codeOf map[string]uint32 // value -> code (Categorical only)
 }
 
+// wrapColumn builds the facade over a physical column.
+func wrapColumn(p *colstore.Column) *Column {
+	return &Column{
+		Name:   p.Name,
+		Type:   typeOfKind(p.Kind),
+		phys:   p,
+		floats: p.Floats,
+		ints:   p.Ints,
+		bools:  p.Bools,
+		dict:   p.Dict,
+		codes:  p.Codes,
+		codeOf: p.CodeOf,
+	}
+}
+
 // NewFloatColumn builds a Float64 column.
 func NewFloatColumn(name string, values []float64) *Column {
-	return &Column{Name: name, Type: Float64, floats: values}
+	return wrapColumn(colstore.NewFloatColumn(name, values))
 }
 
 // NewIntColumn builds an Int64 column.
 func NewIntColumn(name string, values []int64) *Column {
-	return &Column{Name: name, Type: Int64, ints: values}
+	return wrapColumn(colstore.NewIntColumn(name, values))
 }
 
-// encodeDictionary builds the column's dictionary encoding: the string
-// payload is kept for row-at-a-time access, but every vectorized path
-// operates on the uint32 codes built here.
-func (c *Column) encodeDictionary() {
-	distinct := make(map[string]struct{})
-	for _, v := range c.strings {
-		distinct[v] = struct{}{}
-	}
-	c.dict = make([]string, 0, len(distinct))
-	for v := range distinct {
-		c.dict = append(c.dict, v)
-	}
-	sort.Strings(c.dict)
-	c.codeOf = make(map[string]uint32, len(c.dict))
-	for i, v := range c.dict {
-		c.codeOf[v] = uint32(i)
-	}
-	c.codes = make([]uint32, len(c.strings))
-	for i, v := range c.strings {
-		c.codes[i] = c.codeOf[v]
-	}
-}
-
-// NewCategoricalColumn builds a Categorical column.
+// NewCategoricalColumn builds a Categorical column, dictionary-encoding the
+// values (the input slice is not retained).
 func NewCategoricalColumn(name string, values []string) *Column {
-	c := &Column{Name: name, Type: Categorical, strings: values}
-	c.encodeDictionary()
-	return c
+	return wrapColumn(colstore.NewCategoricalColumn(name, values))
 }
 
 // NewBoolColumn builds a Bool column.
 func NewBoolColumn(name string, values []bool) *Column {
-	return &Column{Name: name, Type: Bool, bools: values}
+	return wrapColumn(colstore.NewBoolColumn(name, values))
 }
 
 // Len returns the number of rows in the column.
@@ -138,7 +176,7 @@ func (c *Column) Len() int {
 	case Int64:
 		return len(c.ints)
 	case Categorical:
-		return len(c.strings)
+		return len(c.codes)
 	case Bool:
 		return len(c.bools)
 	default:
@@ -163,7 +201,7 @@ func (c *Column) Float(i int) (float64, error) {
 func (c *Column) StringAt(i int) (string, error) {
 	switch c.Type {
 	case Categorical:
-		return c.strings[i], nil
+		return c.dict[c.codes[i]], nil
 	case Bool:
 		if c.bools[i] {
 			return "true", nil
@@ -184,39 +222,35 @@ func (c *Column) Bool(i int) (bool, error) {
 
 // gather returns a new column containing the rows at the given indices.
 func (c *Column) gather(indices []int) *Column {
-	out := &Column{Name: c.Name, Type: c.Type}
+	phys := &colstore.Column{Name: c.Name, Kind: kindOfType(c.Type)}
 	switch c.Type {
 	case Float64:
-		out.floats = make([]float64, len(indices))
+		phys.Floats = make([]float64, len(indices))
 		for i, idx := range indices {
-			out.floats[i] = c.floats[idx]
+			phys.Floats[i] = c.floats[idx]
 		}
 	case Int64:
-		out.ints = make([]int64, len(indices))
+		phys.Ints = make([]int64, len(indices))
 		for i, idx := range indices {
-			out.ints[i] = c.ints[idx]
+			phys.Ints[i] = c.ints[idx]
 		}
 	case Categorical:
-		out.strings = make([]string, len(indices))
-		for i, idx := range indices {
-			out.strings[i] = c.strings[idx]
-		}
 		// Share the (immutable) dictionary and gather the codes directly; the
 		// gathered column may no longer contain every dictionary value, which
 		// is fine — Categories and ValueCounts report only codes that occur.
-		out.dict = c.dict
-		out.codeOf = c.codeOf
-		out.codes = make([]uint32, len(indices))
+		phys.Dict = c.dict
+		phys.CodeOf = c.codeOf
+		phys.Codes = make([]uint32, len(indices))
 		for i, idx := range indices {
-			out.codes[i] = c.codes[idx]
+			phys.Codes[i] = c.codes[idx]
 		}
 	case Bool:
-		out.bools = make([]bool, len(indices))
+		phys.Bools = make([]bool, len(indices))
 		for i, idx := range indices {
-			out.bools[i] = c.bools[idx]
+			phys.Bools[i] = c.bools[idx]
 		}
 	}
-	return out
+	return wrapColumn(phys)
 }
 
 // Table is an immutable-by-convention collection of equal-length columns.
@@ -230,6 +264,10 @@ type Table struct {
 	columns []*Column
 	byName  map[string]*Column
 	rows    int
+
+	// store owns the physical column vectors the facade columns alias. For
+	// tables loaded from a snapshot it also owns the file mapping.
+	store *colstore.Store
 
 	binsMu sync.RWMutex
 	bins   map[binKey]*binAssignment
@@ -270,9 +308,12 @@ type binAssignment struct {
 }
 
 // NewTable builds a table from columns, which must all have the same length
-// and distinct names.
+// and distinct names. The columns' physical vectors are handed to a fresh
+// colstore.Store (referenced, never copied), which re-validates the storage
+// invariants — dictionary order, code ranges — that the facade relies on.
 func NewTable(columns ...*Column) (*Table, error) {
 	t := &Table{byName: make(map[string]*Column, len(columns))}
+	phys := make([]*colstore.Column, len(columns))
 	for i, c := range columns {
 		if c == nil {
 			return nil, fmt.Errorf("dataset: nil column at position %d", i)
@@ -287,9 +328,60 @@ func NewTable(columns ...*Column) (*Table, error) {
 		}
 		t.columns = append(t.columns, c)
 		t.byName[c.Name] = c
+		phys[i] = c.phys
+	}
+	store, err := colstore.NewStore(phys...)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	t.store = store
+	return t, nil
+}
+
+// FromStore wraps a colstore.Store — typically one mmap'd from a snapshot —
+// in a query facade. The table's columns alias the store's vectors; no data
+// is copied, so a multi-gigabyte snapshot is queryable the moment the file is
+// mapped.
+func FromStore(store *colstore.Store) (*Table, error) {
+	if store == nil {
+		return nil, errors.New("dataset: FromStore requires a store")
+	}
+	t := &Table{
+		store:  store,
+		rows:   store.Rows(),
+		byName: make(map[string]*Column, store.NumColumns()),
+	}
+	for _, p := range store.Columns() {
+		c := wrapColumn(p)
+		t.columns = append(t.columns, c)
+		t.byName[c.Name] = c
 	}
 	return t, nil
 }
+
+// Store returns the storage engine behind the table.
+func (t *Table) Store() *colstore.Store { return t.store }
+
+// Snapshot persists the table's store as a columnar snapshot at path
+// (atomically: temp file + rename). The snapshot re-opens with OpenSnapshot.
+func (t *Table) Snapshot(path string) error { return t.store.WriteSnapshot(path) }
+
+// OpenSnapshot maps a snapshot file written by Snapshot (or the colstore
+// ingesters) and wraps it in a Table. On platforms with mmap the table serves
+// queries straight from the page cache with zero re-parse; elsewhere the file
+// is read into the heap. Close releases the mapping.
+func OpenSnapshot(path string) (*Table, error) {
+	store, err := colstore.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return FromStore(store)
+}
+
+// Close releases the table's snapshot mapping, if any. After Close the
+// table's columns are invalid; only call it when no query still runs against
+// the table. Heap-backed tables are unaffected and Close is idempotent.
+func (t *Table) Close() error { return t.store.Close() }
 
 // NumRows returns the number of rows.
 func (t *Table) NumRows() int { return t.rows }

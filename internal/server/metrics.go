@@ -133,6 +133,9 @@ type MetricsSnapshot struct {
 	// SelectionCaches maps dataset names to their shared filter-bitmap cache
 	// counters.
 	SelectionCaches map[string]CacheMetrics `json:"selection_caches"`
+	// DatasetStorage maps dataset names to their storage detail: row count,
+	// column schema, snapshot path/size and resident (mmap) vs heap mode.
+	DatasetStorage map[string]DatasetInfo `json:"dataset_storage"`
 	// Pool is the morsel-parallel execution pool's counters: configured
 	// workers, tasks handed to background workers, morsels processed, and how
 	// often kernels fell back to the sequential small-input path.
@@ -185,7 +188,9 @@ func (s *Server) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
 	datasets := s.registry.List()
 	snap.Datasets = len(datasets)
 	snap.SelectionCaches = make(map[string]CacheMetrics, len(datasets))
+	snap.DatasetStorage = make(map[string]DatasetInfo, len(datasets))
 	for _, info := range datasets {
+		snap.DatasetStorage[info.Name] = info
 		// Registered datasets always carry a cache (Register builds it), so
 		// this lookup cannot miss today; guard anyway rather than panic if a
 		// future unregister API changes that.

@@ -3,9 +3,14 @@ package server
 import (
 	"errors"
 	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
+	"aware/internal/colstore"
 	"aware/internal/dataset"
 )
 
@@ -17,11 +22,31 @@ var (
 	ErrDatasetExists = errors.New("server: dataset already registered")
 )
 
-// DatasetInfo summarizes one registered dataset for listings.
+// ColumnInfo is one column of a dataset's schema as reported by /datasets.
+type ColumnInfo struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// SnapshotInfo describes the snapshot file backing a dataset, when there is
+// one.
+type SnapshotInfo struct {
+	Path      string `json:"path"`
+	SizeBytes int64  `json:"size_bytes"`
+}
+
+// DatasetInfo summarizes one registered dataset for listings. Columns remains
+// the plain name list for compatibility; Schema adds per-column kinds,
+// Storage reports where the vectors live ("mmap" when they alias a snapshot
+// mapping, "heap" otherwise) and Snapshot points at the backing file for
+// snapshot-loaded datasets.
 type DatasetInfo struct {
-	Name    string   `json:"name"`
-	Rows    int      `json:"rows"`
-	Columns []string `json:"columns"`
+	Name     string        `json:"name"`
+	Rows     int           `json:"rows"`
+	Columns  []string      `json:"columns"`
+	Schema   []ColumnInfo  `json:"schema"`
+	Storage  string        `json:"storage"`
+	Snapshot *SnapshotInfo `json:"snapshot,omitempty"`
 }
 
 // DatasetRegistry holds the named tables that sessions explore. Tables are
@@ -103,14 +128,76 @@ func (r *DatasetRegistry) Cache(name string) (*dataset.SelectionCache, error) {
 	return c, nil
 }
 
+// RegisterSnapshotDir discovers every *.aware snapshot in dir, mmaps it and
+// registers it under its base name (minus the extension): the awared -data
+// startup path. A snapshot that fails to load — truncated, corrupt, wrong
+// version — is skipped with a warning rather than refusing to start the
+// server, matching how journal recovery treats damaged session journals; a
+// name collision (with a built-in dataset or a duplicate file) is skipped the
+// same way. Environment errors (unreadable directory) are returned. Returns
+// the number of datasets registered.
+func (r *DatasetRegistry) RegisterSnapshotDir(dir string, log *slog.Logger) (int, error) {
+	if log == nil {
+		log = slog.Default()
+	}
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return 0, fmt.Errorf("server: snapshot dir: %w", err)
+	}
+	if !fi.IsDir() {
+		return 0, fmt.Errorf("server: snapshot dir %s is not a directory", dir)
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*"+colstore.SnapshotExt))
+	if err != nil {
+		return 0, fmt.Errorf("server: scanning snapshot dir %s: %w", dir, err)
+	}
+	sort.Strings(paths)
+	registered := 0
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), colstore.SnapshotExt)
+		table, err := dataset.OpenSnapshot(path)
+		if err != nil {
+			log.Warn("skipping unloadable snapshot", "path", path, "err", err)
+			continue
+		}
+		if err := r.Register(name, table); err != nil {
+			table.Close()
+			log.Warn("skipping snapshot with conflicting name", "path", path, "name", name, "err", err)
+			continue
+		}
+		store := table.Store()
+		log.Info("snapshot dataset ready", "name", name, "rows", table.NumRows(),
+			"path", path, "size_bytes", store.SizeBytes(), "resident", store.Resident())
+		registered++
+	}
+	return registered, nil
+}
+
 // List returns a summary of every registered dataset, sorted by name.
 func (r *DatasetRegistry) List() []DatasetInfo {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	out := make([]DatasetInfo, 0, len(r.tables))
 	for name, t := range r.tables {
-		out = append(out, DatasetInfo{Name: name, Rows: t.NumRows(), Columns: t.ColumnNames()})
+		out = append(out, describeDataset(name, t))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// describeDataset builds one dataset's listing entry from its table and the
+// store behind it.
+func describeDataset(name string, t *dataset.Table) DatasetInfo {
+	info := DatasetInfo{Name: name, Rows: t.NumRows(), Columns: t.ColumnNames(), Storage: "heap"}
+	store := t.Store()
+	for _, cs := range store.Schema() {
+		info.Schema = append(info.Schema, ColumnInfo{Name: cs.Name, Kind: cs.Kind.String()})
+	}
+	if store.Resident() {
+		info.Storage = "mmap"
+	}
+	if p := store.Path(); p != "" {
+		info.Snapshot = &SnapshotInfo{Path: p, SizeBytes: store.SizeBytes()}
+	}
+	return info
 }
