@@ -163,6 +163,12 @@ type (
 	Pool = dataset.Pool
 	// PoolStats is a snapshot of a pool's execution counters.
 	PoolStats = dataset.PoolStats
+	// WordArena recycles Selection bitmap words across filter compiles; pin
+	// one to a table with Table.SetArena (or via SessionOptions.Arena) so
+	// steady-state filters allocate zero words.
+	WordArena = dataset.WordArena
+	// ArenaStats is a snapshot of a WordArena's recycling counters.
+	ArenaStats = dataset.ArenaStats
 )
 
 // Column constructors.
@@ -186,6 +192,9 @@ var (
 	NewPool = dataset.NewPool
 	// DefaultPool returns the process-wide shared execution pool.
 	DefaultPool = dataset.DefaultPool
+	// NewWordArena builds a Selection word arena for tables of a fixed row
+	// count.
+	NewWordArena = dataset.NewWordArena
 )
 
 // Storage engine re-exports: the column store under every Table and its

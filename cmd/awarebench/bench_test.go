@@ -15,7 +15,7 @@ func TestRunBenchCore(t *testing.T) {
 		t.Skip("benchmark harness is slow in -short mode")
 	}
 	out := filepath.Join(t.TempDir(), "BENCH_core.json")
-	if err := run("bench", 0, 1, -1, 300, 0, false, out, 0, 0, "", ""); err != nil {
+	if err := run("bench", 0, 1, -1, 300, 0, false, out, 0, 0, 0, "", ""); err != nil {
 		t.Fatalf("run(bench): %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -56,7 +56,7 @@ func TestRunBenchIngest(t *testing.T) {
 		t.Skip("benchmark harness is slow in -short mode")
 	}
 	out := filepath.Join(t.TempDir(), "BENCH_core.json")
-	if err := run("ingest", 0, 1, -1, 0, 0, false, out, 0, 0, "", "400"); err != nil {
+	if err := run("ingest", 0, 1, -1, 0, 0, false, out, 0, 0, 0, "", "400"); err != nil {
 		t.Fatalf("run(ingest): %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -83,10 +83,10 @@ func TestRunBenchIngest(t *testing.T) {
 	}
 	// The load gate: a mmap load of a 400-row snapshot must beat regenerating
 	// the census (trivially true; the gate plumbing is what is under test).
-	if err := run("ingest", 0, 1, -1, 0, 0, false, out, 1.0, 0, "", "400"); err != nil {
+	if err := run("ingest", 0, 1, -1, 0, 0, false, out, 1.0, 0, 0, "", "400"); err != nil {
 		t.Fatalf("run(ingest) with gate: %v", err)
 	}
-	if err := run("ingest", 0, 1, -1, 0, 0, false, out, 0, 0, "", "nope"); err == nil {
+	if err := run("ingest", 0, 1, -1, 0, 0, false, out, 0, 0, 0, "", "nope"); err == nil {
 		t.Error("bad -ingestrows accepted")
 	}
 }

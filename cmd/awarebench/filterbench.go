@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"testing"
 
 	"aware/internal/census"
@@ -22,24 +23,38 @@ import (
 //	                            SelectionCache — the steady state of a served
 //	                            dataset, where some session has already
 //	                            compiled the filter
-//	filter_sequential           the vectorized path pinned to a 1-worker pool
-//	                            (the morsel-parallel engine's sequential
-//	                            reference)
-//	filter_parallel             the vectorized path on a GOMAXPROCS-sized
+//	filter_sequential           the GENERIC (branchy, per-row) kernels pinned
+//	                            to a 1-worker pool — the pre-tuning sequential
+//	                            reference, kept measuring the same code so the
+//	                            committed baseline stays comparable
+//	filter_parallel             the generic kernels on a GOMAXPROCS-sized
 //	                            morsel-parallel pool
+//	filter_tuned_sequential     the tuned kernels (branch-free compares,
+//	                            dict-width-specialized categorical LUTs) on
+//	                            the 1-worker pool
+//	filter_tuned_parallel       the tuned kernels on the GOMAXPROCS pool —
+//	                            the production Where path
+//	filter_tuned_arena          filter_tuned_parallel with the table's word
+//	                            arena pinned and the selection released after
+//	                            counting — the served steady state, where
+//	                            bitmap words recycle instead of allocating
 //	filter_traced               the vectorized path under a live request
 //	                            span — every kernel opens a child span and
 //	                            the finished tree is captured into a trace
 //	                            ring, exactly as a traced server request runs
 //
 // Results merge into BENCH_core.json next to the other experiments; the
-// legacy-over-cached and sequential-over-parallel speedups are printed. With
-// minSpeedup > 0 the run fails when the parallel speedup falls below the bar
-// on a machine with at least 4 CPUs (the CI scaling gate); on smaller
-// machines the gate is skipped with a notice. With maxTraceOverhead > 0 the
-// run fails when filter_traced is more than that many percent slower than
-// filter_vectorized — the gate that keeps tracing effectively free.
-func runBenchFilter(outPath string, seed int64, rows int, minSpeedup, maxTraceOverhead float64) error {
+// legacy-over-cached, sequential-over-parallel and generic-over-tuned
+// speedups are printed, and the arena recycling report shows fresh vs
+// recycled selections over a steady-state window. With minSpeedup > 0 the run
+// fails when the parallel speedup falls below the bar on a machine with at
+// least 4 CPUs (the CI scaling gate); with minTunedSpeedup > 0 likewise when
+// the tuned parallel kernels do not beat the generic parallel ones by the
+// bar; on smaller machines both gates skip with a notice. With
+// maxTraceOverhead > 0 the run fails when filter_traced is more than that
+// many percent slower than filter_vectorized — the gate that keeps tracing
+// effectively free.
+func runBenchFilter(outPath string, seed int64, rows int, minSpeedup, minTunedSpeedup, maxTraceOverhead float64) error {
 	table, err := census.Generate(census.Config{Rows: rows, Seed: seed, SignalStrength: 1})
 	if err != nil {
 		return err
@@ -91,17 +106,56 @@ func runBenchFilter(outPath string, seed int64, rows int, minSpeedup, maxTraceOv
 	// The morsel-parallel engine's two endpoints: the 1-worker pool is the
 	// sequential reference, the GOMAXPROCS pool the production configuration.
 	// SetPool is table-wide, so each closure pins its pool before compiling.
+	// The generic closures pin WhereGeneric — the branchy per-row kernels the
+	// committed baseline has always measured — while the tuned ones take the
+	// default Where path (branch-free compares, dict-specialized LUTs).
 	seqPool := dataset.NewPool(1)
 	defer seqPool.Close()
 	parPool := dataset.NewPool(0)
 	defer parPool.Close()
-	withPool := func(p *dataset.Pool) func() ([]int, error) {
+	countSelection := func(sel *dataset.Selection) ([]int, error) {
+		view, err := dataset.NewView(table, sel)
+		if err != nil {
+			return nil, err
+		}
+		return view.CountsFor(target, cats)
+	}
+	withPoolGeneric := func(p *dataset.Pool) func() ([]int, error) {
+		return func() ([]int, error) {
+			table.SetPool(p)
+			sel, err := table.WhereGeneric(filter)
+			if err != nil {
+				return nil, err
+			}
+			return countSelection(sel)
+		}
+	}
+	withPoolTuned := func(p *dataset.Pool) func() ([]int, error) {
 		return func() ([]int, error) {
 			table.SetPool(p)
 			return vectorized()
 		}
 	}
-	sequential, parallel := withPool(seqPool), withPool(parPool)
+	sequential, parallel := withPoolGeneric(seqPool), withPoolGeneric(parPool)
+	tunedSequential, tunedParallel := withPoolTuned(seqPool), withPoolTuned(parPool)
+
+	// The arena slice is the served steady state: the tuned parallel path with
+	// the table's word arena pinned and every compiled selection released back
+	// after counting, so bitmap words recycle instead of allocating. SetArena
+	// is table-wide like SetPool; the closure pins it per call and unpins
+	// afterwards so the other slices keep allocating from the heap.
+	arena := dataset.NewWordArena(table.NumRows())
+	tunedArena := func() ([]int, error) {
+		table.SetPool(parPool)
+		table.SetArena(arena)
+		defer table.SetArena(nil)
+		sel, err := table.Where(filter)
+		if err != nil {
+			return nil, err
+		}
+		defer sel.Release()
+		return countSelection(sel)
+	}
 
 	// The traced slice mirrors filter_vectorized op for op — same compile,
 	// same count — but under a live request span: both kernels open child
@@ -132,7 +186,8 @@ func runBenchFilter(outPath string, seed int64, rows int, minSpeedup, maxTraceOv
 	for _, p := range []struct {
 		name string
 		fn   func() ([]int, error)
-	}{{"vectorized", vectorized}, {"cached", cached}, {"sequential", sequential}, {"parallel", parallel}, {"traced", traced}} {
+	}{{"vectorized", vectorized}, {"cached", cached}, {"sequential", sequential}, {"parallel", parallel},
+		{"tuned_sequential", tunedSequential}, {"tuned_parallel", tunedParallel}, {"tuned_arena", tunedArena}, {"traced", traced}} {
 		got, err := p.fn()
 		if err != nil {
 			return fmt.Errorf("%s path: %w", p.name, err)
@@ -191,6 +246,30 @@ func runBenchFilter(outPath string, seed int64, rows int, minSpeedup, maxTraceOv
 				}
 			}
 		}},
+		{"filter_tuned_sequential", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tunedSequential(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"filter_tuned_parallel", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tunedParallel(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"filter_tuned_arena", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tunedArena(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"filter_traced", func(b *testing.B) {
 			// Same default pool as filter_vectorized, so the traced-minus-
 			// vectorized delta is the cost of tracing alone.
@@ -220,18 +299,80 @@ func runBenchFilter(outPath string, seed int64, rows int, minSpeedup, maxTraceOv
 		speedup = float64(s.NsPerOp) / float64(p.NsPerOp)
 		fmt.Printf("speedup sequential/parallel: %.2fx (%d CPUs)\n", speedup, runtime.NumCPU())
 	}
+	tunedSpeedup := 0.0
+	if g, tn := byOp["filter_parallel"], byOp["filter_tuned_parallel"]; tn.NsPerOp > 0 {
+		tunedSpeedup = float64(g.NsPerOp) / float64(tn.NsPerOp)
+		fmt.Printf("speedup generic/tuned:       %.2fx (parallel pool)\n", tunedSpeedup)
+	}
 	traceOverhead := 0.0
 	if v, tr := byOp["filter_vectorized"], byOp["filter_traced"]; v.NsPerOp > 0 {
 		traceOverhead = (float64(tr.NsPerOp)/float64(v.NsPerOp) - 1) * 100
 		fmt.Printf("tracing overhead:            %+.2f%% (traced vs vectorized)\n", traceOverhead)
 	}
+	reportArenaRecycling(arena, tunedArena)
 	if err := writeBenchEntries(outPath, entries); err != nil {
 		return err
 	}
 	if err := checkSpeedup(speedup, minSpeedup); err != nil {
 		return err
 	}
+	if err := checkTunedSpeedup(tunedSpeedup, minTunedSpeedup); err != nil {
+		return err
+	}
 	return checkTraceOverhead(traceOverhead, maxTraceOverhead)
+}
+
+// reportArenaRecycling prints the per-kernel allocation report of the arena
+// slice: after a short warmup, a steady-state window of filter+count ops must
+// serve every compiled selection from recycled words — fresh_selections stops
+// moving. GC is disabled for the window so a collection cannot empty the
+// arena's pool mid-measurement and masquerade as an allocation regression.
+func reportArenaRecycling(arena *dataset.WordArena, op func() ([]int, error)) {
+	const warmup, window = 3, 100
+	for i := 0; i < warmup; i++ {
+		if _, err := op(); err != nil {
+			fmt.Printf("arena recycling report skipped: %v\n", err)
+			return
+		}
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	before := arena.Stats()
+	for i := 0; i < window; i++ {
+		if _, err := op(); err != nil {
+			fmt.Printf("arena recycling report skipped: %v\n", err)
+			return
+		}
+	}
+	after := arena.Stats()
+	fresh := after.FreshSelections - before.FreshSelections
+	recycled := after.RecycledSelections - before.RecycledSelections
+	returned := after.ReturnedSelections - before.ReturnedSelections
+	fmt.Printf("arena recycling (%d steady-state ops, %d-word bitmaps): fresh %d, recycled %d, returned %d\n",
+		window, after.WordsPerSelection, fresh, recycled, returned)
+	if fresh == 0 {
+		fmt.Printf("arena steady state confirmed: zero fresh selection allocations\n")
+	} else {
+		fmt.Printf("NOTICE: arena allocated %d fresh selections in steady state (expected 0)\n", fresh)
+	}
+}
+
+// checkTunedSpeedup enforces the kernel-tuning gate: with a positive bar and
+// at least 4 CPUs, the tuned parallel kernels must beat the generic parallel
+// ones by the bar. Below 4 CPUs the pools barely differ and the measurement
+// is dominated by scheduling noise, so the gate skips with a notice.
+func checkTunedSpeedup(speedup, minSpeedup float64) error {
+	if minSpeedup <= 0 {
+		return nil
+	}
+	if cpus := runtime.NumCPU(); cpus < 4 {
+		fmt.Printf("NOTICE: tuned-speedup gate skipped: %d CPUs < 4 (gate requires a multi-core runner)\n", cpus)
+		return nil
+	}
+	if speedup < minSpeedup {
+		return fmt.Errorf("tuned kernel speedup %.2fx below the %.2fx gate", speedup, minSpeedup)
+	}
+	fmt.Printf("tuned-speedup gate passed: %.2fx >= %.2fx\n", speedup, minSpeedup)
+	return nil
 }
 
 // checkTraceOverhead enforces the tracing-cost gate: with a positive bar, the
@@ -267,27 +408,40 @@ func checkSpeedup(speedup, minSpeedup float64) error {
 	return nil
 }
 
-// compareSelections asserts that the sequential and parallel pools compile
-// the predicate into bit-identical selections over the table: same span, same
-// count, same membership row by row.
+// compareSelections asserts that every kernel generation compiles the
+// predicate into bit-identical selections over the table: generic and tuned
+// kernels, each on the sequential and the parallel pool — same span, same
+// count, same membership row by row. The generic sequential compile is the
+// reference.
 func compareSelections(table *dataset.Table, filter dataset.Predicate, seqPool, parPool *dataset.Pool) error {
 	table.SetPool(seqPool)
-	seq, err := table.Where(filter)
+	ref, err := table.WhereGeneric(filter)
 	if err != nil {
 		return err
 	}
-	table.SetPool(parPool)
-	par, err := table.Where(filter)
-	if err != nil {
-		return err
+	variants := []struct {
+		name    string
+		pool    *dataset.Pool
+		compile func(dataset.Predicate) (*dataset.Selection, error)
+	}{
+		{"generic parallel", parPool, table.WhereGeneric},
+		{"tuned sequential", seqPool, table.Where},
+		{"tuned parallel", parPool, table.Where},
 	}
-	if seq.Len() != par.Len() || seq.Count() != par.Count() {
-		return fmt.Errorf("parallel selection differs: len %d/%d count %d/%d",
-			seq.Len(), par.Len(), seq.Count(), par.Count())
-	}
-	for i := 0; i < seq.Len(); i++ {
-		if seq.Contains(i) != par.Contains(i) {
-			return fmt.Errorf("parallel selection differs from sequential at row %d", i)
+	for _, v := range variants {
+		table.SetPool(v.pool)
+		got, err := v.compile(filter)
+		if err != nil {
+			return fmt.Errorf("%s compile: %w", v.name, err)
+		}
+		if ref.Len() != got.Len() || ref.Count() != got.Count() {
+			return fmt.Errorf("%s selection differs: len %d/%d count %d/%d",
+				v.name, ref.Len(), got.Len(), ref.Count(), got.Count())
+		}
+		for i := 0; i < ref.Len(); i++ {
+			if ref.Contains(i) != got.Contains(i) {
+				return fmt.Errorf("%s selection differs from generic sequential at row %d", v.name, i)
+			}
 		}
 	}
 	return nil

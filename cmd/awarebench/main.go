@@ -47,6 +47,7 @@ func main() {
 		driftBase  = flag.String("driftbase", "BENCH_core.json", "committed baseline for -exp drift")
 		driftPct   = flag.Float64("driftpct", 20, "allowed allocs_per_op increase in percent for -exp drift")
 		minSpeedup = flag.Float64("minspeedup", 0, "fail -exp filter/scaling when parallel speedup over sequential is below this (0 = no gate; skipped below 4 CPUs); for -exp ingest, fail when snapshot load is not this much faster than generation")
+		minTunedSp = flag.Float64("mintunedspeedup", 0, "fail -exp filter when the tuned parallel kernels are not this much faster than the generic parallel ones (0 = no gate; skipped below 4 CPUs)")
 		maxTraceOv = flag.Float64("maxtraceoverhead", 0, "fail -exp filter when the traced path is more than this percent slower than the untraced one (0 = no gate)")
 		scaleRows  = flag.String("scalerows", "30000,300000,3000000,10000000", "comma-separated census sizes for -exp scaling")
 		ingestRows = flag.String("ingestrows", "30000,300000,3000000", "comma-separated census sizes for -exp ingest")
@@ -61,7 +62,7 @@ func main() {
 			// (-benchout) against the committed baseline (-driftbase).
 			return runDrift(*driftBase, *benchOut, *driftPct)
 		}
-		return run(*exp, *reps, *seed, *nullProp, *rows, *hypotheses, *randomized, *benchOut, *minSpeedup, *maxTraceOv, *scaleRows, *ingestRows)
+		return run(*exp, *reps, *seed, *nullProp, *rows, *hypotheses, *randomized, *benchOut, *minSpeedup, *minTunedSp, *maxTraceOv, *scaleRows, *ingestRows)
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "awarebench: %v\n", err)
 		os.Exit(1)
@@ -100,14 +101,14 @@ func runProfiled(cpuPath, memPath string, fn func() error) error {
 	return nil
 }
 
-func run(exp string, reps int, seed int64, nullProp float64, rows, hypotheses int, randomized bool, benchOut string, minSpeedup, maxTraceOverhead float64, scaleRows, ingestRows string) error {
+func run(exp string, reps int, seed int64, nullProp float64, rows, hypotheses int, randomized bool, benchOut string, minSpeedup, minTunedSpeedup, maxTraceOverhead float64, scaleRows, ingestRows string) error {
 	switch exp {
 	case "bench":
 		return runBenchCore(benchOut, seed, rows)
 	case "steps":
 		return runBenchSteps(benchOut, seed, rows)
 	case "filter":
-		return runBenchFilter(benchOut, seed, rows, minSpeedup, maxTraceOverhead)
+		return runBenchFilter(benchOut, seed, rows, minSpeedup, minTunedSpeedup, maxTraceOverhead)
 	case "scaling":
 		sizes, err := parseRowsList(scaleRows)
 		if err != nil {

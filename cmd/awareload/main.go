@@ -58,6 +58,8 @@ type options struct {
 	dataset    string
 	dataDir    string
 	think      time.Duration
+	thinkDist  string
+	loadSeed   int64
 	minSupport int
 	benchOut   string
 	traceOut   string
@@ -66,6 +68,15 @@ type options struct {
 	workers    int
 	logLevel   string
 	logFormat  string
+
+	openLoop      bool
+	rps           float64
+	rpsSweep      string
+	arrival       string
+	burst         int
+	inFlight      int
+	opsPerSession int
+	zipf          float64
 }
 
 func main() {
@@ -79,7 +90,17 @@ func main() {
 	flag.StringVar(&o.dataset, "dataset", "census", "registered dataset name the sessions explore")
 	flag.StringVar(&o.dataDir, "data", "", "directory of *.aware snapshots the in-process server mmaps and serves instead of the generated census; the -dataset snapshot must hold a census of -rows/-seed for scenario pre-validation (ignored with -addr)")
 	flag.DurationVar(&o.think, "think", 0, "pause between one analyst's operations (0 = closed loop)")
+	flag.StringVar(&o.thinkDist, "think-dist", "fixed", "think-time distribution around -think: fixed, lognormal, exponential")
+	flag.Int64Var(&o.loadSeed, "load-seed", 0, "seed for load-side randomness: analyst choices, popularity, think times, arrivals (0 = time-derived; the resolved value is always logged and recorded)")
 	flag.IntVar(&o.minSupport, "min-support", 100, "minimum sub-population size a scenario predicate may select")
+	flag.BoolVar(&o.openLoop, "openloop", false, "open-loop mode: schedule arrivals at fixed target rates and measure latency from intended start (knee curve)")
+	flag.Float64Var(&o.rps, "rps", 0, "open loop: single target arrival rate in ops/s (alternative to -rps-sweep)")
+	flag.StringVar(&o.rpsSweep, "rps-sweep", "", "open loop: lo:hi:steps target-rate sweep, e.g. 40:120:5 — one knee point per rate")
+	flag.StringVar(&o.arrival, "arrival", "poisson", "open loop: arrival process: poisson, uniform, burst")
+	flag.IntVar(&o.burst, "burst", 32, "open loop: arrivals per group of the burst process")
+	flag.IntVar(&o.inFlight, "inflight", 256, "open loop: max concurrently executing operations")
+	flag.IntVar(&o.opsPerSession, "ops-per-session", 8, "open loop: operations a session slot serves before being recycled")
+	flag.Float64Var(&o.zipf, "zipf", 1.1, "open loop: Zipf skew (>1) of session and scenario-item popularity")
 	flag.StringVar(&o.benchOut, "benchout", "BENCH_http.json", "output path for the machine-readable report")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write the post-run /debug/trace document to this path (empty = skip)")
 	flag.BoolVar(&o.checkLeaks, "check-leaks", false, "fail if the server's live-session count does not return to its pre-run value")
@@ -133,9 +154,8 @@ func run(o options) error {
 
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer cancel()
-	logger.Info("load run starting", "scenario", string(sc), "sessions", o.sessions,
-		"duration", o.duration, "target", base, "dataset", o.dataset)
-	res, err := loadgen.Run(ctx, loadgen.Config{
+
+	cfg := loadgen.Config{
 		BaseURL:    base,
 		Dataset:    o.dataset,
 		Table:      table,
@@ -143,22 +163,88 @@ func run(o options) error {
 		Sessions:   o.sessions,
 		Duration:   o.duration,
 		Seed:       o.seed,
+		LoadSeed:   o.loadSeed,
 		Think:      o.think,
+		ThinkDist:  o.thinkDist,
 		MinSupport: o.minSupport,
-	})
+	}
+
+	// Either mode rewrites only its own section of the benchmark document, so
+	// the committed closed-loop report and knee curve refresh independently.
+	doc, err := loadgen.LoadDocument(o.benchOut)
 	if err != nil {
 		return err
 	}
-	if o.addr == "" {
-		// Only the in-process server's size is known for certain; a remote
-		// server may serve a different table than the local scenario source.
-		res.Rows = o.rows
+
+	var totalErrors, totalRequests int64
+	var samples []string
+	if o.openLoop {
+		targets, err := sweepTargets(o)
+		if err != nil {
+			return err
+		}
+		arrival, err := loadgen.ParseArrival(o.arrival)
+		if err != nil {
+			return err
+		}
+		logger.Info("open-loop sweep starting", "arrival", string(arrival), "targets", targets,
+			"session_pool", o.sessions, "point_duration", o.duration, "target", base, "dataset", o.dataset)
+		res, err := loadgen.RunOpenLoop(ctx, loadgen.OpenLoopConfig{
+			Config:        cfg,
+			Arrival:       arrival,
+			TargetRPS:     targets,
+			BurstSize:     o.burst,
+			MaxInFlight:   o.inFlight,
+			OpsPerSession: o.opsPerSession,
+			ZipfS:         o.zipf,
+		})
+		if err != nil {
+			return err
+		}
+		if o.addr == "" {
+			res.Rows = o.rows
+		}
+		logger.Info("open-loop sweep finished", "load_seed", res.LoadSeed, "points", len(res.Points))
+		if err := res.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		if err := res.Validate(); err != nil {
+			return err
+		}
+		doc.OpenLoop = res
+		totalErrors, totalRequests, samples = res.TotalErrors, res.TotalRequests, res.ErrorSamples
+		if o.checkObs {
+			logger.Warn("-check-obs applies to closed-loop runs only; ignoring")
+		}
+	} else {
+		logger.Info("load run starting", "scenario", string(sc), "sessions", o.sessions,
+			"duration", o.duration, "target", base, "dataset", o.dataset)
+		res, err := loadgen.Run(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		if o.addr == "" {
+			// Only the in-process server's size is known for certain; a remote
+			// server may serve a different table than the local scenario source.
+			res.Rows = o.rows
+		}
+		logger.Info("load run finished", "load_seed", res.LoadSeed)
+		if err := res.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		doc.ClosedLoop = res
+		totalErrors, totalRequests, samples = res.TotalErrors, res.TotalRequests, res.ErrorSamples
+		if o.checkObs {
+			if err := res.Observability.Check(); err != nil {
+				return fmt.Errorf("observability check failed: %w", err)
+			}
+			logger.Info("observability check passed",
+				"metric_samples", res.Observability.MetricsSamples,
+				"traces_captured", res.Observability.TraceCapturedDelta)
+		}
 	}
 
-	if err := res.WriteText(os.Stdout); err != nil {
-		return err
-	}
-	if err := benchio.WriteFileJSON(o.benchOut, res); err != nil {
+	if err := benchio.WriteFileJSON(o.benchOut, doc); err != nil {
 		return err
 	}
 	logger.Info("report written", "path", o.benchOut)
@@ -177,21 +263,41 @@ func run(o options) error {
 	leaked := after - before
 	logger.Info("live sessions probed", "before", before, "after", after)
 
-	if res.TotalErrors > 0 {
-		return fmt.Errorf("%d of %d requests failed (first: %v)", res.TotalErrors, res.TotalRequests, firstSample(res.ErrorSamples))
+	if totalErrors > 0 {
+		return fmt.Errorf("%d of %d requests failed (first: %v)", totalErrors, totalRequests, firstSample(samples))
 	}
 	if o.checkLeaks && leaked != 0 {
 		return fmt.Errorf("session leak: live count went from %d to %d", before, after)
 	}
-	if o.checkObs {
-		if err := res.Observability.Check(); err != nil {
-			return fmt.Errorf("observability check failed: %w", err)
-		}
-		logger.Info("observability check passed",
-			"metric_samples", res.Observability.MetricsSamples,
-			"traces_captured", res.Observability.TraceCapturedDelta)
-	}
 	return nil
+}
+
+// sweepTargets resolves -rps-sweep / -rps into the swept target rates.
+// "lo:hi:steps" spaces steps rates linearly from lo to hi inclusive.
+func sweepTargets(o options) ([]float64, error) {
+	if o.rpsSweep == "" {
+		if o.rps <= 0 {
+			return nil, fmt.Errorf("open loop needs -rps-sweep lo:hi:steps or -rps rate")
+		}
+		return []float64{o.rps}, nil
+	}
+	var lo, hi float64
+	var steps int
+	if _, err := fmt.Sscanf(o.rpsSweep, "%f:%f:%d", &lo, &hi, &steps); err != nil {
+		return nil, fmt.Errorf("malformed -rps-sweep %q (want lo:hi:steps): %w", o.rpsSweep, err)
+	}
+	if lo <= 0 || hi < lo || steps < 1 || (steps == 1 && hi != lo) {
+		return nil, fmt.Errorf("malformed -rps-sweep %q: need 0 < lo <= hi and steps >= 2 (or steps = 1 with lo = hi)", o.rpsSweep)
+	}
+	targets := make([]float64, steps)
+	for i := range targets {
+		if steps == 1 {
+			targets[i] = lo
+			break
+		}
+		targets[i] = lo + (hi-lo)*float64(i)/float64(steps-1)
+	}
+	return targets, nil
 }
 
 // writeTraceArtifact saves the server's full /debug/trace document — the CI

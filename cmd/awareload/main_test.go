@@ -42,9 +42,16 @@ func TestRunInProcessSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var res loadgen.Result
-	if err := json.Unmarshal(data, &res); err != nil {
+	var doc loadgen.Document
+	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatalf("BENCH_http.json does not parse: %v", err)
+	}
+	if doc.ClosedLoop == nil {
+		t.Fatal("BENCH_http.json has no closed_loop section")
+	}
+	res := doc.ClosedLoop
+	if res.LoadSeed == 0 {
+		t.Error("resolved load seed not recorded")
 	}
 	if res.Scenario != "mixed" || res.Sessions != 3 || res.Rows != 2000 {
 		t.Errorf("unexpected run metadata: %+v", res)
@@ -86,6 +93,115 @@ func TestRunInProcessSmoke(t *testing.T) {
 	}
 	if trace.Returned == 0 || len(trace.Traces) != trace.Returned {
 		t.Errorf("trace artifact has %d traces, returned=%d, want a non-empty consistent ring", len(trace.Traces), trace.Returned)
+	}
+}
+
+// TestRunOpenLoopSmoke is the knee CI job in miniature: a two-point Poisson
+// sweep against an in-process server must complete every point with zero
+// errors and no leaked sessions, merge the knee curve into the open_loop
+// section WITHOUT clobbering an existing closed-loop report, and survive its
+// own structural validation.
+func TestRunOpenLoopSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_http.json")
+	// Pre-seed the document with a legacy flat closed-loop report: the
+	// open-loop run must wrap and preserve it.
+	legacy := []byte(`{"scenario":"mixed","dataset":"census","sessions":2,"duration_seconds":1,` +
+		`"sessions_completed":4,"total_requests":40,"total_errors":0,"requests_per_second":40,"endpoints":[]}`)
+	if err := os.WriteFile(out, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(options{
+		scenario:   "mixed",
+		sessions:   4,
+		duration:   1500 * time.Millisecond,
+		rows:       1500,
+		seed:       1,
+		loadSeed:   7,
+		dataset:    "census",
+		minSupport: 40,
+		benchOut:   out,
+		checkLeaks: true,
+		workers:    2,
+		logLevel:   "warn",
+		logFormat:  "text",
+		openLoop:   true,
+		rpsSweep:   "30:60:2",
+		arrival:    "poisson",
+		burst:      32,
+		inFlight:   64,
+
+		opsPerSession: 8,
+		zipf:          1.1,
+	})
+	if err != nil {
+		t.Fatalf("open-loop run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc loadgen.Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("BENCH_http.json does not parse: %v", err)
+	}
+	if doc.ClosedLoop == nil || doc.ClosedLoop.Scenario != "mixed" {
+		t.Error("open-loop run clobbered the existing closed-loop section")
+	}
+	ol := doc.OpenLoop
+	if ol == nil {
+		t.Fatal("BENCH_http.json has no open_loop section")
+	}
+	if err := ol.Validate(); err != nil {
+		t.Errorf("knee curve fails validation: %v", err)
+	}
+	if len(ol.Points) != 2 || ol.LoadSeed != 7 || ol.Rows != 1500 {
+		t.Errorf("unexpected sweep metadata: points=%d seed=%d rows=%d", len(ol.Points), ol.LoadSeed, ol.Rows)
+	}
+	for _, pt := range ol.Points {
+		if pt.Errors != 0 {
+			t.Errorf("knee point %.1f rps: %d errors", pt.TargetRPS, pt.Errors)
+		}
+	}
+}
+
+func TestSweepTargets(t *testing.T) {
+	cases := []struct {
+		sweep   string
+		rps     float64
+		want    []float64
+		wantErr bool
+	}{
+		{sweep: "40:120:5", want: []float64{40, 60, 80, 100, 120}},
+		{sweep: "50:50:1", want: []float64{50}},
+		{sweep: "", rps: 75, want: []float64{75}},
+		{sweep: "", rps: 0, wantErr: true},
+		{sweep: "120:40:3", wantErr: true},
+		{sweep: "0:10:2", wantErr: true},
+		{sweep: "40:120:1", wantErr: true},
+		{sweep: "garbage", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := sweepTargets(options{rpsSweep: tc.sweep, rps: tc.rps})
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("sweepTargets(%q, %v): want error, got %v", tc.sweep, tc.rps, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("sweepTargets(%q, %v): %v", tc.sweep, tc.rps, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("sweepTargets(%q, %v) = %v, want %v", tc.sweep, tc.rps, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("sweepTargets(%q, %v) = %v, want %v", tc.sweep, tc.rps, got, tc.want)
+				break
+			}
+		}
 	}
 }
 

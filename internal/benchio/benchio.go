@@ -31,15 +31,24 @@ type Entry struct {
 
 // ReadEntries loads a BENCH_core.json-style file.
 func ReadEntries(path string) ([]Entry, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
+	var entries []Entry
+	if err := ReadFileJSON(path, &entries); err != nil {
 		return nil, err
 	}
-	var entries []Entry
-	if err := json.Unmarshal(data, &entries); err != nil {
-		return nil, fmt.Errorf("parsing %s: %w", path, err)
-	}
 	return entries, nil
+}
+
+// ReadFileJSON reads path and unmarshals it into v — the read-side twin of
+// WriteFileJSON, sharing its error framing (parse failures name the file).
+func ReadFileJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return nil
 }
 
 // MergeWrite merges entries into the file at path: operations already recorded

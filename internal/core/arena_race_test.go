@@ -1,0 +1,108 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"aware/internal/census"
+	"aware/internal/core"
+	"aware/internal/dataset"
+)
+
+// TestConcurrentSessionsShareOneArena is the arena companion of
+// TestConcurrentSessionsShareOnePool: 8 concurrent sessions over one table
+// that shares a pool, a SelectionCache AND a Selection word arena — the
+// exact configuration awared runs per registered dataset — followed by a
+// no-arena twin replaying the same steps. Run with -race: bitmap words are
+// recycled across sessions during the run, so any release of a selection a
+// session still reads would surface here. Every p-value must match the
+// arena-free twin exactly — recycling may never change a statistical
+// result.
+func TestConcurrentSessionsShareOneArena(t *testing.T) {
+	tab, err := census.Generate(census.Config{Rows: 40000, Seed: 13, SignalStrength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := dataset.NewPool(8)
+	defer pool.Close()
+	arena := dataset.NewWordArena(tab.NumRows())
+	shared := dataset.NewSelectionCache(tab)
+
+	steps := func(k int) []core.Step {
+		lo := float64(18 + 3*k)
+		return []core.Step{
+			core.AddVisualization{Target: census.ColGender, Filter: dataset.Range{Column: census.ColAge, Low: lo, High: lo + 15}},
+			core.AddVisualization{Target: census.ColGender, Filter: dataset.And{Terms: []dataset.Predicate{
+				dataset.Equals{Column: census.ColSalaryOver50K, Value: "true"},
+				dataset.GreaterThan{Column: census.ColHoursPerWeek, Threshold: float64(30 + k)},
+			}}},
+			core.AddVisualization{Target: census.ColAge, Filter: dataset.Equals{Column: census.ColEducation, Value: "Bachelor"}},
+			core.CompareVisualizations{A: 1, B: 2},
+			core.CompareMeans{Attribute: census.ColHoursPerWeek, A: 1, B: 2},
+		}
+	}
+
+	const sessions = 8
+	results := make([][]float64, sessions)
+	var wg sync.WaitGroup
+	for k := 0; k < sessions; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			sess, err := core.NewSession(tab, core.Options{Selections: shared, Pool: pool, Arena: arena})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for _, step := range steps(k) {
+				if _, err := sess.Apply(step); err != nil {
+					t.Errorf("session %d: %v", k, err)
+					return
+				}
+			}
+			var ps []float64
+			for _, h := range sess.Hypotheses() {
+				ps = append(ps, h.Test.PValue)
+			}
+			results[k] = ps
+		}(k)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if st := arena.Stats(); st.ReturnedSelections == 0 {
+		t.Errorf("arena never saw a release during the shared run: %+v", st)
+	}
+
+	// Arena-free sequential twin on regenerated data: identical p-values
+	// prove word recycling changed nothing.
+	seqTab, err := census.Generate(census.Config{Rows: 40000, Seed: 13, SignalStrength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqPool := dataset.NewPool(1)
+	defer seqPool.Close()
+	seqTab.SetPool(seqPool)
+	for k := 0; k < sessions; k++ {
+		twin, err := core.NewSession(seqTab, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, step := range steps(k) {
+			if _, err := twin.Apply(step); err != nil {
+				t.Fatalf("twin %d: %v", k, err)
+			}
+		}
+		hyps := twin.Hypotheses()
+		if len(hyps) != len(results[k]) {
+			t.Fatalf("session %d: %d hypotheses with arena, %d without", k, len(results[k]), len(hyps))
+		}
+		for i, h := range hyps {
+			if results[k][i] != h.Test.PValue {
+				t.Errorf("session %d hypothesis %d: arena p=%v, no-arena p=%v",
+					k, i+1, results[k][i], h.Test.PValue)
+			}
+		}
+	}
+}

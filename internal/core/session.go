@@ -34,6 +34,14 @@ type Options struct {
 	// dataset.NewPool(1) forces fully sequential execution for deterministic
 	// debugging. Nil leaves the table's current pool untouched.
 	Pool *dataset.Pool
+	// Arena, when non-nil, pins the Selection word arena the session's table
+	// compiles filters through (dataset.Table.SetArena — table-wide, like
+	// Pool, so sessions sharing one table should agree on it; a service
+	// configures it once per registered dataset). With an arena, steady-state
+	// filter steps recycle their bitmap words instead of allocating. Like
+	// Pool it is an execution hint only: results are bit-identical with or
+	// without it. Nil leaves the table's current arena untouched.
+	Arena *dataset.WordArena
 }
 
 // Session is one AWARE exploration session over a fixed dataset. It owns the
@@ -114,6 +122,9 @@ func NewSession(data *dataset.Table, opts Options) (*Session, error) {
 	}
 	if opts.Pool != nil {
 		data.SetPool(opts.Pool)
+	}
+	if opts.Arena != nil {
+		data.SetArena(opts.Arena)
 	}
 	return &Session{data: data, sel: sel, investor: inv, alpha: alpha, power: power}, nil
 }

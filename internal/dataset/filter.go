@@ -232,7 +232,9 @@ func (t *Table) Filter(p Predicate) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return t.Select(sel.Indices())
+	idx := sel.Indices()
+	sel.Release() // private compile, exclusively owned
+	return t.Select(idx)
 }
 
 // CountWhere returns the number of rows matching the predicate without
@@ -245,5 +247,7 @@ func (t *Table) CountWhere(p Predicate) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return sel.Count(), nil
+	n := sel.Count()
+	sel.Release() // private compile, exclusively owned
+	return n, nil
 }

@@ -292,8 +292,7 @@ func reduceInts(p *Pool, n, width int, fn func(lo, hi int, acc []int)) []int {
 // set; the per-morsel counts are summed in morsel order into the selection's
 // cached count.
 func (t *Table) fillSelection(fill func(sel *Selection, lo, hi int) int) *Selection {
-	sel := newSelection(t.rows)
-	sel.pool = t.execPool()
+	sel := t.newSel()
 	sel.count = runCounted(sel.pool, t.rows, morselRows, func(lo, hi int) int {
 		return fill(sel, lo, hi)
 	})

@@ -34,6 +34,12 @@ type Selection struct {
 	// table is pinned, even though a Selection carries no table reference.
 	// Nil means the process-wide DefaultPool.
 	pool *Pool
+
+	// arena, when non-nil, is the WordArena the selection's storage came from
+	// and may be returned to via Release. released guards against double
+	// returns; see arena.go for the ownership contract.
+	arena    *WordArena
+	released bool
 }
 
 // execPool resolves the pool the selection's algebra runs on.
@@ -122,7 +128,7 @@ func (s *Selection) Not() *Selection { return s.notWith(s.execPool()) }
 // with the table's pool; the public And uses the default pool.
 func (s *Selection) andWith(o *Selection, p *Pool) *Selection {
 	s.checkSameSpan(o)
-	out := newSelection(s.n)
+	out := s.sibling()
 	out.pool = p
 	out.count = runCounted(p, len(out.words), morselWords, func(lo, hi int) int {
 		a, b, dst := s.words[lo:hi], o.words[lo:hi], out.words[lo:hi]
@@ -140,7 +146,7 @@ func (s *Selection) andWith(o *Selection, p *Pool) *Selection {
 // orWith is Or on an explicit pool; see andWith.
 func (s *Selection) orWith(o *Selection, p *Pool) *Selection {
 	s.checkSameSpan(o)
-	out := newSelection(s.n)
+	out := s.sibling()
 	out.pool = p
 	out.count = runCounted(p, len(out.words), morselWords, func(lo, hi int) int {
 		a, b, dst := s.words[lo:hi], o.words[lo:hi], out.words[lo:hi]
@@ -159,7 +165,7 @@ func (s *Selection) orWith(o *Selection, p *Pool) *Selection {
 // a popcount (n - count, thanks to the zero-tail invariant), so the ranges
 // only flip words; the tail mask is reapplied once at the end.
 func (s *Selection) notWith(p *Pool) *Selection {
-	out := newSelection(s.n)
+	out := s.sibling()
 	out.pool = p
 	runCounted(p, len(out.words), morselWords, func(lo, hi int) int {
 		src, dst := s.words[lo:hi], out.words[lo:hi]
@@ -214,31 +220,62 @@ func (s *Selection) Indices() []int {
 // predicate selects every row. The seven built-in predicate types run as
 // columnar kernels (one type-dispatched pass per leaf, bitmap algebra for the
 // combinators); any other Predicate implementation falls back to the
-// row-at-a-time Matches loop, so external predicates keep working.
-func (t *Table) Where(p Predicate) (*Selection, error) {
+// row-at-a-time Matches loop, so external predicates keep working. Leaves run
+// the tuned branch-free kernels (kernels.go); WhereGeneric keeps the original
+// kernels reachable as a differential oracle. When the table has an arena
+// (SetArena), the result draws its words from it — the caller may Release it
+// if (and only if) it owns the selection exclusively.
+func (t *Table) Where(p Predicate) (*Selection, error) { return t.where(p, true) }
+
+// WhereGeneric is Where on the untuned predicate kernels — the PR-5 bodies
+// with a per-row branch and a read-modify-write per matching bit. It exists
+// as the comparison baseline for the tuned kernels: benchmarks pin slices to
+// it, and the differential tests assert Where and WhereGeneric produce
+// word-identical bitmaps.
+func (t *Table) WhereGeneric(p Predicate) (*Selection, error) { return t.where(p, false) }
+
+// where is the shared compile body behind Where (tuned=true) and WhereGeneric
+// (tuned=false): one combinator/short-circuit/error structure, two leaf kernel
+// generations. Combinator intermediates are exclusively owned here and are
+// released back to the table's arena as soon as they are consumed.
+func (t *Table) where(p Predicate, tuned bool) (*Selection, error) {
 	if p == nil {
-		return t.stamp(FullSelection(t.rows)), nil
+		return t.fullSel(), nil
 	}
 	switch q := p.(type) {
 	case Equals:
+		if tuned {
+			return t.whereEqualsTuned(q)
+		}
 		return t.whereEquals(q)
 	case In:
+		if tuned {
+			return t.whereInTuned(q)
+		}
 		return t.whereIn(q)
 	case Range:
+		if tuned {
+			return t.whereRangeTuned(q)
+		}
 		return t.whereNumeric(q.Column, func(v float64) bool { return v >= q.Low && v < q.High })
 	case GreaterThan:
+		if tuned {
+			return t.whereGreaterTuned(q)
+		}
 		return t.whereNumeric(q.Column, func(v float64) bool { return v > q.Threshold })
 	case Not:
 		if q.Inner == nil {
 			return nil, fmt.Errorf("dataset: not predicate with nil inner predicate")
 		}
-		inner, err := t.Where(q.Inner)
+		inner, err := t.where(q.Inner, tuned)
 		if err != nil {
 			return nil, err
 		}
-		return inner.notWith(t.execPool()), nil
+		out := inner.notWith(t.execPool())
+		inner.Release()
+		return out, nil
 	case And:
-		sel := t.stamp(FullSelection(t.rows))
+		sel := t.fullSel()
 		for _, term := range q.Terms {
 			// Short-circuit on an empty accumulator: no row would reach the
 			// remaining terms row-at-a-time, so they must not be compiled —
@@ -247,30 +284,38 @@ func (t *Table) Where(p Predicate) (*Selection, error) {
 			if sel.Count() == 0 {
 				break
 			}
-			ts, err := t.Where(term)
+			ts, err := t.where(term, tuned)
 			if err != nil {
+				sel.Release()
 				return nil, err
 			}
-			sel = sel.andWith(ts, t.execPool())
+			next := sel.andWith(ts, t.execPool())
+			sel.Release()
+			ts.Release()
+			sel = next
 		}
 		return sel, nil
 	case Or:
-		sel := t.stamp(EmptySelection(t.rows))
+		sel := t.newSel()
 		for _, term := range q.Terms {
 			// Mirror image of the And short-circuit: once every row is
 			// selected, no row would evaluate the remaining terms.
 			if sel.Count() == t.rows {
 				break
 			}
-			ts, err := t.Where(term)
+			ts, err := t.where(term, tuned)
 			if err != nil {
+				sel.Release()
 				return nil, err
 			}
-			sel = sel.orWith(ts, t.execPool())
+			next := sel.orWith(ts, t.execPool())
+			sel.Release()
+			ts.Release()
+			sel = next
 		}
 		return sel, nil
 	default:
-		sel := t.stamp(newSelection(t.rows))
+		sel := t.newSel()
 		for i := 0; i < t.rows; i++ {
 			ok, err := p.Matches(t, i)
 			if err != nil {
@@ -755,6 +800,9 @@ func (c *SelectionCache) whereCached(p Predicate) (*Selection, string, error) {
 	if err != nil {
 		return nil, "miss", err
 	}
+	// A cached selection is shared with every future caller for the cache's
+	// lifetime, so it must never return to the table's arena.
+	sel.detach()
 	c.mu.Lock()
 	if prev, ok := c.entries[key]; ok {
 		sel = prev // lost a benign race; keep the first copy

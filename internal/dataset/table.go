@@ -277,6 +277,11 @@ type Table struct {
 	// against kernels running concurrently — the pool is an execution hint
 	// only, results are bit-identical whichever pool executes them.
 	pool atomic.Pointer[Pool]
+
+	// arena, when set (SetArena), recycles the Selection bitmaps the kernels
+	// build; nil means plain heap allocation. Like pool it is an execution
+	// hint only — see arena.go.
+	arena atomic.Pointer[WordArena]
 }
 
 // SetPool pins the table's kernels (Where, selection algebra, view

@@ -16,26 +16,36 @@ import (
 // the same window — they are an attribution aid, not an exact per-call
 // accounting, and /debug/trace documents them as such.
 
-// kernelTrace carries one kernel span plus the pool-counter baseline taken
-// when it was opened. The zero value (nil span) is a free no-op.
+// kernelTrace carries one kernel span plus the pool-counter (and, for
+// compile kernels, arena-counter) baselines taken when it was opened. The
+// zero value (nil span) is a free no-op.
 type kernelTrace struct {
-	span   *obs.Span
-	pool   *Pool
-	before PoolStats
+	span    *obs.Span
+	pool    *Pool
+	before  PoolStats
+	arena   *WordArena
+	abefore ArenaStats
 }
 
 // startKernel opens a kernel-depth child span, or returns the no-op trace
-// when the parent is nil.
-func startKernel(parent *obs.Span, p *Pool, name string) kernelTrace {
+// when the parent is nil. arena may be nil (kernels that never allocate
+// selections, e.g. view aggregations).
+func startKernel(parent *obs.Span, p *Pool, a *WordArena, name string) kernelTrace {
 	if parent == nil {
 		return kernelTrace{}
 	}
-	return kernelTrace{span: parent.Child(obs.KindKernel, name), pool: p, before: p.Stats()}
+	k := kernelTrace{span: parent.Child(obs.KindKernel, name), pool: p, before: p.Stats(), arena: a}
+	if a != nil {
+		k.abefore = a.Stats()
+	}
+	return k
 }
 
 // end closes the kernel span with the standard kernel annotations: rows
-// spanned, rows selected, and the pool-counter deltas observed during the
-// kernel.
+// spanned, rows selected, the pool-counter deltas observed during the
+// kernel, and — when the table compiles through an arena — how many
+// selections the kernel took fresh vs recycled (a steady-state kernel shows
+// arena_fresh=0).
 func (k kernelTrace) end(rows, selected int) {
 	if k.span == nil {
 		return
@@ -46,6 +56,11 @@ func (k kernelTrace) end(rows, selected int) {
 	k.span.Set("morsels", after.MorselsProcessed-k.before.MorselsProcessed)
 	k.span.Set("cutoff_hits", after.SequentialCutoffHits-k.before.SequentialCutoffHits)
 	k.span.Set("pool_queue_wait_ns", after.QueueWaitNs-k.before.QueueWaitNs)
+	if k.arena != nil {
+		aafter := k.arena.Stats()
+		k.span.Set("arena_fresh", aafter.FreshSelections-k.abefore.FreshSelections)
+		k.span.Set("arena_recycled", aafter.RecycledSelections-k.abefore.RecycledSelections)
+	}
 	k.span.End()
 }
 
@@ -55,7 +70,7 @@ func (t *Table) WhereSpan(p Predicate, parent *obs.Span) (*Selection, error) {
 	if parent == nil {
 		return t.Where(p)
 	}
-	k := startKernel(parent, t.execPool(), "table.where")
+	k := startKernel(parent, t.execPool(), t.Arena(), "table.where")
 	sel, err := t.Where(p)
 	if err != nil {
 		k.span.Set("error", err.Error())
@@ -74,7 +89,7 @@ func (c *SelectionCache) WhereSpan(p Predicate, parent *obs.Span) (*Selection, e
 		sel, _, err := c.whereCached(p)
 		return sel, err
 	}
-	k := startKernel(parent, c.table.execPool(), "cache.where")
+	k := startKernel(parent, c.table.execPool(), c.table.Arena(), "cache.where")
 	sel, outcome, err := c.whereCached(p)
 	k.span.Set("cache", outcome)
 	if err != nil {
@@ -100,7 +115,7 @@ func (v View) CountsForSpan(name string, categories []string, parent *obs.Span) 
 	if parent == nil {
 		return v.CountsFor(name, categories)
 	}
-	k := startKernel(parent, v.table.execPool(), "view.counts_for")
+	k := startKernel(parent, v.table.execPool(), nil, "view.counts_for")
 	k.span.Set("column", name)
 	out, err := v.CountsFor(name, categories)
 	if err != nil {
@@ -115,7 +130,7 @@ func (v View) BinCountsSpan(name string, bins int, parent *obs.Span) ([]int, err
 	if parent == nil {
 		return v.BinCounts(name, bins)
 	}
-	k := startKernel(parent, v.table.execPool(), "view.bin_counts")
+	k := startKernel(parent, v.table.execPool(), nil, "view.bin_counts")
 	k.span.Set("column", name)
 	k.span.Set("bins", bins)
 	out, err := v.BinCounts(name, bins)
@@ -131,7 +146,7 @@ func (v View) FloatsSpan(name string, parent *obs.Span) ([]float64, error) {
 	if parent == nil {
 		return v.Floats(name)
 	}
-	k := startKernel(parent, v.table.execPool(), "view.floats")
+	k := startKernel(parent, v.table.execPool(), nil, "view.floats")
 	k.span.Set("column", name)
 	out, err := v.Floats(name)
 	if err != nil {

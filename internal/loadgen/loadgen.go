@@ -88,11 +88,24 @@ type Config struct {
 	// Duration is how long new work is issued; in-flight sessions finish
 	// their current operation and are cleaned up afterwards.
 	Duration time.Duration
-	// Seed drives scenario sourcing and per-analyst choices.
+	// Seed drives scenario sourcing (the validated workflow pool). It is
+	// data-coupled: the same seed against the same table yields the same
+	// predicate pool.
 	Seed int64
+	// LoadSeed drives the load-side randomness — per-analyst scenario
+	// sampling, item popularity and think-time draws. 0 means time-derived
+	// (a fresh run each time); the resolved value is always recorded in the
+	// result so any run can be reproduced exactly.
+	LoadSeed int64
 	// Think pauses between consecutive operations of one analyst; 0 means a
 	// fully closed loop (next request immediately after the last response).
 	Think time.Duration
+	// ThinkDist shapes the think-time draws around Think: "fixed" (default),
+	// "lognormal" (right-skewed, σ=0.6, mean-preserving — the census
+	// user-study shape) or "exponential". Each scenario scales the mean:
+	// filter-loop analysts think half as long as the baseline, holdout
+	// analysts twice as long.
+	ThinkDist string
 	// MinSupport is the minimum sub-population size a scenario predicate may
 	// select (and leave as complement); 0 means 100.
 	MinSupport int
@@ -139,6 +152,16 @@ func (cfg *Config) withDefaults() (Config, error) {
 	}
 	if c.MaxErrorSamples <= 0 {
 		c.MaxErrorSamples = 10
+	}
+	switch c.ThinkDist {
+	case "":
+		c.ThinkDist = "fixed"
+	case "fixed", "lognormal", "exponential":
+	default:
+		return c, fmt.Errorf("loadgen: unknown think distribution %q (want fixed, lognormal or exponential)", c.ThinkDist)
+	}
+	if c.LoadSeed == 0 {
+		c.LoadSeed = time.Now().UnixNano()
 	}
 	if c.HTTPClient == nil {
 		// Go's default Transport keeps only 2 idle keep-alive connections per
@@ -226,6 +249,12 @@ type collector struct {
 	samples   []string
 	maxSample int
 	sessions  int64 // completed session lifecycles
+
+	// schedLag distributes scheduled-start vs actual-start deltas of
+	// closed-loop operations — the coordinated-omission honesty number: a
+	// closed-loop client that falls behind its own schedule silently stops
+	// offering load, and this histogram is how far behind it ran.
+	schedLag Histogram
 }
 
 type endpointRecord struct {
@@ -255,6 +284,12 @@ func (c *collector) observe(endpoint string, d time.Duration, errDesc string) {
 	}
 }
 
+func (c *collector) observeLag(d time.Duration) {
+	c.mu.Lock()
+	c.schedLag.Observe(d)
+	c.mu.Unlock()
+}
+
 func (c *collector) sessionDone() {
 	c.mu.Lock()
 	c.sessions++
@@ -268,6 +303,15 @@ type client struct {
 	base string
 	http *http.Client
 	col  *collector
+
+	// schedule turns on scheduled-start tracking: next is when this client's
+	// next operation is supposed to begin (previous completion plus think
+	// time), and every do() records actual-start minus next as sched lag.
+	// Closed-loop analysts set it; open-loop dispatchers track intended
+	// start times externally and leave it off. A scheduling client is owned
+	// by exactly one goroutine (next is unsynchronized by design).
+	schedule bool
+	next     time.Time
 }
 
 // errStatus is returned for non-2xx responses.
@@ -300,6 +344,18 @@ func (c *client) do(method, endpoint, path string, body, out any) error {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	start := time.Now()
+	if c.schedule {
+		if !c.next.IsZero() {
+			lag := start.Sub(c.next)
+			if lag < 0 {
+				lag = 0
+			}
+			c.col.observeLag(lag)
+		}
+		// The next operation is scheduled for this one's completion (plus
+		// any think time, added by think()).
+		defer func() { c.next = time.Now() }()
+	}
 	resp, err := c.http.Do(req)
 	elapsed := time.Since(start)
 	if err != nil {
@@ -347,19 +403,64 @@ type explorer struct {
 	rng  *rand.Rand
 	pop  []scenarioItem
 	comp []scenarioItem
+
+	// scenario is the resolved mix of the current session (mixed draws a
+	// concrete one per session); it scales the think-time mean.
+	scenario Scenario
 }
 
 func (e *explorer) pick(pool []scenarioItem) scenarioItem {
 	return pool[e.rng.Intn(len(pool))]
 }
 
-func (e *explorer) think(ctx context.Context) {
+// thinkScale is the per-scenario multiplier on the think-time mean: the
+// drill-down filter loop is rapid-fire, holdout validation is deliberate.
+func (e *explorer) thinkScale() float64 {
+	switch e.scenario {
+	case ScenarioFilter:
+		return 0.5
+	case ScenarioSteps:
+		return 1.5
+	case ScenarioHoldout:
+		return 2.0
+	default:
+		return 1.0
+	}
+}
+
+// thinkDelay draws one think time from the configured distribution around
+// the scenario-scaled mean.
+func (e *explorer) thinkDelay() time.Duration {
 	if e.cfg.Think <= 0 {
+		return 0
+	}
+	mean := float64(e.cfg.Think) * e.thinkScale()
+	switch e.cfg.ThinkDist {
+	case "exponential":
+		return time.Duration(e.rng.ExpFloat64() * mean)
+	case "lognormal":
+		// Mean-preserving lognormal: E[exp(μ+σZ)] = exp(μ+σ²/2) = mean.
+		const sigma = 0.6
+		mu := math.Log(mean) - sigma*sigma/2
+		return time.Duration(math.Exp(mu + sigma*e.rng.NormFloat64()))
+	default: // fixed
+		return time.Duration(mean)
+	}
+}
+
+func (e *explorer) think(ctx context.Context) {
+	d := e.thinkDelay()
+	if d <= 0 {
 		return
+	}
+	// Thinking moves the schedule forward deliberately: the next operation
+	// is supposed to start after the pause, so the pause itself is not lag.
+	if e.c.schedule && !e.c.next.IsZero() {
+		e.c.next = e.c.next.Add(d)
 	}
 	select {
 	case <-ctx.Done():
-	case <-time.After(e.cfg.Think):
+	case <-time.After(d):
 	}
 }
 
@@ -382,6 +483,7 @@ func (e *explorer) script() sessionScript {
 			sc = ScenarioHoldout
 		}
 	}
+	e.scenario = sc
 	switch sc {
 	case ScenarioFilter:
 		return (*explorer).filterScript
@@ -595,8 +697,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			defer wg.Done()
 			e := &explorer{
 				cfg:  c,
-				c:    &client{base: c.BaseURL, http: c.HTTPClient, col: col},
-				rng:  rand.New(rand.NewSource(c.Seed + int64(i)*7919)),
+				c:    &client{base: c.BaseURL, http: c.HTTPClient, col: col, schedule: true},
+				rng:  rand.New(rand.NewSource(c.LoadSeed + int64(i)*7919)),
 				pop:  pop,
 				comp: comp,
 			}
@@ -679,10 +781,28 @@ func buildResult(cfg Config, col *collector, elapsed time.Duration) *Result {
 		Dataset:           cfg.Dataset,
 		Sessions:          cfg.Sessions,
 		DurationSeconds:   round3(elapsed.Seconds()),
+		LoadSeed:          cfg.LoadSeed,
+		ThinkDist:         cfg.ThinkDist,
 		SessionsCompleted: col.sessions,
 		TotalErrors:       col.errors,
 		ErrorSamples:      col.samples,
 	}
+	if col.schedLag.Count() > 0 {
+		res.SchedLagP50Ms = ms(col.schedLag.Quantile(0.50))
+		res.SchedLagP99Ms = ms(col.schedLag.Quantile(0.99))
+	}
+	res.Endpoints, res.TotalRequests = foldEndpoints(col, elapsed)
+	if elapsed > 0 {
+		res.RequestsPerSecond = round3(float64(res.TotalRequests) / elapsed.Seconds())
+	}
+	return res
+}
+
+// foldEndpoints renders the collector's per-endpoint histograms into sorted
+// results plus the total request count. The caller must hold col.mu.
+func foldEndpoints(col *collector, elapsed time.Duration) ([]EndpointResult, int64) {
+	var out []EndpointResult
+	var total int64
 	for endpoint, rec := range col.endpoints {
 		h := &rec.hist
 		er := EndpointResult{
@@ -698,14 +818,11 @@ func buildResult(cfg Config, col *collector, elapsed time.Duration) *Result {
 		if elapsed > 0 {
 			er.RequestsPerSecond = round3(float64(h.Count()) / elapsed.Seconds())
 		}
-		res.TotalRequests += h.Count()
-		res.Endpoints = append(res.Endpoints, er)
+		total += h.Count()
+		out = append(out, er)
 	}
-	sort.Slice(res.Endpoints, func(i, j int) bool { return res.Endpoints[i].Endpoint < res.Endpoints[j].Endpoint })
-	if elapsed > 0 {
-		res.RequestsPerSecond = round3(float64(res.TotalRequests) / elapsed.Seconds())
-	}
-	return res
+	sort.Slice(out, func(i, j int) bool { return out[i].Endpoint < out[j].Endpoint })
+	return out, total
 }
 
 func ms(d time.Duration) float64 { return round3(float64(d.Nanoseconds()) / 1e6) }

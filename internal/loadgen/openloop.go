@@ -1,0 +1,519 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// This file is the open-loop half of the load generator. The closed-loop
+// analysts in loadgen.go wait for each response before issuing the next
+// request, so when the server slows down the offered load silently drops
+// with it — coordinated omission: the latency histogram only contains the
+// requests a degraded server allowed the clients to send. The open-loop
+// generator severs that feedback: arrivals are scheduled by an arrival
+// process (Poisson, uniform or bursty) at a fixed target rate, every
+// operation's latency is measured from its INTENDED start time — the
+// instant the arrival process scheduled it, not the instant a worker got
+// around to sending it — and a sweep over target rates produces the
+// latency-vs-throughput knee curve: flat intended-start latency below the
+// knee, then the unbounded queueing growth past saturation that a
+// closed-loop run can never show.
+
+// Arrival names an arrival process.
+type Arrival string
+
+// The supported arrival processes.
+const (
+	// ArrivalPoisson draws exponential inter-arrival gaps — memoryless open
+	// traffic, the standard model for independent users.
+	ArrivalPoisson Arrival = "poisson"
+	// ArrivalUniform spaces arrivals exactly 1/rate apart — the least bursty
+	// schedule a rate admits, isolating the server's best case.
+	ArrivalUniform Arrival = "uniform"
+	// ArrivalBurst releases arrivals in groups of BurstSize at the group's
+	// shared scheduled instant — thundering-herd pressure at the same
+	// average rate.
+	ArrivalBurst Arrival = "burst"
+)
+
+// ParseArrival validates an arrival process name.
+func ParseArrival(s string) (Arrival, error) {
+	switch Arrival(s) {
+	case ArrivalPoisson, ArrivalUniform, ArrivalBurst:
+		return Arrival(s), nil
+	case "":
+		return ArrivalPoisson, nil
+	}
+	return "", fmt.Errorf("loadgen: unknown arrival process %q (want poisson, uniform or burst)", s)
+}
+
+// OpenLoopConfig configures an open-loop sweep. The embedded Config supplies
+// the server, the table for scenario sourcing, the per-point Duration, the
+// session-slot count (Sessions) and the seeds; Scenario and Think are
+// ignored (the arrival process owns all timing).
+type OpenLoopConfig struct {
+	Config
+	// Arrival selects the arrival process; empty means Poisson.
+	Arrival Arrival
+	// TargetRPS are the swept offered rates, one knee-curve point each; they
+	// must be positive and ascending.
+	TargetRPS []float64
+	// BurstSize is the group size of the burst process; 0 means 32.
+	BurstSize int
+	// MaxInFlight bounds concurrently executing operations (dispatcher
+	// workers); 0 means 256. When every dispatcher is busy, arrivals queue —
+	// with their intended timestamps — and the queueing time lands in the
+	// measured latency, exactly as a real overloaded service would make
+	// users wait.
+	MaxInFlight int
+	// OpsPerSession is how many operations a session slot serves before it
+	// is recycled (deleted and recreated) so α-wealth never exhausts under
+	// unbounded load; 0 means 8, the depth the closed-loop filter script
+	// already proves safe.
+	OpsPerSession int
+	// ZipfS is the Zipf skew (s > 1) of session-slot and scenario-item
+	// popularity — heavy-tailed, as real dataset/session traffic is; 0
+	// means 1.1.
+	ZipfS float64
+}
+
+func (cfg *OpenLoopConfig) withDefaults() (OpenLoopConfig, error) {
+	c := *cfg
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	// Build the default HTTP client before Config.withDefaults gets the
+	// chance: the closed-loop default sizes the idle-connection pool to the
+	// analyst count, but open-loop concurrency is bounded by MaxInFlight —
+	// an 8-connection pool under 256 dispatchers would re-dial TCP
+	// constantly and the churn would masquerade as server latency.
+	if c.HTTPClient == nil {
+		transport := http.DefaultTransport.(*http.Transport).Clone()
+		if transport.MaxIdleConnsPerHost < c.MaxInFlight {
+			transport.MaxIdleConnsPerHost = c.MaxInFlight
+		}
+		if transport.MaxIdleConns < c.MaxInFlight {
+			transport.MaxIdleConns = c.MaxInFlight
+		}
+		c.HTTPClient = &http.Client{Timeout: 60 * time.Second, Transport: transport}
+	}
+	base, err := c.Config.withDefaults()
+	if err != nil {
+		return c, err
+	}
+	c.Config = base
+	if c.Arrival, err = ParseArrival(string(c.Arrival)); err != nil {
+		return c, err
+	}
+	if len(c.TargetRPS) == 0 {
+		return c, fmt.Errorf("loadgen: open loop needs at least one target RPS")
+	}
+	prev := 0.0
+	for _, r := range c.TargetRPS {
+		if r <= prev {
+			return c, fmt.Errorf("loadgen: target RPS must be positive and ascending, got %v", c.TargetRPS)
+		}
+		prev = r
+	}
+	if c.BurstSize <= 0 {
+		c.BurstSize = 32
+	}
+	if c.OpsPerSession <= 0 {
+		c.OpsPerSession = 8
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.1
+	}
+	if c.ZipfS <= 1 {
+		return c, fmt.Errorf("loadgen: Zipf skew must be > 1, got %v", c.ZipfS)
+	}
+	return c, nil
+}
+
+// KneePoint is one target-RPS point of the knee curve. All latency figures
+// are intended-start-to-completion: they include any time the operation
+// spent queued behind a saturated server or a full dispatcher pool.
+type KneePoint struct {
+	TargetRPS  float64 `json:"target_rps"`
+	OfferedRPS float64 `json:"offered_rps"`
+	// AchievedRPS is completed operations over wall time; it stops tracking
+	// TargetRPS past the knee.
+	AchievedRPS float64 `json:"achieved_rps"`
+	// Ops counts operations (one arrival each); Requests counts HTTP
+	// requests (a recycle op issues two).
+	Ops      int64   `json:"ops"`
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+	MaxMs    float64 `json:"max_ms"`
+	// SchedLagP50Ms / SchedLagP99Ms are scheduled-arrival vs dispatch-start
+	// deltas: how long arrivals waited for a free dispatcher. Near zero
+	// below the knee; growth here is the queueing the closed-loop reporter
+	// can't see.
+	SchedLagP50Ms float64 `json:"sched_lag_p50_ms"`
+	SchedLagP99Ms float64 `json:"sched_lag_p99_ms"`
+}
+
+// OpenLoopResult is the open_loop section of BENCH_http.json: the swept knee
+// curve plus the aggregate per-endpoint service-time distributions.
+type OpenLoopResult struct {
+	Scenario             string      `json:"scenario"`
+	Dataset              string      `json:"dataset"`
+	Rows                 int         `json:"rows,omitempty"`
+	Arrival              Arrival     `json:"arrival"`
+	SessionPool          int         `json:"session_pool"`
+	OpsPerSession        int         `json:"ops_per_session"`
+	MaxInFlight          int         `json:"max_in_flight"`
+	ZipfS                float64     `json:"zipf_s"`
+	LoadSeed             int64       `json:"load_seed"`
+	PointDurationSeconds float64     `json:"point_duration_seconds"`
+	Points               []KneePoint `json:"points"`
+	// Endpoints aggregates per-request service latency (send-to-response,
+	// not intended-start) across the whole sweep, keyed like the
+	// closed-loop report.
+	Endpoints     []EndpointResult `json:"endpoints"`
+	TotalRequests int64            `json:"total_requests"`
+	TotalErrors   int64            `json:"total_errors"`
+	ErrorSamples  []string         `json:"error_samples,omitempty"`
+	ServerMetrics json.RawMessage  `json:"server_metrics,omitempty"`
+}
+
+// Validate checks the structural invariants of a committed knee curve: at
+// least one point, ascending targets, completed work at every point and
+// ordered percentiles. CI's knee smoke job fails on any violation.
+func (r *OpenLoopResult) Validate() error {
+	if r == nil || len(r.Points) == 0 {
+		return fmt.Errorf("loadgen: open-loop result has no knee points")
+	}
+	prev := 0.0
+	for i, pt := range r.Points {
+		if pt.TargetRPS <= prev {
+			return fmt.Errorf("loadgen: knee point %d: target %.1f not ascending", i, pt.TargetRPS)
+		}
+		prev = pt.TargetRPS
+		if pt.Ops <= 0 {
+			return fmt.Errorf("loadgen: knee point %d (%.1f rps): no operations completed", i, pt.TargetRPS)
+		}
+		if pt.P50Ms > pt.P95Ms || pt.P95Ms > pt.P99Ms || pt.P99Ms > pt.MaxMs {
+			return fmt.Errorf("loadgen: knee point %d (%.1f rps): percentiles not ordered (p50 %.3f p95 %.3f p99 %.3f max %.3f)",
+				i, pt.TargetRPS, pt.P50Ms, pt.P95Ms, pt.P99Ms, pt.MaxMs)
+		}
+	}
+	return nil
+}
+
+// WriteText renders the knee curve as a table, one swept rate per line.
+func (r *OpenLoopResult) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== open-loop %s sweep: %d session slots, %.1fs/point, seed %d ==\n",
+		r.Arrival, r.SessionPool, r.PointDurationSeconds, r.LoadSeed); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%10s %10s %10s %8s %6s  %10s %10s %10s  %12s\n",
+		"target", "offered", "achieved", "ops", "err", "p50", "p99", "max", "lag p99"); err != nil {
+		return err
+	}
+	for _, pt := range r.Points {
+		if _, err := fmt.Fprintf(w, "%7.1f/s %7.1f/s %7.1f/s %8d %6d  %8.2fms %8.2fms %8.2fms  %10.2fms\n",
+			pt.TargetRPS, pt.OfferedRPS, pt.AchievedRPS, pt.Ops, pt.Errors,
+			pt.P50Ms, pt.P99Ms, pt.MaxMs, pt.SchedLagP99Ms); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "total: %d requests, %d errors (latency measured from intended start)\n",
+		r.TotalRequests, r.TotalErrors)
+	return err
+}
+
+// olJob is one scheduled arrival: the instant the arrival process intended
+// the operation to start. Latency is measured from this timestamp.
+type olJob struct {
+	intended time.Time
+}
+
+// olPoint accumulates one knee point's measurements.
+type olPoint struct {
+	mu       sync.Mutex
+	latency  Histogram
+	schedLag Histogram
+	ops      int64
+	requests int64
+	errors   int64
+}
+
+func (p *olPoint) record(lat, lag time.Duration, requests int, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.latency.Observe(lat)
+	p.schedLag.Observe(lag)
+	p.ops++
+	p.requests += int64(requests)
+	if err != nil {
+		p.errors++
+	}
+}
+
+// olSlot is one live server session serving open-loop operations. Slots are
+// locked per operation: two arrivals routed to the same (popular) session
+// serialize, and that wait is part of their measured latency.
+type olSlot struct {
+	mu   sync.Mutex
+	path string
+	ops  int
+}
+
+// olWorker is one dispatcher: a private client, rng and Zipf draws over the
+// shared slots and scenario items.
+type olWorker struct {
+	cfg      OpenLoopConfig
+	c        *client
+	rng      *rand.Rand
+	slotZipf *rand.Zipf
+	itemZipf *rand.Zipf
+	slots    []*olSlot
+	pop      []scenarioItem
+	point    *olPoint
+}
+
+// execute runs one arrival to completion and records it.
+func (w *olWorker) execute(job olJob) {
+	slot := w.slots[int(w.slotZipf.Uint64())]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	dispatch := time.Now()
+	lag := dispatch.Sub(job.intended)
+	if lag < 0 {
+		lag = 0
+	}
+	var err error
+	requests := 1
+	if slot.ops >= w.cfg.OpsPerSession {
+		err = w.recycle(slot)
+		requests = 2 // DELETE + POST
+	} else {
+		item := w.pop[int(w.itemZipf.Uint64())]
+		switch roll := w.rng.Float64(); {
+		case roll < 0.70:
+			err = w.c.do(http.MethodPost, "POST /sessions/{id}/steps", slot.path+"/steps",
+				map[string]any{"op": "add_visualization", "target": item.target, "predicate": item.pred}, nil)
+		case roll < 0.85:
+			err = w.c.do(http.MethodGet, "GET /sessions/{id}/gauge", slot.path+"/gauge", nil, nil)
+		default:
+			err = w.c.do(http.MethodGet, "GET /sessions/{id}/report", slot.path+"/report", nil, nil)
+		}
+		slot.ops++
+	}
+	lat := time.Since(job.intended)
+	if lat < 0 {
+		lat = 0
+	}
+	w.point.record(lat, lag, requests, err)
+}
+
+// recycle replaces an α-wealth-spent session with a fresh one. Both
+// requests are measured — a real service pays session churn under load.
+func (w *olWorker) recycle(slot *olSlot) error {
+	delErr := w.c.do(http.MethodDelete, "DELETE /sessions/{id}", slot.path, nil, nil)
+	var info struct {
+		ID int64 `json:"id"`
+	}
+	if err := w.c.do(http.MethodPost, "POST /sessions", "/sessions",
+		map[string]any{"dataset": w.cfg.Dataset}, &info); err != nil {
+		return err
+	}
+	slot.path = fmt.Sprintf("/sessions/%d", info.ID)
+	slot.ops = 0
+	return delErr
+}
+
+// generate schedules one point's arrivals: intended times are computed
+// ARITHMETICALLY from the point's start — never from when the previous send
+// happened — so a backed-up dispatcher pool cannot slow the schedule down.
+// The send into the (buffered) jobs channel may block when every dispatcher
+// is busy and the buffer is full; the jobs keep their original intended
+// timestamps, so that backpressure shows up as measured latency, not as
+// silently reduced load. Returns the number of arrivals issued.
+func generate(ctx context.Context, cfg OpenLoopConfig, rng *rand.Rand, rate float64, start time.Time, jobs chan<- olJob) int64 {
+	issued := int64(0)
+	offset := time.Duration(0)
+	deadline := cfg.Duration
+	emit := func(intended time.Time) bool {
+		if wait := time.Until(intended); wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return false
+			case <-timer.C:
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case jobs <- olJob{intended: intended}:
+			issued++
+			return true
+		}
+	}
+	for offset < deadline && ctx.Err() == nil {
+		switch cfg.Arrival {
+		case ArrivalUniform:
+			offset += time.Duration(float64(time.Second) / rate)
+			if offset >= deadline || !emit(start.Add(offset)) {
+				return issued
+			}
+		case ArrivalBurst:
+			offset += time.Duration(float64(cfg.BurstSize) * float64(time.Second) / rate)
+			if offset >= deadline {
+				return issued
+			}
+			intended := start.Add(offset)
+			for i := 0; i < cfg.BurstSize; i++ {
+				if !emit(intended) {
+					return issued
+				}
+			}
+		default: // Poisson
+			offset += time.Duration(rng.ExpFloat64() * float64(time.Second) / rate)
+			if offset >= deadline || !emit(start.Add(offset)) {
+				return issued
+			}
+		}
+	}
+	return issued
+}
+
+// RunOpenLoop executes the configured target-RPS sweep and returns the knee
+// curve. Like Run, workload errors are counted, not fatal; RunOpenLoop
+// itself errors only on misconfiguration.
+func RunOpenLoop(ctx context.Context, cfg OpenLoopConfig) (*OpenLoopResult, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	items, err := buildPool(c.Config)
+	if err != nil {
+		return nil, err
+	}
+	pop, _, err := splitPool(items)
+	if err != nil {
+		return nil, err
+	}
+
+	probe := &client{base: c.BaseURL, http: c.HTTPClient, col: newCollector(1)}
+	if err := probe.do(http.MethodGet, "GET /healthz", "/healthz", nil, nil); err != nil {
+		return nil, fmt.Errorf("loadgen: server probe failed: %w", err)
+	}
+
+	col := newCollector(c.MaxErrorSamples)
+	res := &OpenLoopResult{
+		Scenario:             "openloop-interactive",
+		Dataset:              c.Dataset,
+		Arrival:              c.Arrival,
+		SessionPool:          c.Sessions,
+		OpsPerSession:        c.OpsPerSession,
+		MaxInFlight:          c.MaxInFlight,
+		ZipfS:                c.ZipfS,
+		LoadSeed:             c.LoadSeed,
+		PointDurationSeconds: round3(c.Duration.Seconds()),
+	}
+	sweepStart := time.Now()
+	for pi, rate := range c.TargetRPS {
+		if ctx.Err() != nil {
+			break
+		}
+		// Fresh session slots per point: every point starts with full
+		// α-wealth, so point ordering cannot skew errors. Setup and teardown
+		// ride an unmeasured collector — they are rig work, not load.
+		setup := &client{base: c.BaseURL, http: c.HTTPClient, col: newCollector(1)}
+		slots := make([]*olSlot, c.Sessions)
+		for i := range slots {
+			var info struct {
+				ID int64 `json:"id"`
+			}
+			if err := setup.do(http.MethodPost, "POST /sessions", "/sessions",
+				map[string]any{"dataset": c.Dataset}, &info); err != nil {
+				return nil, fmt.Errorf("loadgen: creating session slot %d: %w", i, err)
+			}
+			slots[i] = &olSlot{path: fmt.Sprintf("/sessions/%d", info.ID)}
+		}
+
+		point := &olPoint{}
+		jobs := make(chan olJob, 16384)
+		var wg sync.WaitGroup
+		for wi := 0; wi < c.MaxInFlight; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(c.LoadSeed + 104729*int64(pi+1) + 7919*int64(wi+1)))
+				w := &olWorker{
+					cfg:      c,
+					c:        &client{base: c.BaseURL, http: c.HTTPClient, col: col},
+					rng:      rng,
+					slotZipf: rand.NewZipf(rng, c.ZipfS, 1, uint64(len(slots)-1)),
+					itemZipf: rand.NewZipf(rng, c.ZipfS, 1, uint64(len(pop)-1)),
+					slots:    slots,
+					pop:      pop,
+					point:    point,
+				}
+				for job := range jobs {
+					w.execute(job)
+				}
+			}(wi)
+		}
+
+		pointStart := time.Now()
+		genRng := rand.New(rand.NewSource(c.LoadSeed + 15485863*int64(pi+1)))
+		issued := generate(ctx, c, genRng, rate, pointStart, jobs)
+		close(jobs)
+		wg.Wait()
+		elapsed := time.Since(pointStart)
+
+		for _, slot := range slots {
+			// Teardown failures would show up in the leak check; ignore here.
+			_ = setup.do(http.MethodDelete, "DELETE /sessions/{id}", slot.path, nil, nil)
+		}
+
+		point.mu.Lock()
+		kp := KneePoint{
+			TargetRPS:     rate,
+			Ops:           point.ops,
+			Requests:      point.requests,
+			Errors:        point.errors,
+			P50Ms:         ms(point.latency.Quantile(0.50)),
+			P95Ms:         ms(point.latency.Quantile(0.95)),
+			P99Ms:         ms(point.latency.Quantile(0.99)),
+			MeanMs:        ms(point.latency.Mean()),
+			MaxMs:         ms(point.latency.Max()),
+			SchedLagP50Ms: ms(point.schedLag.Quantile(0.50)),
+			SchedLagP99Ms: ms(point.schedLag.Quantile(0.99)),
+		}
+		point.mu.Unlock()
+		if s := elapsed.Seconds(); s > 0 {
+			kp.OfferedRPS = round3(float64(issued) / s)
+			kp.AchievedRPS = round3(float64(kp.Ops) / s)
+		}
+		res.Points = append(res.Points, kp)
+	}
+	sweepElapsed := time.Since(sweepStart)
+
+	col.mu.Lock()
+	res.Endpoints, res.TotalRequests = foldEndpoints(col, sweepElapsed)
+	res.TotalErrors = col.errors
+	res.ErrorSamples = col.samples
+	col.mu.Unlock()
+
+	var snap json.RawMessage
+	if err := probe.do(http.MethodGet, "GET /debug/metrics", "/debug/metrics", nil, &snap); err == nil {
+		res.ServerMetrics = snap
+	}
+	return res, nil
+}

@@ -2,8 +2,10 @@ package loadgen
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 )
 
@@ -23,6 +25,19 @@ type Result struct {
 	Sessions int `json:"sessions"`
 	// DurationSeconds is the measured wall time of the run.
 	DurationSeconds float64 `json:"duration_seconds"`
+	// LoadSeed is the resolved seed behind the run's load-side randomness
+	// (scenario sampling, popularity, think times) — recorded even when it
+	// was time-derived, so any run can be replayed bit-for-bit.
+	LoadSeed int64 `json:"load_seed,omitempty"`
+	// ThinkDist is the think-time distribution that shaped analyst pauses.
+	ThinkDist string `json:"think_dist,omitempty"`
+	// SchedLagP50Ms / SchedLagP99Ms are the scheduled-start vs actual-start
+	// deltas of the closed-loop clients: how far each analyst ran behind its
+	// own schedule. Closed-loop latency percentiles silently exclude this
+	// backpressure (coordinated omission); surfacing it keeps the numbers
+	// honestly labeled. The open-loop knee curve is the unbiased view.
+	SchedLagP50Ms float64 `json:"sched_lag_p50_ms,omitempty"`
+	SchedLagP99Ms float64 `json:"sched_lag_p99_ms,omitempty"`
 	// SessionsCompleted counts full create→explore→delete lifecycles.
 	SessionsCompleted int64 `json:"sessions_completed"`
 	// TotalRequests and TotalErrors aggregate over every endpoint.
@@ -77,6 +92,12 @@ func (r *Result) WriteText(w io.Writer) error {
 		r.TotalRequests, r.RequestsPerSecond, r.TotalErrors, r.SessionsCompleted); err != nil {
 		return err
 	}
+	if r.SchedLagP99Ms > 0 || r.SchedLagP50Ms > 0 {
+		if _, err := fmt.Fprintf(w, "closed-loop sched lag: p50 %.2fms  p99 %.2fms (coordinated-omission bias; see open-loop knee for unbiased latency)\n",
+			r.SchedLagP50Ms, r.SchedLagP99Ms); err != nil {
+			return err
+		}
+	}
 	if o := r.Observability; o != nil {
 		status := "ok"
 		if err := o.Check(); err != nil {
@@ -87,4 +108,44 @@ func (r *Result) WriteText(w io.Writer) error {
 		return err
 	}
 	return nil
+}
+
+// Document is the committed BENCH_http.json layout: the closed-loop analyst
+// report and the open-loop knee curve side by side. Either section may be
+// absent — each awareload mode rewrites only its own section, so the two
+// measurements can be refreshed independently.
+type Document struct {
+	ClosedLoop *Result         `json:"closed_loop,omitempty"`
+	OpenLoop   *OpenLoopResult `json:"open_loop,omitempty"`
+}
+
+// LoadDocument reads a BENCH_http.json into the two-section layout. A
+// missing file yields an empty document (first run); a legacy flat Result —
+// the pre-knee-curve format, recognized by its top-level "scenario" key —
+// is wrapped as the closed-loop section so committed history survives the
+// schema change.
+func LoadDocument(path string) (*Document, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return &Document{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("loadgen: %s is not a JSON object: %w", path, err)
+	}
+	if _, legacy := probe["scenario"]; legacy {
+		var res Result
+		if err := json.Unmarshal(data, &res); err != nil {
+			return nil, fmt.Errorf("loadgen: parsing legacy %s: %w", path, err)
+		}
+		return &Document{ClosedLoop: &res}, nil
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("loadgen: parsing %s: %w", path, err)
+	}
+	return &doc, nil
 }

@@ -133,6 +133,10 @@ type MetricsSnapshot struct {
 	// SelectionCaches maps dataset names to their shared filter-bitmap cache
 	// counters.
 	SelectionCaches map[string]CacheMetrics `json:"selection_caches"`
+	// SelectionArenas maps dataset names to their shared Selection word
+	// arena counters. In steady state fresh_selections stops growing —
+	// every compiled filter recycles released words.
+	SelectionArenas map[string]dataset.ArenaStats `json:"selection_arenas"`
 	// DatasetStorage maps dataset names to their storage detail: row count,
 	// column schema, snapshot path/size and resident (mmap) vs heap mode.
 	DatasetStorage map[string]DatasetInfo `json:"dataset_storage"`
@@ -188,6 +192,7 @@ func (s *Server) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
 	datasets := s.registry.List()
 	snap.Datasets = len(datasets)
 	snap.SelectionCaches = make(map[string]CacheMetrics, len(datasets))
+	snap.SelectionArenas = make(map[string]dataset.ArenaStats, len(datasets))
 	snap.DatasetStorage = make(map[string]DatasetInfo, len(datasets))
 	for _, info := range datasets {
 		snap.DatasetStorage[info.Name] = info
@@ -201,6 +206,9 @@ func (s *Server) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		hits, misses := cache.Stats()
 		snap.SelectionCaches[info.Name] = CacheMetrics{Hits: hits, Misses: misses, Entries: cache.Len()}
+		if arena, err := s.registry.Arena(info.Name); err == nil {
+			snap.SelectionArenas[info.Name] = arena.Stats()
+		}
 	}
 	writeJSON(w, http.StatusOK, snap)
 }

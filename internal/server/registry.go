@@ -59,10 +59,16 @@ type DatasetInfo struct {
 // its predicates through it, so a filter compiled by one session is a cache
 // hit for every other — the cross-session reuse is sound precisely because
 // the table never changes.
+// Each dataset also carries one shared Selection word arena
+// (dataset.WordArena): filter compiles across every session over the dataset
+// recycle their bitmap words through it, so steady-state serving allocates
+// zero words per filter; cached bitmaps are detached from the arena by the
+// SelectionCache, so sharing stays safe.
 type DatasetRegistry struct {
 	mu     sync.RWMutex
 	tables map[string]*dataset.Table
 	caches map[string]*dataset.SelectionCache
+	arenas map[string]*dataset.WordArena
 	pool   *dataset.Pool
 }
 
@@ -71,6 +77,7 @@ func NewDatasetRegistry() *DatasetRegistry {
 	return &DatasetRegistry{
 		tables: make(map[string]*dataset.Table),
 		caches: make(map[string]*dataset.SelectionCache),
+		arenas: make(map[string]*dataset.WordArena),
 	}
 }
 
@@ -101,8 +108,11 @@ func (r *DatasetRegistry) Register(name string, t *dataset.Table) error {
 	if r.pool != nil {
 		t.SetPool(r.pool)
 	}
+	arena := dataset.NewWordArena(t.NumRows())
+	t.SetArena(arena)
 	r.tables[name] = t
 	r.caches[name] = dataset.NewSelectionCache(t)
+	r.arenas[name] = arena
 	return nil
 }
 
@@ -126,6 +136,17 @@ func (r *DatasetRegistry) Cache(name string) (*dataset.SelectionCache, error) {
 		return nil, fmt.Errorf("%w: %q", ErrDatasetNotFound, name)
 	}
 	return c, nil
+}
+
+// Arena returns the named dataset's shared Selection word arena.
+func (r *DatasetRegistry) Arena(name string) (*dataset.WordArena, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a, ok := r.arenas[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrDatasetNotFound, name)
+	}
+	return a, nil
 }
 
 // RegisterSnapshotDir discovers every *.aware snapshot in dir, mmaps it and
