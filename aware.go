@@ -105,6 +105,13 @@ type (
 	DeclareDescriptive = core.DeclareDescriptive
 	// Star marks a hypothesis as an important discovery.
 	Star = core.Star
+	// DeriveColumn extends the session's table with a computed numeric column.
+	DeriveColumn = core.DeriveColumn
+	// JoinDataset equi-joins the session's table with a catalog dataset.
+	JoinDataset = core.JoinDataset
+	// GroupByHypothesis tests the independence of two attributes with a χ²
+	// test on their contingency table.
+	GroupByHypothesis = core.GroupByHypothesis
 	// ReplayValidation is the outcome of re-validating a step log on a
 	// hold-out split.
 	ReplayValidation = core.ReplayValidation
@@ -169,6 +176,19 @@ type (
 	WordArena = dataset.WordArena
 	// ArenaStats is a snapshot of a WordArena's recycling counters.
 	ArenaStats = dataset.ArenaStats
+	// Expr is a computed-column expression (arithmetic and bucketing over
+	// numeric columns), evaluated by Table.Derive.
+	Expr = dataset.Expr
+	// Col references a numeric column inside an Expr.
+	Col = dataset.Col
+	// Const is a numeric literal inside an Expr.
+	Const = dataset.Const
+	// Binary combines two expressions with +, -, * or /.
+	Binary = dataset.Binary
+	// Bucket floors an expression to equal-width buckets.
+	Bucket = dataset.Bucket
+	// CrossTab is the contingency table of two attributes over a View.
+	CrossTab = dataset.CrossTab
 )
 
 // Column constructors.
@@ -195,6 +215,15 @@ var (
 	// NewWordArena builds a Selection word arena for tables of a fixed row
 	// count.
 	NewWordArena = dataset.NewWordArena
+	// HashJoin equi-joins two filtered views into a new table (build side
+	// chosen by exact bitmap cardinality, output in (left, right) row order).
+	HashJoin = dataset.HashJoin
+	// JoinOracle is the nested-loop differential reference for HashJoin.
+	JoinOracle = dataset.JoinOracle
+	// MarshalExpr serializes a computed-column expression to JSON.
+	MarshalExpr = dataset.MarshalExpr
+	// UnmarshalExpr parses the expression JSON wire format (strict).
+	UnmarshalExpr = dataset.UnmarshalExpr
 )
 
 // Storage engine re-exports: the column store under every Table and its

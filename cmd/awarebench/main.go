@@ -16,6 +16,9 @@
 //	awarebench -exp steps               # step dispatch/replay -> BENCH_core.json
 //	awarebench -exp filter              # filter+count execution paths -> BENCH_core.json
 //	awarebench -exp filter -rows 300000 -minspeedup 1.5   # CI scaling gate
+//	awarebench -exp join                # hash join vs oracle, derive, cache
+//	                                    # subsumption -> BENCH_core.json
+//	awarebench -exp join -joinrows 300000 -minjoinspeedup 5 -minsubsumespeedup 3   # CI join gate
 //	awarebench -exp scaling             # seq-vs-parallel curve at 30k/300k/3M/10M rows
 //	awarebench -exp ingest              # storage engine: generate vs CSV ingest vs
 //	                                    # snapshot write/mmap load -> BENCH_core.json
@@ -36,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run: 1a, 1b, 1c, 2, intro, holdout, subsets, bench, steps, filter, scaling, ingest, replay, drift, all")
+		exp        = flag.String("exp", "all", "experiment to run: 1a, 1b, 1c, 2, intro, holdout, subsets, bench, steps, filter, join, scaling, ingest, replay, drift, all")
 		reps       = flag.Int("reps", 0, "replications per configuration (0 = paper defaults: 1000 synthetic, 20 census)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		nullProp   = flag.Float64("null", -1, "true-null proportion for 1a/1b/1c (-1 = run the paper's set)")
@@ -49,6 +52,9 @@ func main() {
 		minSpeedup = flag.Float64("minspeedup", 0, "fail -exp filter/scaling when parallel speedup over sequential is below this (0 = no gate; skipped below 4 CPUs); for -exp ingest, fail when snapshot load is not this much faster than generation")
 		minTunedSp = flag.Float64("mintunedspeedup", 0, "fail -exp filter when the tuned parallel kernels are not this much faster than the generic parallel ones (0 = no gate; skipped below 4 CPUs)")
 		maxTraceOv = flag.Float64("maxtraceoverhead", 0, "fail -exp filter when the traced path is more than this percent slower than the untraced one (0 = no gate)")
+		joinRows   = flag.Int("joinrows", 300000, "census rows for -exp join")
+		minJoinSp  = flag.Float64("minjoinspeedup", 0, "fail -exp join when the hash join is not this much faster than the nested-loop oracle (0 = no gate; skipped below 4 CPUs)")
+		minSubsuSp = flag.Float64("minsubsumespeedup", 0, "fail -exp join when the subsumption-served filter compile is not this much faster than the cold one (0 = no gate; skipped below 4 CPUs)")
 		scaleRows  = flag.String("scalerows", "30000,300000,3000000,10000000", "comma-separated census sizes for -exp scaling")
 		ingestRows = flag.String("ingestrows", "30000,300000,3000000", "comma-separated census sizes for -exp ingest")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
@@ -61,6 +67,9 @@ func main() {
 			// The drift gate compares the file an earlier bench run wrote
 			// (-benchout) against the committed baseline (-driftbase).
 			return runDrift(*driftBase, *benchOut, *driftPct)
+		}
+		if *exp == "join" {
+			return runBenchJoin(*benchOut, *seed, *joinRows, *minJoinSp, *minSubsuSp)
 		}
 		return run(*exp, *reps, *seed, *nullProp, *rows, *hypotheses, *randomized, *benchOut, *minSpeedup, *minTunedSp, *maxTraceOv, *scaleRows, *ingestRows)
 	}); err != nil {

@@ -7,6 +7,7 @@ import (
 	"aware/internal/dataset"
 	"aware/internal/investing"
 	"aware/internal/obs"
+	"aware/internal/plan"
 	"aware/internal/stats"
 )
 
@@ -42,6 +43,10 @@ type Options struct {
 	// Pool it is an execution hint only: results are bit-identical with or
 	// without it. Nil leaves the table's current arena untouched.
 	Arena *dataset.WordArena
+	// Catalog, when non-nil, resolves registered dataset names for JoinDataset
+	// steps (the server passes its dataset registry). Sessions without a
+	// catalog reject join steps; every other step works without one.
+	Catalog plan.Catalog
 }
 
 // Session is one AWARE exploration session over a fixed dataset. It owns the
@@ -68,6 +73,7 @@ type Options struct {
 type Session struct {
 	data     *dataset.Table
 	sel      *dataset.SelectionCache
+	catalog  plan.Catalog
 	investor *investing.Investor
 	alpha    float64
 	power    float64
@@ -126,7 +132,7 @@ func NewSession(data *dataset.Table, opts Options) (*Session, error) {
 	if opts.Arena != nil {
 		data.SetArena(opts.Arena)
 	}
-	return &Session{data: data, sel: sel, investor: inv, alpha: alpha, power: power}, nil
+	return &Session{data: data, sel: sel, catalog: opts.Catalog, investor: inv, alpha: alpha, power: power}, nil
 }
 
 // Data returns the table the session explores.

@@ -16,7 +16,7 @@ var ErrUnknownStep = errors.New("core: unknown step")
 // an exploration is fully described by its ordered Step sequence — which can
 // be logged (Session.Log), persisted (MarshalStep), replayed deterministically
 // (Replay) and re-validated on a hold-out split (HoldoutValidator.ReplayLog).
-// The set is sealed: only the seven types in this package implement it.
+// The set is sealed: only the ten types in this package implement it.
 type Step interface {
 	// Kind returns the step's stable wire name, e.g. "add_visualization".
 	Kind() string
@@ -72,6 +72,36 @@ type Star struct {
 	Starred    bool
 }
 
+// DeriveColumn extends the session's table with a computed numeric column
+// (arithmetic and bucketing over existing numeric columns, see dataset.Expr).
+// The row set is unchanged, so existing visualizations and hypotheses stay
+// valid; subsequent steps can filter, group and test on the derived column.
+type DeriveColumn struct {
+	Name string
+	Expr dataset.Expr
+}
+
+// JoinDataset hash equi-joins the session's table (left side) with a dataset
+// registered in the session's catalog (right side) on LeftKey = RightKey. The
+// session continues over the join result: left columns keep their names,
+// right columns are renamed Prefix+name. Requires Options.Catalog.
+type JoinDataset struct {
+	Dataset  string
+	LeftKey  string
+	RightKey string
+	Prefix   string
+}
+
+// GroupByHypothesis tests the independence of two attributes over the rows
+// matching Filter (nil for the whole table) with a χ² test on their
+// contingency table, routed through the α-investing procedure like every
+// other hypothesis. Numeric attributes are cut into equal-width bins.
+type GroupByHypothesis struct {
+	RowAttr string
+	ColAttr string
+	Filter  dataset.Predicate
+}
+
 // Kind implements Step.
 func (AddVisualization) Kind() string { return "add_visualization" }
 
@@ -93,6 +123,15 @@ func (DeclareDescriptive) Kind() string { return "declare_descriptive" }
 // Kind implements Step.
 func (Star) Kind() string { return "star" }
 
+// Kind implements Step.
+func (DeriveColumn) Kind() string { return "derive_column" }
+
+// Kind implements Step.
+func (JoinDataset) Kind() string { return "join_dataset" }
+
+// Kind implements Step.
+func (GroupByHypothesis) Kind() string { return "group_by" }
+
 func (AddVisualization) isStep()       {}
 func (CompareVisualizations) isStep()  {}
 func (CompareMeans) isStep()           {}
@@ -100,6 +139,9 @@ func (CompareDistributions) isStep()   {}
 func (TestAgainstExpectation) isStep() {}
 func (DeclareDescriptive) isStep()     {}
 func (Star) isStep()                   {}
+func (DeriveColumn) isStep()           {}
+func (JoinDataset) isStep()            {}
+func (GroupByHypothesis) isStep()      {}
 
 // StepResult reports what applying a Step produced. The pointers reference
 // live session state, so the single-threaded contract of Session applies.
@@ -187,6 +229,16 @@ func (s *Session) dispatch(step Step) (StepResult, error) {
 		return StepResult{}, s.declareDescriptive(st.Visualization)
 	case Star:
 		return StepResult{}, s.star(st.Hypothesis, st.Starred)
+	case DeriveColumn:
+		return StepResult{}, s.deriveColumn(st.Name, st.Expr)
+	case JoinDataset:
+		return StepResult{}, s.joinDataset(st.Dataset, st.LeftKey, st.RightKey, st.Prefix)
+	case GroupByHypothesis:
+		hyp, err := s.groupByHypothesis(st.RowAttr, st.ColAttr, st.Filter)
+		if err != nil {
+			return StepResult{}, err
+		}
+		return StepResult{Hypothesis: hyp}, nil
 	case nil:
 		return StepResult{}, fmt.Errorf("%w: nil", ErrUnknownStep)
 	default:

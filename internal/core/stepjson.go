@@ -19,11 +19,15 @@ import (
 //	{"op": "test_against_expectation", "visualization": 1, "expected": {"Male": 3, "Female": 1}}
 //	{"op": "declare_descriptive", "visualization": 2}
 //	{"op": "star", "hypothesis": 3, "starred": true}
+//	{"op": "derive_column", "name": "wage_decade", "expression": {...}}
+//	{"op": "join_dataset", "dataset": "regions", "left_key": "region", "right_key": "name", "prefix": "region_"}
+//	{"op": "group_by", "row": "education", "col": "gender", "predicate": {...}}
 //
-// Predicates reuse the dataset package's predicate wire format. Decoding is
-// strict: unknown fields, missing ops and missing required fields are errors,
-// and every step round-trips losslessly (MarshalStep ∘ UnmarshalStep is the
-// identity on the closed step set).
+// Predicates reuse the dataset package's predicate wire format and derive
+// expressions its expression wire format. Decoding is strict: unknown fields,
+// missing ops and missing required fields are errors, and every step
+// round-trips losslessly (MarshalStep ∘ UnmarshalStep is the identity on the
+// closed step set).
 
 // stepJSON is the tagged union each step encodes to. Exactly the fields
 // relevant to Op are populated.
@@ -38,6 +42,14 @@ type stepJSON struct {
 	Expected      map[string]float64 `json:"expected,omitempty"`
 	Hypothesis    int                `json:"hypothesis,omitempty"`
 	Starred       *bool              `json:"starred,omitempty"`
+	Name          string             `json:"name,omitempty"`
+	Expression    json.RawMessage    `json:"expression,omitempty"`
+	Dataset       string             `json:"dataset,omitempty"`
+	LeftKey       string             `json:"left_key,omitempty"`
+	RightKey      string             `json:"right_key,omitempty"`
+	Prefix        string             `json:"prefix,omitempty"`
+	Row           string             `json:"row,omitempty"`
+	Col           string             `json:"col,omitempty"`
 }
 
 // encodeStep converts a step into its wire representation.
@@ -66,6 +78,24 @@ func encodeStep(s Step) (*stepJSON, error) {
 	case Star:
 		starred := st.Starred
 		return &stepJSON{Op: st.Kind(), Hypothesis: st.Hypothesis, Starred: &starred}, nil
+	case DeriveColumn:
+		expr, err := dataset.MarshalExpr(st.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("core: encoding %s expression: %w", st.Kind(), err)
+		}
+		return &stepJSON{Op: st.Kind(), Name: st.Name, Expression: expr}, nil
+	case JoinDataset:
+		return &stepJSON{Op: st.Kind(), Dataset: st.Dataset, LeftKey: st.LeftKey, RightKey: st.RightKey, Prefix: st.Prefix}, nil
+	case GroupByHypothesis:
+		out := &stepJSON{Op: st.Kind(), Row: st.RowAttr, Col: st.ColAttr}
+		if st.Filter != nil {
+			pred, err := dataset.MarshalPredicate(st.Filter)
+			if err != nil {
+				return nil, fmt.Errorf("core: encoding %s filter: %w", st.Kind(), err)
+			}
+			out.Predicate = pred
+		}
+		return out, nil
 	case nil:
 		return nil, fmt.Errorf("%w: cannot encode nil step", ErrUnknownStep)
 	default:
@@ -132,6 +162,39 @@ func decodeStep(sj *stepJSON) (Step, error) {
 			starred = *sj.Starred
 		}
 		return Star{Hypothesis: sj.Hypothesis, Starred: starred}, nil
+	case "derive_column":
+		if sj.Name == "" {
+			return nil, fmt.Errorf("core: derive_column step requires a name")
+		}
+		if len(sj.Expression) == 0 || bytes.Equal(sj.Expression, []byte("null")) {
+			return nil, fmt.Errorf("core: derive_column step requires an expression")
+		}
+		expr, err := dataset.UnmarshalExpr(sj.Expression)
+		if err != nil {
+			return nil, fmt.Errorf("core: derive_column expression: %w", err)
+		}
+		return DeriveColumn{Name: sj.Name, Expr: expr}, nil
+	case "join_dataset":
+		if sj.Dataset == "" {
+			return nil, fmt.Errorf("core: join_dataset step requires a dataset")
+		}
+		if sj.LeftKey == "" || sj.RightKey == "" {
+			return nil, fmt.Errorf("core: join_dataset step requires left_key and right_key")
+		}
+		return JoinDataset{Dataset: sj.Dataset, LeftKey: sj.LeftKey, RightKey: sj.RightKey, Prefix: sj.Prefix}, nil
+	case "group_by":
+		if sj.Row == "" || sj.Col == "" {
+			return nil, fmt.Errorf("core: group_by step requires row and col attributes")
+		}
+		st := GroupByHypothesis{RowAttr: sj.Row, ColAttr: sj.Col}
+		if len(sj.Predicate) > 0 && !bytes.Equal(sj.Predicate, []byte("null")) {
+			filter, err := dataset.UnmarshalPredicate(sj.Predicate)
+			if err != nil {
+				return nil, fmt.Errorf("core: group_by predicate: %w", err)
+			}
+			st.Filter = filter
+		}
+		return st, nil
 	case "":
 		return nil, fmt.Errorf("core: step object is missing an op")
 	default:

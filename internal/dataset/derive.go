@@ -21,7 +21,14 @@ func (t *Table) WithColumn(c *Column) (*Table, error) {
 		return nil, fmt.Errorf("%w: column %q has %d rows, expected %d", ErrLengthMismatch, c.Name, c.Len(), t.rows)
 	}
 	cols := append(append([]*Column(nil), t.columns...), c)
-	return NewTable(cols...)
+	nt, err := NewTable(cols...)
+	if err != nil {
+		return nil, err
+	}
+	// Extended tables inherit the parent's execution pool, like Select does,
+	// so deriving a column never silently unpins a pinned lineage.
+	nt.pool.Store(t.pool.Load())
+	return nt, nil
 }
 
 // BinNumeric derives a categorical column from a numeric one by binning it

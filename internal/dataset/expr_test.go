@@ -1,0 +1,257 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// This file tests the derived-column expression engine: vectorized evaluation
+// against a row-at-a-time reference, pool parity (including the sequential
+// cutoff over multi-morsel tables), Derive's table semantics, and the JSON
+// codec.
+
+// refEvalExpr is the row-at-a-time reference evaluator. It applies the same
+// IEEE operations in the same order as the compiled program, so agreement is
+// exact, not approximate.
+func refEvalExpr(t *testing.T, tab *Table, e Expr, row int) float64 {
+	t.Helper()
+	switch q := e.(type) {
+	case Col:
+		c, err := tab.Column(q.Name)
+		if err != nil {
+			t.Fatalf("reference: %v", err)
+		}
+		v, err := c.Float(row)
+		if err != nil {
+			t.Fatalf("reference: %v", err)
+		}
+		return v
+	case Const:
+		return q.Value
+	case Binary:
+		l, r := refEvalExpr(t, tab, q.L, row), refEvalExpr(t, tab, q.R, row)
+		switch q.Op {
+		case OpAdd:
+			return l + r
+		case OpSub:
+			return l - r
+		case OpMul:
+			return l * r
+		default:
+			return l / r
+		}
+	case Bucket:
+		v := refEvalExpr(t, tab, q.Arg, row)
+		return math.Floor(v/q.Width) * q.Width
+	default:
+		t.Fatalf("reference: unknown expression %T", e)
+		return 0
+	}
+}
+
+// randomExpr draws an expression tree over the numeric columns of
+// randomTable. Divisions and zero-width buckets are allowed: Inf and NaN must
+// round-trip through the vectorized path identically too.
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return Col{Name: "score"}
+		case 1:
+			return Col{Name: "level"}
+		default:
+			return Const{Value: math.Round(rng.NormFloat64()*100) / 10}
+		}
+	}
+	if rng.Intn(5) == 0 {
+		return Bucket{Arg: randomExpr(rng, depth-1), Width: float64(1 + rng.Intn(10))}
+	}
+	op := []BinaryOp{OpAdd, OpSub, OpMul, OpDiv}[rng.Intn(4)]
+	return Binary{Op: op, L: randomExpr(rng, depth-1), R: randomExpr(rng, depth-1)}
+}
+
+// sameFloat compares bit patterns so NaN == NaN and -0 != 0.
+func sameFloat(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestEvalExprMatchesReferenceRandomized is the derived-column property test:
+// random expression trees over random tables must evaluate, element for
+// element, exactly as the row-at-a-time reference.
+func TestEvalExprMatchesReferenceRandomized(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tab := randomTable(rng)
+		e := randomExpr(rng, 3)
+		got, err := tab.EvalExpr(e)
+		if err != nil {
+			t.Fatalf("seed %d: EvalExpr(%s): %v", seed, e.Describe(), err)
+		}
+		if len(got) != tab.NumRows() {
+			t.Fatalf("seed %d: %d values for %d rows", seed, len(got), tab.NumRows())
+		}
+		for row := range got {
+			want := refEvalExpr(t, tab, e, row)
+			if !sameFloat(got[row], want) {
+				t.Fatalf("seed %d: %s at row %d: got %v, want %v", seed, e.Describe(), row, got[row], want)
+			}
+		}
+	}
+}
+
+// TestEvalExprPoolParity evaluates one expression over a table spanning
+// several morsels on 1-, 2- and 8-worker pools: identical vectors everywhere.
+// The 1-worker case over a multi-morsel table is the regression test for the
+// sequential cutoff path, which must walk morsel-at-a-time rather than hand
+// the whole table to one morsel-sized scratch buffer.
+func TestEvalExprPoolParity(t *testing.T) {
+	rows := 3*morselRows + 17
+	vals := make([]float64, rows)
+	rng := rand.New(rand.NewSource(3))
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 50
+	}
+	tab, err := NewTable(NewFloatColumn("v", vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Bucket{
+		Arg:   Binary{Op: OpAdd, L: Binary{Op: OpMul, L: Col{Name: "v"}, R: Const{Value: 52}}, R: Const{Value: 7}},
+		Width: 25,
+	}
+	want, err := tab.EvalExpr(e) // default pool
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		p := NewPool(workers)
+		tab.SetPool(p)
+		got, err := tab.EvalExpr(e)
+		if err != nil {
+			t.Fatalf("%d workers: %v", workers, err)
+		}
+		for i := range got {
+			if !sameFloat(got[i], want[i]) {
+				t.Fatalf("%d workers: row %d: %v vs %v", workers, i, got[i], want[i])
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestDeriveSemantics pins Derive's table contract: a fresh table with the
+// new Float64 column appended, the source table untouched, errors on unknown
+// columns, non-numeric columns, and duplicate names.
+func TestDeriveSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tab := randomTable(rng)
+	cols := tab.NumColumns()
+	derived, err := tab.Derive("twice", Binary{Op: OpMul, L: Col{Name: "score"}, R: Const{Value: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumColumns() != cols {
+		t.Fatalf("Derive mutated the source table: %d columns, had %d", tab.NumColumns(), cols)
+	}
+	if derived.NumColumns() != cols+1 || derived.NumRows() != tab.NumRows() {
+		t.Fatalf("derived table is %dx%d, want %dx%d", derived.NumRows(), derived.NumColumns(), tab.NumRows(), cols+1)
+	}
+	twice, err := derived.Floats("twice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, err := tab.Floats("score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range twice {
+		if !sameFloat(twice[i], score[i]*2) {
+			t.Fatalf("row %d: %v, want %v", i, twice[i], score[i]*2)
+		}
+	}
+
+	if _, err := tab.Derive("x", Col{Name: "no_such_column"}); err == nil {
+		t.Error("unknown column: want error")
+	}
+	if _, err := tab.Derive("x", Col{Name: "color"}); err == nil {
+		t.Error("categorical operand: want error")
+	}
+	if _, err := tab.Derive("score", Const{Value: 1}); err == nil {
+		t.Error("duplicate column name: want error")
+	}
+}
+
+// TestExprJSONRoundTrip marshals and re-marshals every node kind (and a
+// nested tree), requiring identical wire forms and identical Describe text.
+func TestExprJSONRoundTrip(t *testing.T) {
+	exprs := []Expr{
+		Col{Name: "age"},
+		Const{Value: -2.5},
+		Binary{Op: OpAdd, L: Col{Name: "a"}, R: Const{Value: 1}},
+		Binary{Op: OpSub, L: Col{Name: "a"}, R: Col{Name: "b"}},
+		Binary{Op: OpMul, L: Const{Value: 52}, R: Col{Name: "hours"}},
+		Binary{Op: OpDiv, L: Col{Name: "pay"}, R: Col{Name: "hours"}},
+		Bucket{Arg: Col{Name: "age"}, Width: 10},
+		Bucket{
+			Arg:   Binary{Op: OpMul, L: Col{Name: "hours"}, R: Const{Value: 52}},
+			Width: 250,
+		},
+	}
+	for _, e := range exprs {
+		t.Run(e.Describe(), func(t *testing.T) {
+			first, err := MarshalExpr(e)
+			if err != nil {
+				t.Fatalf("MarshalExpr: %v", err)
+			}
+			decoded, err := UnmarshalExpr(first)
+			if err != nil {
+				t.Fatalf("UnmarshalExpr(%s): %v", first, err)
+			}
+			second, err := MarshalExpr(decoded)
+			if err != nil {
+				t.Fatalf("re-MarshalExpr: %v", err)
+			}
+			if string(first) != string(second) {
+				t.Errorf("round trip not lossless:\n first: %s\nsecond: %s", first, second)
+			}
+			if decoded.Describe() != e.Describe() {
+				t.Errorf("Describe changed: %q -> %q", e.Describe(), decoded.Describe())
+			}
+		})
+	}
+}
+
+// TestExprJSONStrictness rejects malformed wire forms and unencodable trees.
+func TestExprJSONStrictness(t *testing.T) {
+	bad := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"missing type", `{}`, "missing a type"},
+		{"unknown type", `{"expr": "mod", "left": {"expr": "col", "column": "a"}}`, "unknown expression"},
+		{"col without column", `{"expr": "col"}`, "requires a column"},
+		{"const without value", `{"expr": "const"}`, "requires a value"},
+		{"add without right", `{"expr": "add", "left": {"expr": "const", "value": 1}}`, "right operand"},
+		{"bucket without width", `{"expr": "bucket", "arg": {"expr": "col", "column": "a"}}`, "requires a width"},
+		{"not json", `{"expr": `, "parsing expression JSON"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := UnmarshalExpr([]byte(tc.in)); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("UnmarshalExpr(%s) = %v, want error containing %q", tc.in, err, tc.want)
+			}
+		})
+	}
+	if _, err := MarshalExpr(nil); err == nil {
+		t.Error("MarshalExpr(nil): want error")
+	}
+	if _, err := MarshalExpr(Binary{Op: "mod", L: Col{Name: "a"}, R: Col{Name: "b"}}); err == nil {
+		t.Error("MarshalExpr of unknown operator: want error")
+	}
+	if _, err := MarshalExpr(Binary{Op: OpAdd, L: Col{Name: "a"}}); err == nil {
+		t.Error("MarshalExpr with nil operand: want error")
+	}
+}

@@ -1,0 +1,311 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"aware/internal/colstore"
+)
+
+// This file is the two-table hash equi-join kernel. HashJoin is the engine
+// path: the smaller side (by exact bitmap cardinality — Selection.Count is
+// free) builds a hash table pre-sized to its row count, and the larger side
+// streams morsel-at-a-time over its View probing it, with a two-pass
+// count/prefix-sum/write scheme so the output is deterministic on any pool.
+// JoinOracle is the row-at-a-time nested-loop reference kept for differential
+// testing, exactly as WhereGeneric is for the predicate kernels: both paths
+// must produce column-for-column identical tables.
+//
+// Output contract (both paths): one row per matching (left row, right row)
+// pair, ordered by left row ascending, then right row ascending. The result
+// table holds every left column under its own name followed by every right
+// column renamed rightPrefix+name; name collisions (for example an empty
+// prefix over overlapping schemas) fail with ErrColumnExists.
+
+// ErrJoinKeyType is returned when join key columns are not an equi-joinable
+// pair (both categorical, both int64, or both bool).
+var ErrJoinKeyType = fmt.Errorf("dataset: join keys must be categorical, int64 or bool columns of the same type")
+
+// joinKeyColumns resolves and type-checks the two key columns.
+func joinKeyColumns(left, right View, leftKey, rightKey string) (lc, rc *Column, err error) {
+	if left.table == nil || right.table == nil {
+		return nil, nil, fmt.Errorf("dataset: join requires two views")
+	}
+	lc, err = left.table.Column(leftKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	rc, err = right.table.Column(rightKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lc.Type != rc.Type {
+		return nil, nil, fmt.Errorf("%w: %s is %s, %s is %s", ErrJoinKeyType, lc.Name, lc.Type, rc.Name, rc.Type)
+	}
+	switch lc.Type {
+	case Categorical, Int64, Bool:
+		return lc, rc, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: %s is %s", ErrJoinKeyType, lc.Name, lc.Type)
+	}
+}
+
+// checkJoinSpans guards the int32 row-index representation the join
+// materializes through.
+func checkJoinSpans(left, right View) error {
+	if left.sel.n > math.MaxInt32 || right.sel.n > math.MaxInt32 {
+		return fmt.Errorf("dataset: join sides must span fewer than 2^31 rows")
+	}
+	return nil
+}
+
+// HashJoin equi-joins two filtered views into a new table. The build side is
+// chosen greedily (the side with the smaller exact selection cardinality),
+// its matching rows are hashed into a postings map pre-sized from the bitmap
+// count, and the probe side streams morsel-at-a-time over its selection. The
+// result is identical — ordering included — to JoinOracle.
+func HashJoin(left, right View, leftKey, rightKey, rightPrefix string) (*Table, error) {
+	lc, rc, err := joinKeyColumns(left, right, leftKey, rightKey)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkJoinSpans(left, right); err != nil {
+		return nil, err
+	}
+	var lidx, ridx []int32
+	if right.sel.Count() <= left.sel.Count() {
+		// Build on the right, probe the left: probing in ascending left-row
+		// order with ascending postings makes the output (l, r)-sorted for
+		// free.
+		lidx, ridx, err = hashJoinPairs(left, lc, right, rc)
+	} else {
+		// Build on the left, probe the right: pairs come out right-major, so
+		// re-sort them into the canonical (l, r) order.
+		ridx, lidx, err = hashJoinPairs(right, rc, left, lc)
+		if err == nil {
+			sortPairs(lidx, ridx)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return materializeJoin(left.table, right.table, lidx, ridx, rightPrefix)
+}
+
+// JoinOracle is the nested-loop differential reference: every (left, right)
+// row pair is compared through the row-at-a-time value accessors, with no
+// hashing, no dictionary-code translation and no parallelism.
+func JoinOracle(left, right View, leftKey, rightKey, rightPrefix string) (*Table, error) {
+	lc, rc, err := joinKeyColumns(left, right, leftKey, rightKey)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkJoinSpans(left, right); err != nil {
+		return nil, err
+	}
+	var lidx, ridx []int32
+	var cmpErr error
+	left.sel.ForEach(func(lrow int) {
+		right.sel.ForEach(func(rrow int) {
+			if cmpErr != nil {
+				return
+			}
+			eq, err := joinKeyEqual(lc, lrow, rc, rrow)
+			if err != nil {
+				cmpErr = err
+				return
+			}
+			if eq {
+				lidx = append(lidx, int32(lrow))
+				ridx = append(ridx, int32(rrow))
+			}
+		})
+	})
+	if cmpErr != nil {
+		return nil, cmpErr
+	}
+	return materializeJoin(left.table, right.table, lidx, ridx, rightPrefix)
+}
+
+// joinKeyEqual compares one key pair through the generic value accessors.
+func joinKeyEqual(lc *Column, lrow int, rc *Column, rrow int) (bool, error) {
+	switch lc.Type {
+	case Categorical:
+		lv, err := lc.StringAt(lrow)
+		if err != nil {
+			return false, err
+		}
+		rv, err := rc.StringAt(rrow)
+		if err != nil {
+			return false, err
+		}
+		return lv == rv, nil
+	case Int64:
+		return lc.ints[lrow] == rc.ints[rrow], nil
+	case Bool:
+		return lc.bools[lrow] == rc.bools[rrow], nil
+	default:
+		return false, fmt.Errorf("%w: %s is %s", ErrJoinKeyType, lc.Name, lc.Type)
+	}
+}
+
+// missingCode marks a probe-side dictionary value absent from the build side.
+// Categorical postings keys are build-side codes (< 2^32), so the sentinel
+// can never collide; the numeric key types never consult the translation.
+const missingCode = ^uint64(0)
+
+// joinKeyFuncs returns the postings-key extractors for the probe and build
+// sides. Categorical keys are build-side dictionary codes: the probe
+// dictionary is translated once (O(dict) string lookups), after which probing
+// is a pure integer array walk. Int64 keys use the value's bit pattern; bool
+// keys use 0/1.
+func joinKeyFuncs(probeCol, buildCol *Column) (probeAt, buildAt func(row int) uint64) {
+	switch buildCol.Type {
+	case Categorical:
+		trans := make([]uint64, len(probeCol.dict))
+		for code, val := range probeCol.dict {
+			if bcode, ok := buildCol.codeOf[val]; ok {
+				trans[code] = uint64(bcode)
+			} else {
+				trans[code] = missingCode
+			}
+		}
+		probeAt = func(row int) uint64 { return trans[probeCol.codes[row]] }
+		buildAt = func(row int) uint64 { return uint64(buildCol.codes[row]) }
+	case Int64:
+		probeAt = func(row int) uint64 { return uint64(probeCol.ints[row]) }
+		buildAt = func(row int) uint64 { return uint64(buildCol.ints[row]) }
+	default: // Bool, guarded by joinKeyColumns
+		asKey := func(c *Column) func(row int) uint64 {
+			return func(row int) uint64 {
+				if c.bools[row] {
+					return 1
+				}
+				return 0
+			}
+		}
+		probeAt = asKey(probeCol)
+		buildAt = asKey(buildCol)
+	}
+	return probeAt, buildAt
+}
+
+// hashJoinPairs builds on build and probes with probe, returning the matching
+// (probe row, build row) index pairs ordered probe-major (probe rows
+// ascending, build rows ascending within one probe row). The probe side
+// streams morsel-at-a-time: a counting pass fixes each morsel's output offset
+// (exclusive prefix sum in morsel order), then every morsel writes its
+// disjoint slice — the output is byte-identical on any pool.
+func hashJoinPairs(probe View, probeCol *Column, build View, buildCol *Column) (probeIdx, buildIdx []int32, err error) {
+	probeAt, buildAt := joinKeyFuncs(probeCol, buildCol)
+	postings := make(map[uint64][]int32, build.sel.Count())
+	build.sel.ForEach(func(row int) {
+		k := buildAt(row)
+		postings[k] = append(postings[k], int32(row))
+	})
+	// A categorical probe row whose value is absent from the build dictionary
+	// extracts missingCode, which no build row can produce (codes < 2^32), so
+	// its postings lookup simply misses. Int64 keys never use the sentinel —
+	// uint64(-1) is a legitimate key there and matches normally.
+
+	p := probe.table.execPool()
+	n := probe.sel.n
+	m := chunks(n, morselRows)
+	if m == 0 {
+		return nil, nil, nil
+	}
+	offsets := make([]int, m)
+	p.Run(m, func(i int) {
+		lo := i * morselRows
+		c := 0
+		probe.sel.forEachIn(lo, min(lo+morselRows, n), func(row int) {
+			c += len(postings[probeAt(row)])
+		})
+		offsets[i] = c
+	})
+	total := 0
+	for i, c := range offsets {
+		offsets[i] = total
+		total += c
+	}
+	probeIdx = make([]int32, total)
+	buildIdx = make([]int32, total)
+	p.Run(m, func(i int) {
+		lo := i * morselRows
+		j := offsets[i]
+		probe.sel.forEachIn(lo, min(lo+morselRows, n), func(row int) {
+			for _, br := range postings[probeAt(row)] {
+				probeIdx[j] = int32(row)
+				buildIdx[j] = br
+				j++
+			}
+		})
+	})
+	return probeIdx, buildIdx, nil
+}
+
+// sortPairs re-sorts parallel index slices into (l, r) ascending order — the
+// canonical output order — after a probe-right join produced them r-major.
+func sortPairs(lidx, ridx []int32) {
+	packed := make([]uint64, len(lidx))
+	for i := range packed {
+		packed[i] = uint64(uint32(lidx[i]))<<32 | uint64(uint32(ridx[i]))
+	}
+	sort.Slice(packed, func(i, j int) bool { return packed[i] < packed[j] })
+	for i, pk := range packed {
+		lidx[i] = int32(pk >> 32)
+		ridx[i] = int32(uint32(pk))
+	}
+}
+
+// gatherRows is Column.gather over int32 indices with a target name — the
+// join materialization's building block. Categorical columns share their
+// (immutable) dictionary, exactly like gather.
+func (c *Column) gatherRows(indices []int32, name string) *Column {
+	phys := &colstore.Column{Name: name, Kind: kindOfType(c.Type)}
+	switch c.Type {
+	case Float64:
+		phys.Floats = make([]float64, len(indices))
+		for i, idx := range indices {
+			phys.Floats[i] = c.floats[idx]
+		}
+	case Int64:
+		phys.Ints = make([]int64, len(indices))
+		for i, idx := range indices {
+			phys.Ints[i] = c.ints[idx]
+		}
+	case Categorical:
+		phys.Dict = c.dict
+		phys.CodeOf = c.codeOf
+		phys.Codes = make([]uint32, len(indices))
+		for i, idx := range indices {
+			phys.Codes[i] = c.codes[idx]
+		}
+	case Bool:
+		phys.Bools = make([]bool, len(indices))
+		for i, idx := range indices {
+			phys.Bools[i] = c.bools[idx]
+		}
+	}
+	return wrapColumn(phys)
+}
+
+// materializeJoin gathers the matched row pairs into a standalone table:
+// left columns first under their own names, then right columns renamed
+// rightPrefix+name. The result inherits the left table's execution pool.
+func materializeJoin(lt, rt *Table, lidx, ridx []int32, rightPrefix string) (*Table, error) {
+	cols := make([]*Column, 0, len(lt.columns)+len(rt.columns))
+	for _, c := range lt.columns {
+		cols = append(cols, c.gatherRows(lidx, c.Name))
+	}
+	for _, c := range rt.columns {
+		cols = append(cols, c.gatherRows(ridx, rightPrefix+c.Name))
+	}
+	out, err := NewTable(cols...)
+	if err != nil {
+		return nil, err
+	}
+	out.pool.Store(lt.pool.Load())
+	return out, nil
+}

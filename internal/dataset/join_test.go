@@ -1,0 +1,254 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// This file is the differential test bed for the hash equi-join: for
+// randomized table pairs over every joinable key type, filtered on both
+// sides, on sequential and parallel pools, HashJoin must produce a table
+// column-for-column identical to the nested-loop JoinOracle — including the
+// canonical (left, right)-ascending row order, whichever side builds.
+
+// randomKeyedTable builds a join side: a key column of the given type plus one
+// payload column per type, with key cardinality low enough that joins produce
+// matches. colPrefix keeps the two sides' payload names distinct.
+func randomKeyedTable(rng *rand.Rand, rows int, keyType ColumnType, colPrefix string) *Table {
+	keyDomain := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "unmatched-" + colPrefix}
+	strs := make([]string, rows)
+	ints := make([]int64, rows)
+	bools := make([]bool, rows)
+	payload := make([]float64, rows)
+	tags := make([]string, rows)
+	for i := 0; i < rows; i++ {
+		strs[i] = keyDomain[rng.Intn(len(keyDomain))]
+		ints[i] = int64(rng.Intn(9) - 4) // includes negatives: uint64 bit-pattern keys
+		bools[i] = rng.Intn(2) == 0
+		payload[i] = float64(rng.Intn(1000))
+		tags[i] = []string{"x", "y", "z"}[rng.Intn(3)]
+	}
+	var key *Column
+	switch keyType {
+	case Categorical:
+		key = NewCategoricalColumn("key", strs)
+	case Int64:
+		key = NewIntColumn("key", ints)
+	case Bool:
+		key = NewBoolColumn("key", bools)
+	default:
+		panic("unjoinable key type in test generator")
+	}
+	tab, err := NewTable(
+		key,
+		NewFloatColumn(colPrefix+"_payload", payload),
+		NewCategoricalColumn(colPrefix+"_tag", tags),
+	)
+	if err != nil {
+		panic(err)
+	}
+	return tab
+}
+
+// sideView filters a join side with a simple predicate (sometimes none).
+func sideView(t *testing.T, rng *rand.Rand, tab *Table, colPrefix string) View {
+	t.Helper()
+	var sel *Selection
+	var err error
+	switch rng.Intn(3) {
+	case 0:
+		sel = FullSelection(tab.NumRows())
+	case 1:
+		sel, err = tab.Where(Range{Column: colPrefix + "_payload", Low: 0, High: float64(rng.Intn(1000))})
+	default:
+		sel, err = tab.Where(NewIn(colPrefix+"_tag", "x", "z"))
+	}
+	if err != nil {
+		t.Fatalf("side filter: %v", err)
+	}
+	v, err := NewView(tab, sel)
+	if err != nil {
+		t.Fatalf("NewView: %v", err)
+	}
+	return v
+}
+
+// requireTablesEqual compares two tables cell for cell through the typed
+// vectors (categorical columns via their decoded strings, since the two join
+// paths share dictionaries with their source tables, not with each other).
+func requireTablesEqual(t *testing.T, label string, a, b *Table) {
+	t.Helper()
+	if a.NumRows() != b.NumRows() {
+		t.Fatalf("%s: %d rows vs %d", label, a.NumRows(), b.NumRows())
+	}
+	an, bn := a.ColumnNames(), b.ColumnNames()
+	if len(an) != len(bn) {
+		t.Fatalf("%s: %d columns vs %d", label, len(an), len(bn))
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			t.Fatalf("%s: column %d named %q vs %q", label, i, an[i], bn[i])
+		}
+		ac, _ := a.Column(an[i])
+		bc, _ := b.Column(bn[i])
+		if ac.Type != bc.Type {
+			t.Fatalf("%s: column %q type %v vs %v", label, an[i], ac.Type, bc.Type)
+		}
+		for row := 0; row < a.NumRows(); row++ {
+			switch ac.Type {
+			case Float64:
+				if ac.floats[row] != bc.floats[row] {
+					t.Fatalf("%s: column %q row %d: %v vs %v", label, an[i], row, ac.floats[row], bc.floats[row])
+				}
+			case Int64:
+				if ac.ints[row] != bc.ints[row] {
+					t.Fatalf("%s: column %q row %d: %v vs %v", label, an[i], row, ac.ints[row], bc.ints[row])
+				}
+			case Bool:
+				if ac.bools[row] != bc.bools[row] {
+					t.Fatalf("%s: column %q row %d: %v vs %v", label, an[i], row, ac.bools[row], bc.bools[row])
+				}
+			case Categorical:
+				if ac.dict[ac.codes[row]] != bc.dict[bc.codes[row]] {
+					t.Fatalf("%s: column %q row %d: %q vs %q", label, an[i], row,
+						ac.dict[ac.codes[row]], bc.dict[bc.codes[row]])
+				}
+			}
+		}
+	}
+}
+
+// TestHashJoinMatchesOracleRandomized is the join property test: random table
+// pairs (sizes chosen so both build directions occur), every key type, random
+// side filters, pools of 1, 2 and 8 workers.
+func TestHashJoinMatchesOracleRandomized(t *testing.T) {
+	pools := []*Pool{NewPool(1), NewPool(2), NewPool(8)}
+	for _, p := range pools {
+		defer p.Close()
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		keyType := []ColumnType{Categorical, Int64, Bool}[rng.Intn(3)]
+		leftRows, rightRows := 1+rng.Intn(300), 1+rng.Intn(40)
+		if rng.Intn(2) == 0 {
+			leftRows, rightRows = rightRows, leftRows // flip which side builds
+		}
+		left := randomKeyedTable(rng, leftRows, keyType, "l")
+		right := randomKeyedTable(rng, rightRows, keyType, "r")
+		lv, rv := sideView(t, rng, left, "l"), sideView(t, rng, right, "r")
+		want, err := JoinOracle(lv, rv, "key", "key", "r_")
+		if err != nil {
+			t.Fatalf("seed %d: oracle: %v", seed, err)
+		}
+		for _, p := range pools {
+			left.SetPool(p)
+			right.SetPool(p)
+			got, err := HashJoin(lv, rv, "key", "key", "r_")
+			if err != nil {
+				t.Fatalf("seed %d pool %d: hash join: %v", seed, p.workers, err)
+			}
+			requireTablesEqual(t, fmt.Sprintf("seed %d pool %d (%v key, %dx%d)",
+				seed, p.workers, keyType, leftRows, rightRows), got, want)
+		}
+	}
+}
+
+// TestHashJoinMatchesOracleAtScale crosses the morsel boundary: a 200k-row
+// probe side against a small dimension, sequential and parallel.
+func TestHashJoinMatchesOracleAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200k-row join in -short mode")
+	}
+	rng := rand.New(rand.NewSource(7))
+	left := randomKeyedTable(rng, 200000, Categorical, "l")
+	right := randomKeyedTable(rng, 12, Categorical, "r")
+	lv := sideView(t, rng, left, "l")
+	rv, err := NewView(right, FullSelection(right.NumRows()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := JoinOracle(lv, rv, "key", "key", "r_")
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	for _, workers := range []int{1, 8} {
+		p := NewPool(workers)
+		left.SetPool(p)
+		got, err := HashJoin(lv, rv, "key", "key", "r_")
+		if err != nil {
+			t.Fatalf("%d workers: %v", workers, err)
+		}
+		requireTablesEqual(t, fmt.Sprintf("%d workers", workers), got, want)
+		p.Close()
+	}
+}
+
+// TestJoinErrors covers the contract violations both join paths must reject
+// identically: unjoinable and mismatched key types, unknown key columns, and
+// output column collisions under an empty prefix.
+func TestJoinErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	catL := randomKeyedTable(rng, 10, Categorical, "l")
+	catR := randomKeyedTable(rng, 10, Categorical, "r")
+	intR := randomKeyedTable(rng, 10, Int64, "r")
+	full := func(tab *Table) View {
+		v, err := NewView(tab, FullSelection(tab.NumRows()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	cases := []struct {
+		name           string
+		left, right    View
+		lk, rk, prefix string
+		wantKeyTypeErr bool
+	}{
+		{"mismatched key types", full(catL), full(intR), "key", "key", "r_", true},
+		{"float key", full(catL), full(catR), "l_payload", "r_payload", "r_", true},
+		{"unknown left key", full(catL), full(catR), "nope", "key", "r_", false},
+		{"unknown right key", full(catL), full(catR), "key", "nope", "r_", false},
+		{"column collision on empty prefix", full(catL), full(catL), "key", "key", "", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, hashErr := HashJoin(tc.left, tc.right, tc.lk, tc.rk, tc.prefix)
+			_, oracleErr := JoinOracle(tc.left, tc.right, tc.lk, tc.rk, tc.prefix)
+			if hashErr == nil || oracleErr == nil {
+				t.Fatalf("want errors from both paths, got hash=%v oracle=%v", hashErr, oracleErr)
+			}
+			if tc.wantKeyTypeErr && !errors.Is(hashErr, ErrJoinKeyType) {
+				t.Errorf("hash error %v, want ErrJoinKeyType", hashErr)
+			}
+		})
+	}
+}
+
+// FuzzJoinOracle is the CI fuzz smoke target: arbitrary shapes and seeds must
+// never make the hash join diverge from the nested-loop oracle (or crash).
+func FuzzJoinOracle(f *testing.F) {
+	f.Add(int64(1), uint16(10), uint16(5), uint8(0))
+	f.Add(int64(2), uint16(1), uint16(1), uint8(1))
+	f.Add(int64(3), uint16(130), uint16(64), uint8(2))
+	f.Add(int64(4), uint16(0), uint16(40), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, leftRows, rightRows uint16, keyKind uint8) {
+		lr := 1 + int(leftRows)%400
+		rr := 1 + int(rightRows)%400
+		keyType := []ColumnType{Categorical, Int64, Bool}[int(keyKind)%3]
+		rng := rand.New(rand.NewSource(seed))
+		left := randomKeyedTable(rng, lr, keyType, "l")
+		right := randomKeyedTable(rng, rr, keyType, "r")
+		lv, rv := sideView(t, rng, left, "l"), sideView(t, rng, right, "r")
+		want, err := JoinOracle(lv, rv, "key", "key", "r_")
+		if err != nil {
+			t.Fatalf("oracle: %v", err)
+		}
+		got, err := HashJoin(lv, rv, "key", "key", "r_")
+		if err != nil {
+			t.Fatalf("hash: %v", err)
+		}
+		requireTablesEqual(t, fmt.Sprintf("seed %d %v %dx%d", seed, keyType, lr, rr), got, want)
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 )
 
@@ -229,15 +230,68 @@ func UnmarshalPredicate(data []byte) (Predicate, error) {
 }
 
 // CanonicalPredicateKey returns a canonical string key for the predicate: its
-// JSON wire form, which sorts In values, so semantically equal predicates
-// produce equal keys. It is the cache key of SelectionCache. And/Or term
-// order is preserved — reordered conjunctions are semantically equal but key
-// (and therefore cache) separately, a deliberate trade of hit rate for key
-// simplicity.
+// JSON wire form with In values sorted and And/Or terms recursively sorted by
+// their own canonical serialization, so semantically equal predicates — In
+// sets written in any order, conjunctions and disjunctions with reordered
+// terms — produce equal keys. It is the cache key of SelectionCache (the wire
+// format produced by MarshalPredicate keeps the author's term order; only the
+// key sorts). The canonical key of And{t1..tn} is exactly the and wire object
+// over the terms' canonical keys in ascending order, which is what lets the
+// subsumption probe in SelectionCache rebuild prefix keys by concatenation.
 func CanonicalPredicateKey(p Predicate) (string, error) {
-	data, err := MarshalPredicate(p)
+	enc, err := encodePredicate(p)
+	if err != nil {
+		return "", err
+	}
+	if err := canonicalizeTermOrder(enc); err != nil {
+		return "", err
+	}
+	data, err := json.Marshal(enc)
 	if err != nil {
 		return "", err
 	}
 	return string(data), nil
+}
+
+// canonicalizeTermOrder recursively sorts the Terms of every and/or node by
+// the terms' (already canonicalized) serializations, making the key of a
+// conjunction independent of the order its terms were written in.
+func canonicalizeTermOrder(pj *predicateJSON) error {
+	if pj == nil {
+		return nil
+	}
+	if pj.Term != nil {
+		if err := canonicalizeTermOrder(pj.Term); err != nil {
+			return err
+		}
+	}
+	if len(pj.Terms) == 0 {
+		return nil
+	}
+	keys := make([]string, len(pj.Terms))
+	for i, t := range pj.Terms {
+		if err := canonicalizeTermOrder(t); err != nil {
+			return err
+		}
+		data, err := json.Marshal(t)
+		if err != nil {
+			return err
+		}
+		keys[i] = string(data)
+	}
+	sort.Sort(&termsByKey{keys: keys, terms: pj.Terms})
+	return nil
+}
+
+// termsByKey sorts a term slice and its serialization keys in lockstep.
+type termsByKey struct {
+	keys  []string
+	terms []*predicateJSON
+}
+
+func (s *termsByKey) Len() int           { return len(s.keys) }
+func (s *termsByKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *termsByKey) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.terms[i], s.terms[j] = s.terms[j], s.terms[i]
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -728,9 +729,16 @@ const defaultSelectionCacheCap = 4096
 // SelectionCache memoizes compiled filter bitmaps for one immutable table,
 // keyed by the canonical predicate serialization (CanonicalPredicateKey), so
 // semantically equal filters — including In predicates written with their
-// values in different orders — share one Selection. Selections are immutable,
-// so a cache may be shared by any number of concurrent sessions exploring the
-// same dataset; all methods are safe for concurrent use.
+// values in different orders and And/Or trees with reordered terms — share one
+// Selection. Selections are immutable, so a cache may be shared by any number
+// of concurrent sessions exploring the same dataset; all methods are safe for
+// concurrent use.
+//
+// The cache is additionally subsumption-aware: a conjunction P∧Q whose exact
+// key misses is probed for the longest cached prefix of its canonical
+// conjunct order, and a cached bitmap for P then serves as the scan base —
+// only the residual conjuncts compile, and one bitmap And replaces the full
+// scan. These partial hits are counted separately from exact hits.
 //
 // The cache is capacity-bounded: past cap entries, an arbitrary entry is
 // evicted per insert. Eviction never affects correctness, only hit rate.
@@ -742,8 +750,9 @@ type SelectionCache struct {
 	mu      sync.RWMutex
 	entries map[string]*Selection
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits        atomic.Uint64
+	partialHits atomic.Uint64
+	misses      atomic.Uint64
 }
 
 // NewSelectionCache builds a cache over the table with the default capacity.
@@ -777,7 +786,8 @@ func (c *SelectionCache) Where(p Predicate) (*Selection, error) {
 }
 
 // whereCached is Where plus the cache outcome — "full" (shared nil-predicate
-// selection), "hit", "miss" or "uncacheable" — which the traced variant
+// selection), "hit" (exact key), "partial" (served from a cached prefix of
+// the conjunction), "miss" or "uncacheable" — which the traced variant
 // (WhereSpan) records on its kernel span.
 func (c *SelectionCache) whereCached(p Predicate) (*Selection, string, error) {
 	if p == nil {
@@ -788,18 +798,36 @@ func (c *SelectionCache) whereCached(p Predicate) (*Selection, string, error) {
 		sel, werr := c.table.Where(p)
 		return sel, "uncacheable", werr
 	}
-	c.mu.RLock()
-	sel := c.entries[key]
-	c.mu.RUnlock()
-	if sel != nil {
+	if sel := c.lookup(key); sel != nil {
 		c.hits.Add(1)
 		return sel, "hit", nil
 	}
+	if and, ok := p.(And); ok && len(and.Terms) >= 2 {
+		if sel, ok := c.whereSubsumed(and, key); ok {
+			c.partialHits.Add(1)
+			return sel, "partial", nil
+		}
+	}
 	c.misses.Add(1)
-	sel, err = c.table.Where(p)
+	sel, err := c.table.Where(p)
 	if err != nil {
 		return nil, "miss", err
 	}
+	return c.store(key, sel), "miss", nil
+}
+
+// lookup returns the cached selection under key, or nil.
+func (c *SelectionCache) lookup(key string) *Selection {
+	c.mu.RLock()
+	sel := c.entries[key]
+	c.mu.RUnlock()
+	return sel
+}
+
+// store detaches sel from the table's arena and inserts it under key,
+// returning the canonical copy (the already-present one when a concurrent
+// caller won the benign insert race).
+func (c *SelectionCache) store(key string, sel *Selection) *Selection {
 	// A cached selection is shared with every future caller for the cache's
 	// lifetime, so it must never return to the table's arena.
 	sel.detach()
@@ -816,7 +844,100 @@ func (c *SelectionCache) whereCached(p Predicate) (*Selection, string, error) {
 		c.entries[key] = sel
 	}
 	c.mu.Unlock()
-	return sel, "miss", nil
+	return sel
+}
+
+// whereSubsumed tries to serve the conjunction from a cached prefix: the
+// terms are put into canonical key order, the cache is probed for the longest
+// prefix conjunction already compiled, and only the residual terms compile —
+// each And-ed into the cached base bitmap. The result is stored under the
+// full key, so the next identical query is an exact hit. It reports false —
+// and the caller falls through to a cold compile — when the terms have no
+// canonical keys, no prefix is cached, or a residual term fails to compile
+// (the cold path owns error semantics, including the reference path's
+// short-circuit behavior on empty accumulators).
+func (c *SelectionCache) whereSubsumed(q And, fullKey string) (*Selection, bool) {
+	keys := make([]string, len(q.Terms))
+	terms := make([]Predicate, len(q.Terms))
+	copy(terms, q.Terms)
+	for i, t := range q.Terms {
+		k, err := CanonicalPredicateKey(t)
+		if err != nil {
+			return nil, false
+		}
+		keys[i] = k
+	}
+	sort.Sort(&predsByKey{keys: keys, terms: terms})
+	for n := len(terms) - 1; n >= 1; n-- {
+		base := c.lookup(andKeyOf(keys[:n]))
+		if base == nil {
+			continue
+		}
+		sel, owned := base, false
+		for _, term := range terms[n:] {
+			// An empty accumulator already decides the conjunction; stop
+			// compiling residuals (mirrors the And short-circuit in where).
+			if sel.Count() == 0 {
+				break
+			}
+			ts, err := c.table.Where(term)
+			if err != nil {
+				if owned {
+					sel.Release()
+				}
+				return nil, false
+			}
+			next := sel.andWith(ts, c.table.execPool())
+			if owned {
+				sel.Release()
+			}
+			ts.Release()
+			sel, owned = next, true
+		}
+		// When the cached base was empty before any residual ran, sel is still
+		// the base bitmap itself — already detached, and aliasing it under the
+		// full key too is exactly right (the conjunction IS empty).
+		return c.store(fullKey, sel), true
+	}
+	return nil, false
+}
+
+// andKeyOf rebuilds the canonical key of the conjunction of terms whose
+// canonical keys are given in ascending order: the bare term key for one
+// term, the and wire object over the keys otherwise (exactly what
+// CanonicalPredicateKey produces for that conjunction).
+func andKeyOf(keys []string) string {
+	if len(keys) == 1 {
+		return keys[0]
+	}
+	total := len(`{"type":"and","terms":[]}`) + len(keys) - 1
+	for _, k := range keys {
+		total += len(k)
+	}
+	var b strings.Builder
+	b.Grow(total)
+	b.WriteString(`{"type":"and","terms":[`)
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+	}
+	b.WriteString(`]}`)
+	return b.String()
+}
+
+// predsByKey sorts a predicate slice and its canonical keys in lockstep.
+type predsByKey struct {
+	keys  []string
+	terms []Predicate
+}
+
+func (s *predsByKey) Len() int           { return len(s.keys) }
+func (s *predsByKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *predsByKey) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.terms[i], s.terms[j] = s.terms[j], s.terms[i]
 }
 
 // View is Where wrapped into a zero-copy view.
@@ -835,9 +956,10 @@ func (c *SelectionCache) Len() int {
 	return len(c.entries)
 }
 
-// Stats returns the cumulative hit and miss counters.
-func (c *SelectionCache) Stats() (hits, misses uint64) {
-	return c.hits.Load(), c.misses.Load()
+// Stats returns the cumulative exact-hit, partial-hit (subsumption-served)
+// and miss counters.
+func (c *SelectionCache) Stats() (hits, partialHits, misses uint64) {
+	return c.hits.Load(), c.partialHits.Load(), c.misses.Load()
 }
 
 // sortedStrings returns a sorted copy of values (the canonical order used by

@@ -1,0 +1,180 @@
+package dataset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// This file tests the SelectionCache's subsumption path: a conjunction served
+// from a cached prefix must be bitmap-word-identical to the cold compile, no
+// matter what happens to be cached, and the hit/partial/miss accounting must
+// witness which path served it.
+
+// requireSameBitmap compares two selections word for word.
+func requireSameBitmap(t *testing.T, label string, got, want *Selection) {
+	t.Helper()
+	if got.Len() != want.Len() || got.Count() != want.Count() {
+		t.Fatalf("%s: len %d/%d count %d/%d", label, got.Len(), want.Len(), got.Count(), want.Count())
+	}
+	for i, w := range want.words {
+		if got.words[i] != w {
+			t.Fatalf("%s: bitmap word %d differs: %064b vs %064b", label, i, got.words[i], w)
+		}
+	}
+}
+
+// conjunctionLeaves draws 2..6 leaf predicates for a conjunction.
+func conjunctionLeaves(rng *rand.Rand) []Predicate {
+	n := 2 + rng.Intn(5)
+	terms := make([]Predicate, n)
+	for i := range terms {
+		terms[i] = randomPredicate(rng, 0)
+	}
+	return terms
+}
+
+// TestSelectionCacheSubsumedEqualsCold is the subsumption property test:
+// whatever sub-conjunction happens to be cached — a canonical-order prefix
+// (the partial-hit case), an arbitrary subset, or nothing — the cached path
+// must return exactly the cold compile's bitmap, and must error exactly when
+// the cold path errors.
+func TestSelectionCacheSubsumedEqualsCold(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tab := randomTable(rng)
+		terms := conjunctionLeaves(rng)
+		full := And{Terms: terms}
+		cache := NewSelectionCache(tab)
+
+		// Warm the cache with one of: nothing, a canonical-order prefix of the
+		// conjunction, or an arbitrary subset of its terms.
+		switch rng.Intn(3) {
+		case 1:
+			ordered := append([]Predicate(nil), terms...)
+			keys := make([]string, len(ordered))
+			ok := true
+			for i, term := range ordered {
+				k, err := CanonicalPredicateKey(term)
+				if err != nil {
+					ok = false
+					break
+				}
+				keys[i] = k
+			}
+			if ok {
+				sort.Sort(&predsByKey{keys: keys, terms: ordered})
+				n := 1 + rng.Intn(len(ordered)-1)
+				cache.Where(And{Terms: ordered[:n]}) // error here is fine: warm best-effort
+			}
+		case 2:
+			n := 1 + rng.Intn(len(terms))
+			cache.Where(And{Terms: terms[:n]})
+		}
+
+		cold, coldErr := tab.Where(full)
+		got, gotErr := cache.Where(full)
+		if coldErr != nil {
+			// The cached path may only out-succeed the cold one through the
+			// empty-accumulator short-circuit: a cached empty prefix decides
+			// the conjunction before the erroring term is reached, exactly as
+			// where's own And short-circuit does in declaration order.
+			if gotErr == nil && got.Count() != 0 {
+				t.Fatalf("seed %d: cold errors (%v) but cache served a non-empty selection", seed, coldErr)
+			}
+			continue
+		}
+		if gotErr != nil {
+			t.Fatalf("seed %d: cold succeeds but cache errors: %v", seed, gotErr)
+		}
+		requireSameBitmap(t, "cached vs cold", got, cold)
+
+		// The result was stored under the full key, so asking again must be an
+		// exact hit returning the same bitmap.
+		hitsBefore, _, _ := cache.Stats()
+		again, err := cache.Where(full)
+		if err != nil {
+			t.Fatalf("seed %d: exact-hit re-query: %v", seed, err)
+		}
+		if hitsBefore2, _, _ := cache.Stats(); hitsBefore2 != hitsBefore+1 {
+			t.Fatalf("seed %d: re-query was not an exact hit", seed)
+		}
+		requireSameBitmap(t, "re-query", again, cold)
+	}
+}
+
+// TestSelectionCachePartialHitPath pins the accounting of the subsumption
+// fast path: with the prefix cached, the extended conjunction is a partial
+// hit (not a miss), repeating it is an exact hit, and the served bitmap is
+// the cold compile's.
+func TestSelectionCachePartialHitPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tab := randomTable(rng)
+	cache := NewSelectionCache(tab)
+	// "equals" keys sort before "range" keys, so the cached pair is the
+	// canonical 2-term prefix of the 3-term conjunction.
+	prefix := And{Terms: []Predicate{
+		Equals{Column: "color", Value: "red"},
+		Equals{Column: "flag", Value: "true"},
+	}}
+	full := And{Terms: []Predicate{
+		Range{Column: "score", Low: -100, High: 100},
+		prefix.Terms[0],
+		prefix.Terms[1],
+	}}
+	if _, err := cache.Where(prefix); err != nil {
+		t.Fatal(err)
+	}
+	hits0, partial0, misses0 := cache.Stats()
+
+	got, err := cache.Where(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits1, partial1, misses1 := cache.Stats()
+	if partial1 != partial0+1 || hits1 != hits0 || misses1 != misses0 {
+		t.Fatalf("extended query: hits %d->%d partial %d->%d misses %d->%d; want exactly one partial hit",
+			hits0, hits1, partial0, partial1, misses0, misses1)
+	}
+	cold, err := tab.Where(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameBitmap(t, "partial-hit result", got, cold)
+
+	if _, err := cache.Where(full); err != nil {
+		t.Fatal(err)
+	}
+	hits2, partial2, _ := cache.Stats()
+	if hits2 != hits1+1 || partial2 != partial1 {
+		t.Fatalf("repeat query: hits %d->%d partial %d->%d; want exactly one exact hit", hits1, hits2, partial1, partial2)
+	}
+}
+
+// TestSelectionCacheKeyOrderInsensitive pins the canonical-key fix for
+// And-trees: P∧Q and Q∧P share one cache entry (the regression behind
+// order-sensitive keys was two entries and zero sharing).
+func TestSelectionCacheKeyOrderInsensitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tab := randomTable(rng)
+	cache := NewSelectionCache(tab)
+	p := Equals{Column: "color", Value: "blue"}
+	q := GreaterThan{Column: "score", Threshold: 0}
+	first, err := cache.Where(And{Terms: []Predicate{p, q}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := cache.Where(And{Terms: []Predicate{q, p}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatal("reordered conjunction compiled a second bitmap; want the cached one")
+	}
+	if hits, _, misses := cache.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats: %d hits %d misses; want 1 hit (reordered query) and 1 miss (first compile)", hits, misses)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries; want 1", cache.Len())
+	}
+}

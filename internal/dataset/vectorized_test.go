@@ -363,9 +363,12 @@ func TestSelectionCacheSharing(t *testing.T) {
 		t.Error("semantically equal In predicates should share one cached Selection")
 	}
 
-	hits, misses := cache.Stats()
+	hits, partial, misses := cache.Stats()
 	if hits != 2 || misses != 2 {
 		t.Errorf("Stats() = %d hits, %d misses; want 2, 2", hits, misses)
+	}
+	if partial != 0 {
+		t.Errorf("Stats() partial hits = %d, want 0 (no conjunction prefixes queried)", partial)
 	}
 	if cache.Len() != 2 {
 		t.Errorf("Len() = %d, want 2", cache.Len())

@@ -1,0 +1,382 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"aware/internal/dataset"
+)
+
+// testCatalog backs Catalog with an in-memory map, like the server's registry
+// but without the HTTP layer.
+type testCatalog struct {
+	tables map[string]*dataset.Table
+	caches map[string]*dataset.SelectionCache
+}
+
+func newTestCatalog() *testCatalog {
+	return &testCatalog{
+		tables: make(map[string]*dataset.Table),
+		caches: make(map[string]*dataset.SelectionCache),
+	}
+}
+
+func (c *testCatalog) add(name string, t *dataset.Table) {
+	c.tables[name] = t
+	c.caches[name] = dataset.NewSelectionCache(t)
+}
+
+func (c *testCatalog) Dataset(name string) (*dataset.Table, *dataset.SelectionCache, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("test catalog: no dataset %q", name)
+	}
+	return t, c.caches[name], nil
+}
+
+// factTable builds the left side: a key into the dimension plus numeric and
+// categorical payloads.
+func factTable(t *testing.T, rows int, seed int64) *dataset.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]string, rows)
+	amounts := make([]float64, rows)
+	regions := make([]string, rows)
+	for i := range keys {
+		keys[i] = []string{"a", "b", "c", "d"}[rng.Intn(4)]
+		amounts[i] = float64(rng.Intn(500))
+		regions[i] = []string{"north", "south"}[rng.Intn(2)]
+	}
+	tab, err := dataset.NewTable(
+		dataset.NewCategoricalColumn("sku", keys),
+		dataset.NewFloatColumn("amount", amounts),
+		dataset.NewCategoricalColumn("region", regions),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// dimTable builds the right side: one row per key plus an extra unmatched one.
+func dimTable(t *testing.T) *dataset.Table {
+	t.Helper()
+	tab, err := dataset.NewTable(
+		dataset.NewCategoricalColumn("sku", []string{"a", "b", "c", "d", "e"}),
+		dataset.NewFloatColumn("price", []float64{10, 20, 30, 40, 50}),
+		dataset.NewCategoricalColumn("tier", []string{"basic", "basic", "plus", "plus", "premium"}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// requireSameView compares two views cell for cell through materialized
+// tables.
+func requireSameView(t *testing.T, label string, got, want dataset.View) {
+	t.Helper()
+	gt, err := got.Materialize()
+	if err != nil {
+		t.Fatalf("%s: materialize got: %v", label, err)
+	}
+	wt, err := want.Materialize()
+	if err != nil {
+		t.Fatalf("%s: materialize want: %v", label, err)
+	}
+	if gt.NumRows() != wt.NumRows() {
+		t.Fatalf("%s: %d rows, want %d", label, gt.NumRows(), wt.NumRows())
+	}
+	gn, wn := gt.ColumnNames(), wt.ColumnNames()
+	if !reflect.DeepEqual(gn, wn) {
+		t.Fatalf("%s: columns %v, want %v", label, gn, wn)
+	}
+	for _, name := range gn {
+		gc, _ := gt.Column(name)
+		wc, _ := wt.Column(name)
+		for row := 0; row < gt.NumRows(); row++ {
+			gs, gerr := gc.StringAt(row)
+			ws, werr := wc.StringAt(row)
+			if gerr == nil && werr == nil {
+				if gs != ws {
+					t.Fatalf("%s: column %q row %d: %q, want %q", label, name, row, gs, ws)
+				}
+				continue
+			}
+			gf, gerr := gc.Float(row)
+			if gerr != nil {
+				t.Fatalf("%s: column %q row %d: %v", label, name, row, gerr)
+			}
+			wf, _ := wc.Float(row)
+			if gf != wf {
+				t.Fatalf("%s: column %q row %d: %v, want %v", label, name, row, gf, wf)
+			}
+		}
+	}
+}
+
+// TestOptimizeMergesAdjacentFilters pins the merge order: the inner filter's
+// conjuncts become the prefix of the merged conjunction, so its cached bitmap
+// subsumes the merged key.
+func TestOptimizeMergesAdjacentFilters(t *testing.T) {
+	tab := factTable(t, 10, 1)
+	scan := TableScan{Table: tab}
+	inner := dataset.Equals{Column: "region", Value: "north"}
+	outer := dataset.Range{Column: "amount", Low: 0, High: 100}
+	opt, err := Optimize(Filter{Input: Filter{Input: scan, Pred: inner}, Pred: outer}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Filter{Input: scan, Pred: dataset.And{Terms: []dataset.Predicate{inner, outer}}}
+	if !reflect.DeepEqual(opt, Node(want)) {
+		t.Fatalf("optimized to %#v\nwant %#v", opt, want)
+	}
+}
+
+// TestOptimizePushesThroughDerive splits a conjunction at a Derive: terms on
+// base columns slide below, terms touching the derived column stay above.
+func TestOptimizePushesThroughDerive(t *testing.T) {
+	tab := factTable(t, 10, 2)
+	scan := TableScan{Table: tab}
+	derive := Derive{Input: scan, Name: "double", Expr: dataset.Binary{
+		Op: dataset.OpMul, L: dataset.Col{Name: "amount"}, R: dataset.Const{Value: 2},
+	}}
+	onBase := dataset.Equals{Column: "region", Value: "south"}
+	onDerived := dataset.GreaterThan{Column: "double", Threshold: 100}
+	opt, err := Optimize(Filter{
+		Input: derive,
+		Pred:  dataset.And{Terms: []dataset.Predicate{onBase, onDerived}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Filter{
+		Input: Derive{Input: Filter{Input: scan, Pred: onBase}, Name: derive.Name, Expr: derive.Expr},
+		Pred:  onDerived,
+	}
+	if !reflect.DeepEqual(opt, Node(want)) {
+		t.Fatalf("optimized to %#v\nwant %#v", opt, want)
+	}
+}
+
+// TestOptimizePushesThroughJoin attributes conjuncts to join sides: left
+// terms reach the left scan, prefixed right terms are renamed back and reach
+// the right scan, and terms on unknown columns stay above the join.
+func TestOptimizePushesThroughJoin(t *testing.T) {
+	cat := newTestCatalog()
+	cat.add("fact", factTable(t, 10, 3))
+	cat.add("dim", dimTable(t))
+	join := Join{Left: Scan{Dataset: "fact"}, Right: Scan{Dataset: "dim"},
+		LeftKey: "sku", RightKey: "sku", RightPrefix: "dim_"}
+	onLeft := dataset.Equals{Column: "region", Value: "north"}
+	onRight := dataset.Equals{Column: "dim_tier", Value: "plus"}
+	onUnknown := dataset.Equals{Column: "nowhere", Value: "x"}
+	opt, err := Optimize(Filter{
+		Input: join,
+		Pred:  dataset.And{Terms: []dataset.Predicate{onLeft, onRight, onUnknown}},
+	}, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Filter{
+		Input: Join{
+			Left:    Filter{Input: join.Left, Pred: onLeft},
+			Right:   Filter{Input: join.Right, Pred: dataset.Equals{Column: "tier", Value: "plus"}},
+			LeftKey: "sku", RightKey: "sku", RightPrefix: "dim_",
+		},
+		Pred: onUnknown,
+	}
+	if !reflect.DeepEqual(opt, Node(want)) {
+		t.Fatalf("optimized to %#v\nwant %#v", opt, want)
+	}
+}
+
+// TestOptimizeKeepsFilterWhenSchemaUnresolvable leaves the filter above the
+// join when a side's schema cannot be resolved (no catalog for a Scan): the
+// plan still runs if execution can resolve it, and errors truthfully if not.
+func TestOptimizeKeepsFilterWhenSchemaUnresolvable(t *testing.T) {
+	join := Join{Left: Scan{Dataset: "fact"}, Right: Scan{Dataset: "dim"},
+		LeftKey: "sku", RightKey: "sku", RightPrefix: "dim_"}
+	pred := dataset.Equals{Column: "region", Value: "north"}
+	opt, err := Optimize(Filter{Input: join, Pred: pred}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(opt, Node(Filter{Input: join, Pred: pred})) {
+		t.Fatalf("optimized to %#v, want the filter kept in place", opt)
+	}
+	if _, err := Run(opt, nil); err == nil || !strings.Contains(err.Error(), "requires a catalog") {
+		t.Fatalf("Run without catalog = %v, want a catalog error", err)
+	}
+}
+
+// TestRunFiltersThroughCache proves scan-level filters resolve through the
+// dataset's SelectionCache: re-running a filter is an exact hit, and
+// extending it (a second Filter node above) is a subsumption partial hit.
+func TestRunFiltersThroughCache(t *testing.T) {
+	cat := newTestCatalog()
+	cat.add("fact", factTable(t, 500, 4))
+	cache := cat.caches["fact"]
+	base := Filter{Input: Scan{Dataset: "fact"}, Pred: dataset.Equals{Column: "region", Value: "north"}}
+
+	if _, err := Run(base, cat); err != nil {
+		t.Fatal(err)
+	}
+	hits0, partial0, misses0 := cache.Stats()
+	if misses0 == 0 {
+		t.Fatal("first filter run compiled nothing")
+	}
+
+	if _, err := Run(base, cat); err != nil {
+		t.Fatal(err)
+	}
+	if hits1, _, _ := cache.Stats(); hits1 != hits0+1 {
+		t.Fatalf("re-running the same filter: hits %d -> %d, want an exact hit", hits0, hits1)
+	}
+
+	refined := Filter{Input: base, Pred: dataset.Range{Column: "amount", Low: 0, High: 250}}
+	res, err := Run(refined, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, partial1, _ := cache.Stats(); partial1 != partial0+1 {
+		t.Fatalf("refining a cached filter: partial hits %d -> %d, want a subsumption hit", partial0, partial1)
+	}
+
+	// And the subsumption-served rows must equal the cold evaluation.
+	tab := cat.tables["fact"]
+	coldSel, err := tab.Where(dataset.And{Terms: []dataset.Predicate{base.Pred, refined.Pred}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := dataset.NewView(tab, coldSel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameView(t, "subsumption-served filter", res.View, cold)
+}
+
+// TestRunJoinPlanMatchesDirectEvaluation runs the full pipeline — filters
+// pushed through a join over two scans, then a derive — and compares against
+// evaluating the same operations directly against the dataset layer.
+func TestRunJoinPlanMatchesDirectEvaluation(t *testing.T) {
+	cat := newTestCatalog()
+	fact, dim := factTable(t, 400, 5), dimTable(t)
+	cat.add("fact", fact)
+	cat.add("dim", dim)
+
+	plan := Derive{
+		Input: Filter{
+			Input: Join{Left: Scan{Dataset: "fact"}, Right: Scan{Dataset: "dim"},
+				LeftKey: "sku", RightKey: "sku", RightPrefix: "dim_"},
+			Pred: dataset.And{Terms: []dataset.Predicate{
+				dataset.Equals{Column: "region", Value: "north"},
+				dataset.Equals{Column: "dim_tier", Value: "plus"},
+			}},
+		},
+		Name: "revenue",
+		Expr: dataset.Binary{Op: dataset.OpMul, L: dataset.Col{Name: "amount"}, R: dataset.Col{Name: "dim_price"}},
+	}
+	res, err := Run(plan, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct evaluation, no plan layer: filter each side, hash join, derive.
+	lsel, err := fact.Where(dataset.Equals{Column: "region", Value: "north"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := dataset.NewView(fact, lsel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsel, err := dim.Where(dataset.Equals{Column: "tier", Value: "plus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err := dataset.NewView(dim, rsel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := dataset.HashJoin(lv, rv, "sku", "sku", "dim_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived, err := joined.Derive("revenue", plan.Expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := dataset.NewView(derived, dataset.FullSelection(derived.NumRows()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameView(t, "join plan", res.View, want)
+	if res.View.NumRows() == 0 {
+		t.Fatal("degenerate test: the joined, filtered view is empty")
+	}
+}
+
+// TestRunGroupBy compares a GroupBy root against View.CrossCounts directly,
+// and rejects group-bys anywhere else in the plan.
+func TestRunGroupBy(t *testing.T) {
+	cat := newTestCatalog()
+	fact := factTable(t, 300, 6)
+	cat.add("fact", fact)
+	pred := dataset.GreaterThan{Column: "amount", Threshold: 100}
+
+	res, err := Run(GroupBy{
+		Input:   Filter{Input: Scan{Dataset: "fact"}, Pred: pred},
+		RowAttr: "region",
+		ColAttr: "amount",
+	}, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cross == nil {
+		t.Fatal("GroupBy root returned no contingency table")
+	}
+
+	view, err := fact.View(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := view.CrossCounts("region", "amount", DefaultBins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Cross, want) {
+		t.Fatalf("cross tab %+v, want %+v", res.Cross, want)
+	}
+
+	_, err = Run(Filter{Input: GroupBy{Input: Scan{Dataset: "fact"}, RowAttr: "region", ColAttr: "sku"}, Pred: pred}, cat)
+	if err == nil || !strings.Contains(err.Error(), "root") {
+		t.Fatalf("non-root group-by: %v, want a root-position error", err)
+	}
+}
+
+// TestRunValidation covers the execution-time contract errors.
+func TestRunValidation(t *testing.T) {
+	fact := factTable(t, 20, 7)
+	other := factTable(t, 20, 8)
+	cases := []struct {
+		name string
+		n    Node
+		want string
+	}{
+		{"nil node", nil, "nil node"},
+		{"scan without catalog", Scan{Dataset: "fact"}, "requires a catalog"},
+		{"table scan without table", TableScan{}, "without a table"},
+		{"cache bound elsewhere", TableScan{Table: other, Cache: dataset.NewSelectionCache(fact)}, "different table"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Run(tc.n, nil); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Run = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -87,7 +87,7 @@ func TestConcurrentSessionsShareFilterCache(t *testing.T) {
 		}
 	}
 
-	hits, misses := shared.Stats()
+	hits, _, misses := shared.Stats()
 	if misses == 0 {
 		t.Error("shared cache recorded no misses; filters were never compiled through it")
 	}

@@ -54,6 +54,9 @@ func (s *Server) routes() *http.ServeMux {
 	handle("GET /sessions/{id}/log", s.handleLog)
 	handle("POST /sessions/{id}/visualizations", s.handleCreateVisualization)
 	handle("POST /sessions/{id}/compare", s.handleCompare)
+	handle("POST /sessions/{id}/derive", s.handleDerive)
+	handle("POST /sessions/{id}/join", s.handleJoin)
+	handle("POST /sessions/{id}/groupby", s.handleGroupBy)
 	handle("POST /sessions/{id}/hypotheses/{hid}/star", s.handleStar)
 	handle("GET /sessions/{id}/gauge", s.handleGauge)
 	handle("POST /sessions/{id}/holdout/validate", s.handleHoldoutValidate)
@@ -512,6 +515,120 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		step = core.CompareVisualizations{A: req.A, B: req.B}
 	}
 	view, err := s.applyStep(r.Context(), id, step)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := hypothesisResponse{RemainingWealth: view.wealth}
+	if view.hyp != nil {
+		resp.Hypothesis = *view.hyp
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+// --- relational steps ---
+
+type deriveRequest struct {
+	// Name is the new column's name.
+	Name string `json:"name"`
+	// Expression is the computed column in the dataset expression JSON format,
+	// e.g. {"expr": "bucket", "arg": {"expr": "column", "column": "age"}, "width": 10}.
+	Expression json.RawMessage `json:"expression"`
+}
+
+// handleDerive extends the session's table with a computed numeric column:
+// the derive_column step as a convenience endpoint.
+func (s *Server) handleDerive(w http.ResponseWriter, r *http.Request) {
+	id, err := sessionID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req deriveRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if len(req.Expression) == 0 || string(req.Expression) == "null" {
+		writeError(w, http.StatusBadRequest, "derive requires an expression")
+		return
+	}
+	expr, err := dataset.UnmarshalExpr(req.Expression)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	step := core.DeriveColumn{Name: req.Name, Expr: expr}
+	view, err := s.applyStep(r.Context(), id, step)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, view.response(step.Kind()))
+}
+
+type joinRequest struct {
+	// Dataset is the registered dataset to join with (the right side).
+	Dataset string `json:"dataset"`
+	// LeftKey and RightKey are the equi-join key columns on the session table
+	// and the joined dataset respectively.
+	LeftKey  string `json:"left_key"`
+	RightKey string `json:"right_key"`
+	// Prefix renames the joined dataset's columns (prefix+name) in the result.
+	Prefix string `json:"prefix,omitempty"`
+}
+
+// handleJoin equi-joins the session's table with a registered dataset: the
+// join_dataset step as a convenience endpoint. The session continues over the
+// join result.
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	id, err := sessionID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req joinRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	step := core.JoinDataset{Dataset: req.Dataset, LeftKey: req.LeftKey, RightKey: req.RightKey, Prefix: req.Prefix}
+	view, err := s.applyStep(r.Context(), id, step)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, view.response(step.Kind()))
+}
+
+type groupByRequest struct {
+	// Row and Col are the two attributes whose contingency table is tested.
+	Row string `json:"row"`
+	Col string `json:"col"`
+	// Predicate optionally restricts the tested rows (dataset predicate JSON;
+	// absent or null means the whole table).
+	Predicate json.RawMessage `json:"predicate,omitempty"`
+}
+
+// handleGroupBy tests the independence of two attributes over the filtered
+// rows: the group_by step as a convenience endpoint.
+func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
+	id, err := sessionID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req groupByRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	pred, err := decodePredicateField(req.Predicate)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	view, err := s.applyStep(r.Context(), id, core.GroupByHypothesis{RowAttr: req.Row, ColAttr: req.Col, Filter: pred})
 	if err != nil {
 		writeErr(w, err)
 		return

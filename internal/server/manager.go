@@ -11,6 +11,7 @@ import (
 	"aware/internal/core"
 	"aware/internal/dataset"
 	"aware/internal/investing"
+	"aware/internal/plan"
 )
 
 // ErrSessionNotFound is returned when a session ID does not exist (never
@@ -101,10 +102,20 @@ type SessionManager struct {
 	ttl time.Duration
 	now func() time.Time
 
+	// catalog resolves dataset names for the sessions' JoinDataset steps
+	// (core.Options.Catalog). Set once at server construction, before any
+	// session exists.
+	catalog plan.Catalog
+
 	mu       sync.Mutex
 	sessions map[int64]*managedSession
 	nextID   int64
 }
+
+// SetCatalog makes every subsequently created session resolve JoinDataset
+// steps through cat (typically the server's dataset registry). Call before
+// serving traffic; sessions created earlier keep their catalog.
+func (sm *SessionManager) SetCatalog(cat plan.Catalog) { sm.catalog = cat }
 
 // NewSessionManager builds a manager whose sessions expire after sitting idle
 // for ttl (0 disables expiry). now supplies the clock; pass nil for time.Now.
@@ -142,6 +153,7 @@ func (sm *SessionManager) CreateWith(spec SessionSpec, table *dataset.Table, sel
 		return SessionInfo{}, err
 	}
 	opts.Selections = sel
+	opts.Catalog = sm.catalog
 	sess, err := core.NewSession(table, opts)
 	if err != nil {
 		return SessionInfo{}, err

@@ -120,9 +120,9 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	datasets := s.registry.List()
 	ew.Header("aware_selection_cache_hits_total", "Filter-bitmap cache hits, by dataset.", "counter")
 	type cacheRow struct {
-		name         string
-		hits, misses uint64
-		entries      int
+		name                  string
+		hits, partial, misses uint64
+		entries               int
 	}
 	rows := make([]cacheRow, 0, len(datasets))
 	for _, info := range datasets {
@@ -130,11 +130,15 @@ func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			continue
 		}
-		hits, misses := cache.Stats()
-		rows = append(rows, cacheRow{name: info.Name, hits: hits, misses: misses, entries: cache.Len()})
+		hits, partial, misses := cache.Stats()
+		rows = append(rows, cacheRow{name: info.Name, hits: hits, partial: partial, misses: misses, entries: cache.Len()})
 	}
 	for _, row := range rows {
 		ew.Sample("aware_selection_cache_hits_total", obs.L{obs.Label("dataset", row.name)}, float64(row.hits))
+	}
+	ew.Header("aware_selection_cache_partial_hits_total", "Filter-bitmap cache partial hits served from a cached conjunction prefix, by dataset.", "counter")
+	for _, row := range rows {
+		ew.Sample("aware_selection_cache_partial_hits_total", obs.L{obs.Label("dataset", row.name)}, float64(row.partial))
 	}
 	ew.Header("aware_selection_cache_misses_total", "Filter-bitmap cache misses, by dataset.", "counter")
 	for _, row := range rows {

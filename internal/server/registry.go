@@ -138,6 +138,19 @@ func (r *DatasetRegistry) Cache(name string) (*dataset.SelectionCache, error) {
 	return c, nil
 }
 
+// Dataset returns the named table together with its shared filter-bitmap
+// cache — the plan.Catalog contract, so sessions resolve JoinDataset steps
+// straight through the registry.
+func (r *DatasetRegistry) Dataset(name string) (*dataset.Table, *dataset.SelectionCache, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.tables[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrDatasetNotFound, name)
+	}
+	return t, r.caches[name], nil
+}
+
 // Arena returns the named dataset's shared Selection word arena.
 func (r *DatasetRegistry) Arena(name string) (*dataset.WordArena, error) {
 	r.mu.RLock()

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"aware/internal/census"
+	"aware/internal/core"
+	"aware/internal/dataset"
+)
+
+// This file tests the relational endpoints: POST /sessions/{id}/derive,
+// /join and /groupby, their journaling, and their restoration across a
+// daemon restart (join replay needs the registry-backed catalog).
+
+// registerOccupationDim registers a small dimension table keyed by the census
+// occupation names under "occupations".
+func registerOccupationDim(t *testing.T, s *Server) {
+	t.Helper()
+	n := len(census.Occupations)
+	sectors := make([]string, n)
+	pay := make([]float64, n)
+	for i := range census.Occupations {
+		sectors[i] = []string{"public", "private"}[i%2]
+		pay[i] = 30000 + float64(i)*5000
+	}
+	dim, err := dataset.NewTable(
+		dataset.NewCategoricalColumn("occupation", census.Occupations),
+		dataset.NewCategoricalColumn("sector", sectors),
+		dataset.NewFloatColumn("median_pay", pay),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Registry().Register("occupations", dim); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bucketHours is the derive request used throughout: annual hours, bucketed.
+var bucketHours = map[string]any{
+	"name": "annual_hours_bucket",
+	"expression": map[string]any{
+		"expr":  "bucket",
+		"width": 250.0,
+		"arg": map[string]any{
+			"expr":  "mul",
+			"left":  map[string]any{"expr": "col", "column": "hours_per_week"},
+			"right": map[string]any{"expr": "const", "value": 52.0},
+		},
+	},
+}
+
+// TestRelationalEndpoints drives a session through derive, join and group-by
+// over HTTP and reads the journal back.
+func TestRelationalEndpoints(t *testing.T) {
+	s, ts := newTestServer(t)
+	registerOccupationDim(t, s)
+
+	var info SessionInfo
+	wantStatus(t, doJSON(t, http.MethodPost, ts.URL+"/sessions", map[string]any{"dataset": "census"}, &info), http.StatusCreated)
+	base := fmt.Sprintf("%s/sessions/%d", ts.URL, info.ID)
+
+	type stepResp struct {
+		Seq        int               `json:"seq"`
+		Op         string            `json:"op"`
+		Hypothesis *core.ReportEntry `json:"hypothesis"`
+	}
+	var derived stepResp
+	wantStatus(t, doJSON(t, http.MethodPost, base+"/derive", bucketHours, &derived), http.StatusCreated)
+	if derived.Seq != 1 || derived.Op != "derive_column" {
+		t.Fatalf("derive response %+v", derived)
+	}
+
+	var joined stepResp
+	wantStatus(t, doJSON(t, http.MethodPost, base+"/join", map[string]any{
+		"dataset": "occupations", "left_key": "occupation", "right_key": "occupation", "prefix": "dim_",
+	}, &joined), http.StatusCreated)
+	if joined.Seq != 2 || joined.Op != "join_dataset" {
+		t.Fatalf("join response %+v", joined)
+	}
+
+	// The joined and derived columns are immediately explorable: a group-by
+	// over one column from each side.
+	var grouped struct {
+		Hypothesis      core.ReportEntry `json:"hypothesis"`
+		RemainingWealth float64          `json:"remaining_wealth"`
+	}
+	wantStatus(t, doJSON(t, http.MethodPost, base+"/groupby", map[string]any{
+		"row": "dim_sector", "col": "annual_hours_bucket",
+	}, &grouped), http.StatusCreated)
+	if grouped.Hypothesis.ID == 0 {
+		t.Fatalf("group-by recorded no hypothesis: %+v", grouped)
+	}
+	if grouped.RemainingWealth <= 0 {
+		t.Fatalf("remaining wealth %v after one test", grouped.RemainingWealth)
+	}
+
+	// A plain visualization on a joined column still works.
+	wantStatus(t, doJSON(t, http.MethodPost, base+"/visualizations", map[string]any{
+		"target": "dim_sector",
+		"predicate": map[string]any{
+			"type": "gt", "column": "dim_median_pay", "threshold": 40000,
+		},
+	}, nil), http.StatusCreated)
+
+	// The journal lists all four steps in order with relational kinds intact.
+	var log struct {
+		Count int                `json:"count"`
+		Steps []core.AppliedStep `json:"steps"`
+	}
+	wantStatus(t, doJSON(t, http.MethodGet, base+"/log", nil, &log), http.StatusOK)
+	wantKinds := []string{"derive_column", "join_dataset", "group_by", "add_visualization"}
+	if log.Count != len(wantKinds) {
+		t.Fatalf("log has %d steps, want %d", log.Count, len(wantKinds))
+	}
+	for i, entry := range log.Steps {
+		if entry.Step.Kind() != wantKinds[i] {
+			t.Errorf("journal entry %d is %q, want %q", i, entry.Step.Kind(), wantKinds[i])
+		}
+	}
+}
+
+// TestRelationalEndpointErrors pins the HTTP statuses of relational misuse.
+func TestRelationalEndpointErrors(t *testing.T) {
+	s, ts := newTestServer(t)
+	registerOccupationDim(t, s)
+
+	var info SessionInfo
+	wantStatus(t, doJSON(t, http.MethodPost, ts.URL+"/sessions", map[string]any{"dataset": "census"}, &info), http.StatusCreated)
+	base := fmt.Sprintf("%s/sessions/%d", ts.URL, info.ID)
+
+	cases := []struct {
+		name string
+		path string
+		body map[string]any
+		want int
+	}{
+		{"derive without expression", "/derive", map[string]any{"name": "x"}, http.StatusBadRequest},
+		{"derive without name", "/derive", map[string]any{"expression": map[string]any{"expr": "col", "column": "age"}}, http.StatusBadRequest},
+		{"derive duplicate column", "/derive", map[string]any{"name": "age", "expression": map[string]any{"expr": "col", "column": "age"}}, http.StatusBadRequest},
+		{"derive categorical operand", "/derive", map[string]any{"name": "x", "expression": map[string]any{"expr": "col", "column": "gender"}}, http.StatusBadRequest},
+		{"join unknown dataset", "/join", map[string]any{"dataset": "nope", "left_key": "occupation", "right_key": "occupation"}, http.StatusNotFound},
+		{"join missing keys", "/join", map[string]any{"dataset": "occupations"}, http.StatusBadRequest},
+		{"join key type mismatch", "/join", map[string]any{"dataset": "occupations", "left_key": "age", "right_key": "occupation"}, http.StatusBadRequest},
+		{"groupby missing attributes", "/groupby", map[string]any{"row": "gender"}, http.StatusBadRequest},
+		{"groupby unknown column", "/groupby", map[string]any{"row": "gender", "col": "nope"}, http.StatusBadRequest},
+		{"groupby bad predicate", "/groupby", map[string]any{"row": "gender", "col": "education", "predicate": map[string]any{"type": "nope"}}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantStatus(t, doJSON(t, http.MethodPost, base+tc.path, tc.body, nil), tc.want)
+		})
+	}
+
+	// Failed relational steps never reach the journal.
+	var log struct {
+		Count int `json:"count"`
+	}
+	wantStatus(t, doJSON(t, http.MethodGet, base+"/log", nil, &log), http.StatusOK)
+	if log.Count != 0 {
+		t.Fatalf("journal has %d entries after only failed steps", log.Count)
+	}
+
+	// Relational endpoints on a missing session 404.
+	wantStatus(t, doJSON(t, http.MethodPost, ts.URL+"/sessions/999/derive", bucketHours, nil), http.StatusNotFound)
+}
+
+// TestRelationalJournalSurvivesRestart replays derive + join + group-by from
+// the journal on restart: the restored session must resolve the join through
+// the registry-backed catalog and reproduce the same gauge.
+func TestRelationalJournalSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	s1, ts1 := newJournaledServer(t, dir)
+	registerOccupationDim(t, s1)
+	var info SessionInfo
+	wantStatus(t, doJSON(t, http.MethodPost, ts1.URL+"/sessions", map[string]any{"dataset": "census"}, &info), http.StatusCreated)
+	base := fmt.Sprintf("%s/sessions/%d", ts1.URL, info.ID)
+	wantStatus(t, doJSON(t, http.MethodPost, base+"/derive", bucketHours, nil), http.StatusCreated)
+	wantStatus(t, doJSON(t, http.MethodPost, base+"/join", map[string]any{
+		"dataset": "occupations", "left_key": "occupation", "right_key": "occupation", "prefix": "dim_",
+	}, nil), http.StatusCreated)
+	wantStatus(t, doJSON(t, http.MethodPost, base+"/groupby", map[string]any{
+		"row": "dim_sector", "col": "annual_hours_bucket",
+	}, nil), http.StatusCreated)
+
+	gaugeBefore := doJSON(t, http.MethodGet, base+"/gauge", nil, nil)
+	wantStatus(t, gaugeBefore, http.StatusOK)
+	before, _ := io.ReadAll(gaugeBefore.Body)
+
+	s2, ts2 := newJournaledServer(t, dir)
+	registerOccupationDim(t, s2)
+	restored, err := s2.RestoreSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 1 {
+		t.Fatalf("restored %d sessions, want 1", restored)
+	}
+	base2 := fmt.Sprintf("%s/sessions/%d", ts2.URL, info.ID)
+	gaugeAfter := doJSON(t, http.MethodGet, base2+"/gauge", nil, nil)
+	wantStatus(t, gaugeAfter, http.StatusOK)
+	after, _ := io.ReadAll(gaugeAfter.Body)
+	if string(before) != string(after) {
+		t.Errorf("gauge changed across restart:\nbefore: %s\nafter:  %s", before, after)
+	}
+
+	// The restored session's table kept the derived and joined columns: a
+	// group-by over them still works.
+	wantStatus(t, doJSON(t, http.MethodPost, base2+"/groupby", map[string]any{
+		"row": "dim_sector", "col": "gender",
+	}, nil), http.StatusCreated)
+}

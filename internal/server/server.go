@@ -123,6 +123,8 @@ func New(cfg Config) (*Server, error) {
 	// Every dataset registered from here on runs its kernels on the server's
 	// pool: one bounded set of workers shared by all sessions and datasets.
 	s.registry.SetPool(pool)
+	// Sessions resolve JoinDataset steps through the registry (plan.Catalog).
+	s.manager.SetCatalog(s.registry)
 	if cfg.JournalDir != "" {
 		journal, err := newJournalStore(cfg.JournalDir)
 		if err != nil {
@@ -204,6 +206,9 @@ func (s *Server) RestoreSessions() (int, error) {
 		if sel, err := s.registry.Cache(js.Header.Dataset); err == nil {
 			opts.Selections = sel
 		}
+		// Journaled join steps re-resolve their right-hand dataset through the
+		// registry, exactly as the live session did.
+		opts.Catalog = s.registry
 		sess, err := core.Replay(table, opts, js.Steps)
 		if err != nil {
 			s.log.Warn("journaled session does not replay; skipping", "id", js.ID, "err", err)
