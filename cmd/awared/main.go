@@ -37,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -52,6 +53,8 @@ import (
 // options is awared's resolved command line.
 type options struct {
 	addr       string
+	addrFile   string
+	nodeName   string
 	rows       int
 	seed       int64
 	ttl        time.Duration
@@ -70,6 +73,8 @@ type options struct {
 func main() {
 	var o options
 	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.addrFile, "addr-file", "", "write the bound listen address to this file once serving (for :0 — cluster harnesses learn the real port)")
+	flag.StringVar(&o.nodeName, "node-name", "", "replica name in a cluster: reported in /healthz and stamped on every response as X-Aware-Node")
 	flag.IntVar(&o.rows, "rows", 30000, "rows of the preloaded synthetic census (0 disables preloading)")
 	flag.Int64Var(&o.seed, "seed", 1, "seed for the synthetic census")
 	flag.DurationVar(&o.ttl, "session-ttl", 30*time.Minute, "idle time before a session is reclaimed (0 = never)")
@@ -125,6 +130,7 @@ func run(o options) error {
 		TraceCapacity: o.traceCap,
 		SlowOp:        o.slowOp,
 		EnablePprof:   o.pprof,
+		NodeName:      o.nodeName,
 	})
 	if err != nil {
 		return err
@@ -163,7 +169,19 @@ func run(o options) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	return srv.Run(ctx, o.addr)
+	// Bind before serving so -addr :0 works: the real port is published to
+	// -addr-file, which is how cluster harnesses wire routers to child nodes.
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	if o.addrFile != "" {
+		if err := os.WriteFile(o.addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	return srv.Serve(ctx, ln)
 }
 
 // newLogger builds the process logger: structured JSON by default (one line

@@ -1,0 +1,343 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"aware/internal/benchio"
+	"aware/internal/client"
+	"aware/internal/cluster"
+	"aware/internal/dataset"
+	"aware/internal/loadgen"
+)
+
+// clusterDoc is the committed BENCH_cluster.json: the throughput scaling curve
+// of the same closed-loop scenario run against 1, 2, ... N-node clusters, each
+// node a separate awared process pinned to GOMAXPROCS=1 behind an in-process
+// router. Recording the host CPU count keeps the curve honest: on a box with
+// fewer cores than nodes the curve is expected to go flat, and the speedup
+// gate records itself as skipped rather than lying.
+type clusterDoc struct {
+	Scenario        string         `json:"scenario"`
+	Dataset         string         `json:"dataset"`
+	Rows            int            `json:"rows"`
+	Sessions        int            `json:"sessions"`
+	DurationSeconds float64        `json:"duration_seconds"`
+	LoadSeed        int64          `json:"load_seed"`
+	CPUs            int            `json:"cpus"`
+	NodeGOMAXPROCS  int            `json:"node_gomaxprocs"`
+	Points          []clusterPoint `json:"points"`
+	SpeedupGate     float64        `json:"speedup_gate,omitempty"`
+	GateSkipped     bool           `json:"gate_skipped,omitempty"`
+}
+
+// clusterPoint is one cluster size's measurement.
+type clusterPoint struct {
+	Nodes             int              `json:"nodes"`
+	RequestsPerSecond float64          `json:"requests_per_second"`
+	TotalRequests     int64            `json:"total_requests"`
+	TotalErrors       int64            `json:"total_errors"`
+	SessionsCompleted int64            `json:"sessions_completed"`
+	NodeRequests      map[string]int64 `json:"node_requests,omitempty"`
+	MultiNodeSessions int64            `json:"multi_node_sessions"`
+	SpeedupVs1        float64          `json:"speedup_vs_1,omitempty"`
+}
+
+// runClusterBench measures the scaling curve: for each requested node count it
+// boots that many awared children, fronts them with an in-process router, runs
+// the identical closed-loop scenario (same resolved load seed at every point)
+// and records throughput. Any failed request fails the bench; -check-affinity
+// additionally fails it if a session's requests spread across nodes.
+func runClusterBench(o options, logger *slog.Logger, table *dataset.Table, sc loadgen.Scenario) error {
+	sizes, err := parseClusterSizes(o.clusterSizes)
+	if err != nil {
+		return err
+	}
+	if o.awaredBin == "" {
+		return fmt.Errorf("-cluster needs -awared-bin (path to an awared binary to spawn nodes from)")
+	}
+	if _, err := os.Stat(o.awaredBin); err != nil {
+		return fmt.Errorf("-awared-bin: %w", err)
+	}
+	if len(o.addrs) > 0 {
+		return fmt.Errorf("-cluster boots its own nodes; drop -addr")
+	}
+	loadSeed := o.loadSeed
+	if loadSeed == 0 {
+		loadSeed = time.Now().UnixNano()&0x7fffffff | 1
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+
+	doc := clusterDoc{
+		Scenario:        string(sc),
+		Dataset:         o.dataset,
+		Rows:            o.rows,
+		Sessions:        o.sessions,
+		DurationSeconds: o.duration.Seconds(),
+		LoadSeed:        loadSeed,
+		CPUs:            runtime.NumCPU(),
+		NodeGOMAXPROCS:  1,
+		SpeedupGate:     o.minClusterSpeedup,
+	}
+
+	for _, n := range sizes {
+		logger.Info("cluster point starting", "nodes", n, "scenario", string(sc),
+			"sessions", o.sessions, "duration", o.duration)
+		pt, err := runClusterPoint(ctx, o, logger, table, sc, loadSeed, n)
+		if err != nil {
+			return fmt.Errorf("%d-node point: %w", n, err)
+		}
+		doc.Points = append(doc.Points, pt)
+		logger.Info("cluster point finished", "nodes", n,
+			"rps", fmt.Sprintf("%.1f", pt.RequestsPerSecond),
+			"requests", pt.TotalRequests, "errors", pt.TotalErrors,
+			"multi_node_sessions", pt.MultiNodeSessions)
+	}
+
+	// Normalize throughput against the single-node point, when one was swept.
+	var base float64
+	for _, pt := range doc.Points {
+		if pt.Nodes == 1 {
+			base = pt.RequestsPerSecond
+		}
+	}
+	if base > 0 {
+		for i := range doc.Points {
+			doc.Points[i].SpeedupVs1 = doc.Points[i].RequestsPerSecond / base
+		}
+	}
+
+	if err := benchio.WriteFileJSON(o.clusterOut, doc); err != nil {
+		return err
+	}
+	logger.Info("cluster report written", "path", o.clusterOut)
+	writeClusterText(os.Stdout, doc)
+
+	if o.minClusterSpeedup > 0 {
+		if doc.CPUs < 4 {
+			// One saturated core serves every node: throughput cannot scale with
+			// node count, so gating on it would only measure the host, not the
+			// router. Record the skip instead of a fake pass or a false failure.
+			logger.Warn("speedup gate skipped: host has too few CPUs for nodes to scale",
+				"cpus", doc.CPUs, "gate", o.minClusterSpeedup)
+			doc.GateSkipped = true
+			if err := benchio.WriteFileJSON(o.clusterOut, doc); err != nil {
+				return err
+			}
+			return nil
+		}
+		var one, two float64
+		for _, pt := range doc.Points {
+			switch pt.Nodes {
+			case 1:
+				one = pt.RequestsPerSecond
+			case 2:
+				two = pt.RequestsPerSecond
+			}
+		}
+		if one <= 0 || two <= 0 {
+			return fmt.Errorf("-min-cluster-speedup needs both a 1-node and a 2-node point in -cluster")
+		}
+		if speedup := two / one; speedup < o.minClusterSpeedup {
+			return fmt.Errorf("2-node speedup %.2fx is below the %.2fx gate (1 node: %.1f rps, 2 nodes: %.1f rps)",
+				speedup, o.minClusterSpeedup, one, two)
+		}
+		logger.Info("speedup gate passed", "speedup", fmt.Sprintf("%.2fx", two/one), "gate", o.minClusterSpeedup)
+	}
+	return nil
+}
+
+// runClusterPoint boots an n-node cluster, drives the scenario through the
+// router, and tears everything down again.
+func runClusterPoint(ctx context.Context, o options, logger *slog.Logger, table *dataset.Table,
+	sc loadgen.Scenario, loadSeed int64, n int) (clusterPoint, error) {
+	dir, err := os.MkdirTemp("", "awarecluster")
+	if err != nil {
+		return clusterPoint{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	nodes := make([]cluster.Node, 0, n)
+	procs := make([]*exec.Cmd, 0, n)
+	defer func() {
+		for _, cmd := range procs {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	}()
+
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("n%d", i+1)
+		journalDir := filepath.Join(dir, name+"-journal")
+		addrFile := filepath.Join(dir, name+".addr")
+		cmd := exec.Command(o.awaredBin,
+			"-addr", "127.0.0.1:0",
+			"-addr-file", addrFile,
+			"-node-name", name,
+			"-journal-dir", journalDir,
+			"-rows", strconv.Itoa(o.rows),
+			"-seed", strconv.FormatInt(o.seed, 10),
+			"-workers", "1",
+			"-log-level", "warn",
+		)
+		// Each node gets one OS thread's worth of Go runtime: with more nodes
+		// than cores the kernel time-slices them, and with enough cores the
+		// curve shows real scale-out rather than one shared runtime's internal
+		// parallelism.
+		cmd.Env = append(os.Environ(), "GOMAXPROCS=1")
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return clusterPoint{}, fmt.Errorf("starting node %s: %w", name, err)
+		}
+		procs = append(procs, cmd)
+		addr, err := waitForAddrFile(ctx, addrFile, cmd, 60*time.Second)
+		if err != nil {
+			return clusterPoint{}, fmt.Errorf("node %s: %w", name, err)
+		}
+		nodes = append(nodes, cluster.Node{Name: name, URL: "http://" + addr, JournalDir: journalDir})
+	}
+
+	rt, err := cluster.NewRouter(cluster.Config{Nodes: nodes, Logger: logger})
+	if err != nil {
+		return clusterPoint{}, err
+	}
+	rtCtx, stopRouter := context.WithCancel(ctx)
+	defer stopRouter()
+	if err := rt.Start(rtCtx); err != nil {
+		return clusterPoint{}, err
+	}
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:    ts.URL,
+		Dataset:    o.dataset,
+		Table:      table,
+		Scenario:   sc,
+		Sessions:   o.sessions,
+		Duration:   o.duration,
+		Seed:       o.seed,
+		LoadSeed:   loadSeed,
+		Think:      o.think,
+		ThinkDist:  o.thinkDist,
+		MinSupport: o.minSupport,
+	})
+	if err != nil {
+		return clusterPoint{}, err
+	}
+	if res.TotalErrors > 0 {
+		return clusterPoint{}, fmt.Errorf("%d of %d requests failed (first: %v)",
+			res.TotalErrors, res.TotalRequests, firstSample(res.ErrorSamples))
+	}
+	if o.checkAffinity && res.MultiNodeSessions > 0 {
+		return clusterPoint{}, fmt.Errorf("affinity check failed: %d sessions were served by more than one node",
+			res.MultiNodeSessions)
+	}
+	if o.checkLeaks {
+		h, err := client.New(ts.URL).Health(ctx)
+		if err != nil {
+			return clusterPoint{}, fmt.Errorf("probing the cluster after the run: %w", err)
+		}
+		if h.Sessions != 0 {
+			return clusterPoint{}, fmt.Errorf("session leak: cluster still reports %d live sessions", h.Sessions)
+		}
+	}
+	return clusterPoint{
+		Nodes:             n,
+		RequestsPerSecond: res.RequestsPerSecond,
+		TotalRequests:     res.TotalRequests,
+		TotalErrors:       res.TotalErrors,
+		SessionsCompleted: res.SessionsCompleted,
+		NodeRequests:      res.Nodes,
+		MultiNodeSessions: res.MultiNodeSessions,
+	}, nil
+}
+
+// waitForAddrFile polls for the node's -addr-file, failing fast if the child
+// exits first. The generous deadline covers census generation on a busy host.
+func waitForAddrFile(ctx context.Context, path string, cmd *exec.Cmd, timeout time.Duration) (string, error) {
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	deadline := time.After(timeout)
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return "", ctx.Err()
+		case err := <-exited:
+			return "", fmt.Errorf("node exited before serving: %v", err)
+		case <-deadline:
+			return "", fmt.Errorf("no listen address after %s (still generating its census?)", timeout)
+		case <-tick.C:
+			if data, err := os.ReadFile(path); err == nil {
+				if addr := strings.TrimSpace(string(data)); addr != "" {
+					// Hand Wait back to the teardown path in runClusterPoint.
+					go func() { <-exited }()
+					return addr, nil
+				}
+			}
+		}
+	}
+}
+
+// parseClusterSizes parses "-cluster 1,2,4" into node counts.
+func parseClusterSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("malformed -cluster %q: %q is not a positive node count", s, part)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("-cluster lists no node counts")
+	}
+	return sizes, nil
+}
+
+// writeClusterText prints the human-readable scaling curve to stdout.
+func writeClusterText(w *os.File, doc clusterDoc) {
+	fmt.Fprintf(w, "\ncluster scaling: scenario=%s sessions=%d duration=%.0fs rows=%d cpus=%d (GOMAXPROCS=%d per node)\n",
+		doc.Scenario, doc.Sessions, doc.DurationSeconds, doc.Rows, doc.CPUs, doc.NodeGOMAXPROCS)
+	for _, pt := range doc.Points {
+		line := fmt.Sprintf("  %d node(s): %8.1f req/s  %6d requests  %3d sessions",
+			pt.Nodes, pt.RequestsPerSecond, pt.TotalRequests, pt.SessionsCompleted)
+		if pt.SpeedupVs1 > 0 {
+			line += fmt.Sprintf("  %.2fx vs 1 node", pt.SpeedupVs1)
+		}
+		if len(pt.NodeRequests) > 0 {
+			names := make([]string, 0, len(pt.NodeRequests))
+			for name := range pt.NodeRequests {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			var spread []string
+			for _, name := range names {
+				spread = append(spread, fmt.Sprintf("%s=%d", name, pt.NodeRequests[name]))
+			}
+			line += "  [" + strings.Join(spread, " ") + "]"
+		}
+		fmt.Fprintln(w, line)
+	}
+}

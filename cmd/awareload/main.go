@@ -37,6 +37,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,7 +55,7 @@ type options struct {
 	duration   time.Duration
 	rows       int
 	seed       int64
-	addr       string
+	addrs      []string
 	dataset    string
 	dataDir    string
 	think      time.Duration
@@ -63,11 +64,17 @@ type options struct {
 	minSupport int
 	benchOut   string
 	traceOut   string
-	checkLeaks bool
-	checkObs   bool
-	workers    int
-	logLevel   string
-	logFormat  string
+	checkLeaks    bool
+	checkObs      bool
+	checkAffinity bool
+	workers       int
+	logLevel      string
+	logFormat     string
+
+	clusterSizes      string
+	awaredBin         string
+	clusterOut        string
+	minClusterSpeedup float64
 
 	openLoop      bool
 	rps           float64
@@ -86,7 +93,14 @@ func main() {
 	flag.DurationVar(&o.duration, "duration", 10*time.Second, "how long to issue load")
 	flag.IntVar(&o.rows, "rows", 30000, "rows of the synthetic census (served in-process, and used for scenario pre-validation)")
 	flag.Int64Var(&o.seed, "seed", 1, "seed for the census and the analysts' choices")
-	flag.StringVar(&o.addr, "addr", "", "base URL of a running awared (empty = boot one in-process)")
+	flag.Func("addr", "base URL of a running awared or awarerouter (repeatable or comma-separated: analysts spread round-robin; empty = boot one in-process)", func(v string) error {
+		for _, part := range strings.Split(v, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				o.addrs = append(o.addrs, part)
+			}
+		}
+		return nil
+	})
 	flag.StringVar(&o.dataset, "dataset", "census", "registered dataset name the sessions explore")
 	flag.StringVar(&o.dataDir, "data", "", "directory of *.aware snapshots the in-process server mmaps and serves instead of the generated census; the -dataset snapshot must hold a census of -rows/-seed for scenario pre-validation (ignored with -addr)")
 	flag.DurationVar(&o.think, "think", 0, "pause between one analyst's operations (0 = closed loop)")
@@ -105,6 +119,11 @@ func main() {
 	flag.StringVar(&o.traceOut, "trace-out", "", "write the post-run /debug/trace document to this path (empty = skip)")
 	flag.BoolVar(&o.checkLeaks, "check-leaks", false, "fail if the server's live-session count does not return to its pre-run value")
 	flag.BoolVar(&o.checkObs, "check-obs", false, "fail on a malformed /metrics exposition or a run that captured zero request traces")
+	flag.BoolVar(&o.checkAffinity, "check-affinity", false, "fail if any session's requests were served by more than one cluster node (X-Aware-Node affinity)")
+	flag.StringVar(&o.clusterSizes, "cluster", "", "cluster bench mode: comma-separated node counts, e.g. 1,2,4 — boots each cluster from child awared processes (GOMAXPROCS=1 each) behind an in-process router and records the scaling curve")
+	flag.StringVar(&o.awaredBin, "awared-bin", "", "path to the awared binary the cluster bench spawns nodes from (required with -cluster)")
+	flag.StringVar(&o.clusterOut, "cluster-out", "BENCH_cluster.json", "output path for the cluster scaling report")
+	flag.Float64Var(&o.minClusterSpeedup, "min-cluster-speedup", 0, "fail if 2-node throughput is below this multiple of 1-node throughput (0 disables; skipped with a notice on hosts with fewer than 4 CPUs)")
 	flag.IntVar(&o.workers, "workers", 0, "execution pool size of the in-process server (0 = GOMAXPROCS, 1 = sequential; ignored with -addr)")
 	flag.StringVar(&o.logLevel, "log-level", "info", "log level: debug, info, warn, error")
 	flag.StringVar(&o.logFormat, "log-format", "json", "log format: json, text")
@@ -132,20 +151,25 @@ func run(o options) error {
 		return err
 	}
 
-	base := o.addr
-	if base == "" {
+	if o.clusterSizes != "" {
+		return runClusterBench(o, logger, table, sc)
+	}
+
+	targets := o.addrs
+	if len(targets) == 0 {
 		url, stop, err := startInProcess(table, o.dataset, o.workers, o.dataDir, logger)
 		if err != nil {
 			return err
 		}
 		defer stop()
-		base = url
+		targets = []string{url}
 		if o.dataDir != "" {
-			logger.Info("serving snapshots in-process", "data", o.dataDir, "url", base)
+			logger.Info("serving snapshots in-process", "data", o.dataDir, "url", url)
 		} else {
-			logger.Info("serving census in-process", "rows", o.rows, "url", base)
+			logger.Info("serving census in-process", "rows", o.rows, "url", url)
 		}
 	}
+	base := targets[0]
 
 	before, err := loadgen.SessionCount(base, nil)
 	if err != nil {
@@ -157,6 +181,7 @@ func run(o options) error {
 
 	cfg := loadgen.Config{
 		BaseURL:    base,
+		Targets:    targets,
 		Dataset:    o.dataset,
 		Table:      table,
 		Scenario:   sc,
@@ -201,7 +226,7 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
-		if o.addr == "" {
+		if len(o.addrs) == 0 {
 			res.Rows = o.rows
 		}
 		logger.Info("open-loop sweep finished", "load_seed", res.LoadSeed, "points", len(res.Points))
@@ -216,6 +241,9 @@ func run(o options) error {
 		if o.checkObs {
 			logger.Warn("-check-obs applies to closed-loop runs only; ignoring")
 		}
+		if o.checkAffinity {
+			logger.Warn("-check-affinity applies to closed-loop runs only; ignoring")
+		}
 	} else {
 		logger.Info("load run starting", "scenario", string(sc), "sessions", o.sessions,
 			"duration", o.duration, "target", base, "dataset", o.dataset)
@@ -223,7 +251,7 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
-		if o.addr == "" {
+		if len(o.addrs) == 0 {
 			// Only the in-process server's size is known for certain; a remote
 			// server may serve a different table than the local scenario source.
 			res.Rows = o.rows
@@ -241,6 +269,12 @@ func run(o options) error {
 			logger.Info("observability check passed",
 				"metric_samples", res.Observability.MetricsSamples,
 				"traces_captured", res.Observability.TraceCapturedDelta)
+		}
+		if o.checkAffinity {
+			if res.MultiNodeSessions > 0 {
+				return fmt.Errorf("affinity check failed: %d sessions were served by more than one node", res.MultiNodeSessions)
+			}
+			logger.Info("affinity check passed", "nodes", len(res.Nodes))
 		}
 	}
 

@@ -61,15 +61,15 @@ func TestRunInProcessSmoke(t *testing.T) {
 	}
 	found := false
 	for _, ep := range res.Endpoints {
-		if ep.Endpoint == "POST /sessions" {
+		if ep.Endpoint == "POST /v1/sessions" {
 			found = true
 			if ep.P50Ms <= 0 || ep.P95Ms < ep.P50Ms || ep.P99Ms < ep.P95Ms {
-				t.Errorf("POST /sessions percentiles not ordered: %+v", ep)
+				t.Errorf("POST /v1/sessions percentiles not ordered: %+v", ep)
 			}
 		}
 	}
 	if !found {
-		t.Error("POST /sessions missing from BENCH_http.json")
+		t.Error("POST /v1/sessions missing from BENCH_http.json")
 	}
 
 	// The observability section must carry the gate's inputs, and the trace

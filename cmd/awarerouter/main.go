@@ -1,0 +1,150 @@
+// Command awarerouter is the session-sharding routing tier in front of a set
+// of awared replicas. Sessions are placed on nodes by consistent-hash
+// affinity over session IDs; the full v1 session API is proxied transparently
+// to the owning node, cross-shard endpoints (GET /v1/sessions, /metrics,
+// /healthz) are scatter-gathered, and when a node dies its sessions are
+// restored onto their ring successors by replaying the dead node's step
+// journals — invisible to clients beyond one internally retried request.
+//
+// Usage:
+//
+//	awarerouter -addr :8080 \
+//	    -node "n1=http://10.0.0.1:9001,journal=/var/lib/awared/n1" \
+//	    -node "n2=http://10.0.0.2:9001,journal=/var/lib/awared/n2"
+//
+// Each -node names a replica, its base URL and (optionally, after
+// ",journal=") the directory where that replica writes its session journals.
+// Failover needs the journal directory to stay readable after the node's
+// process dies — run the nodes on a shared filesystem, or co-locate the
+// router with the nodes. Names must match each node's -node-name flag so the
+// X-Aware-Node header agrees with the router's placement.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"aware/internal/cluster"
+	"aware/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "json", "log format: json, text")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per replica on the hash ring (0 = default)")
+	probe := flag.Duration("health-interval", time.Second, "background node health-check period (negative disables)")
+	version := flag.Bool("version", false, "print build metadata and exit")
+	var nodes []cluster.Node
+	flag.Func("node", `replica as name=url[,journal=dir] (repeatable)`, func(v string) error {
+		n, err := parseNode(v)
+		if err != nil {
+			return err
+		}
+		nodes = append(nodes, n)
+		return nil
+	})
+	flag.Parse()
+
+	if *version {
+		b := obs.ReadBuild()
+		fmt.Printf("awarerouter %s (%s, %s, %s/%s)\n", b.Version, b.ShortRev(), b.GoVersion, b.GoOS, b.GoArch)
+		return
+	}
+	if err := run(*addr, *logLevel, *logFormat, *vnodes, *probe, nodes); err != nil {
+		fmt.Fprintf(os.Stderr, "awarerouter: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseNode parses one -node value: name=url[,journal=dir].
+func parseNode(v string) (cluster.Node, error) {
+	name, rest, ok := strings.Cut(v, "=")
+	if !ok || name == "" || rest == "" {
+		return cluster.Node{}, fmt.Errorf("want name=url[,journal=dir], got %q", v)
+	}
+	url, journal, _ := strings.Cut(rest, ",journal=")
+	if url == "" {
+		return cluster.Node{}, fmt.Errorf("node %q has an empty url", name)
+	}
+	return cluster.Node{Name: name, URL: url, JournalDir: journal}, nil
+}
+
+func run(addr, logLevel, logFormat string, vnodes int, probe time.Duration, nodes []cluster.Node) error {
+	if len(nodes) == 0 {
+		return fmt.Errorf("no -node flags: a router needs at least one replica")
+	}
+	logger, err := newLogger(logFormat, logLevel)
+	if err != nil {
+		return err
+	}
+	rt, err := cluster.NewRouter(cluster.Config{
+		Nodes:          nodes,
+		Logger:         logger,
+		VNodes:         vnodes,
+		HealthInterval: probe,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := rt.Start(ctx); err != nil {
+		return err
+	}
+	for _, n := range nodes {
+		logger.Info("routing to node", "node", n.Name, "url", n.URL, "journal_dir", n.JournalDir)
+	}
+	httpServer := &http.Server{
+		Addr:              addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Info("awarerouter listening", "addr", addr, "nodes", len(nodes))
+		errc <- httpServer.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	logger.Info("shutting down")
+	return httpServer.Shutdown(shutdownCtx)
+}
+
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want json or text)", format)
+	}
+}

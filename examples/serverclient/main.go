@@ -1,10 +1,11 @@
-// Serverclient demonstrates awared's multi-session HTTP service layer: it
-// starts the server in-process on a loopback port, then lets several
-// scripted analysts explore the synthetic census concurrently, each in their
-// own FDR-controlled session. Every analyst follows the paper's interactive
-// loop — filtered visualizations become auto-tracked hypotheses, the risk
-// gauge reports the shrinking α-wealth, a promising finding is re-validated
-// on a hold-out split, and the session ends with an exportable report.
+// Serverclient demonstrates awared's multi-session HTTP service layer and the
+// typed Go client that fronts it: the example starts the server in-process on
+// a loopback port, then lets several scripted analysts explore the synthetic
+// census concurrently, each in their own FDR-controlled session. Every analyst
+// follows the paper's interactive loop — filtered visualizations become
+// auto-tracked hypotheses, the risk gauge reports the shrinking α-wealth, a
+// promising finding is re-validated on a hold-out split, and the session ends
+// with an exportable report.
 //
 // Run with:
 //
@@ -13,6 +14,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -22,7 +24,9 @@ import (
 	"os"
 	"sync"
 
+	"aware/internal/api"
 	"aware/internal/census"
+	"aware/internal/client"
 	"aware/internal/server"
 )
 
@@ -76,14 +80,16 @@ func run() error {
 	base := "http://" + listener.Addr().String()
 	fmt.Printf("awared serving the census (%d rows) at %s\n\n", table.NumRows(), base)
 
-	// Each analyst explores concurrently in a private session.
+	// Each analyst explores concurrently in a private session, through their
+	// own typed client.
+	ctx := context.Background()
 	results := make([]string, len(analysts))
 	var wg sync.WaitGroup
 	for i, a := range analysts {
 		wg.Add(1)
 		go func(i int, a analyst) {
 			defer wg.Done()
-			summary, err := explore(base, a)
+			summary, err := explore(ctx, client.New(base), a)
 			if err != nil {
 				summary = fmt.Sprintf("%-6s FAILED: %v", a.name, err)
 			}
@@ -97,10 +103,8 @@ func run() error {
 	}
 
 	// The service tracked every session independently.
-	var health struct {
-		Sessions int `json:"sessions"`
-	}
-	if err := getJSON(base+"/healthz", &health); err != nil {
+	health, err := client.New(base).Health(ctx)
+	if err != nil {
 		return err
 	}
 	fmt.Printf("\nserver health: %d live sessions, one risk gauge each — no\n", health.Sessions)
@@ -110,85 +114,60 @@ func run() error {
 
 // explore drives one analyst through the full interactive loop and returns a
 // one-line summary.
-func explore(base string, a analyst) (string, error) {
+func explore(ctx context.Context, c *client.Client, a analyst) (string, error) {
 	// 1. Open a session.
-	var session struct {
-		ID int64 `json:"id"`
-	}
-	err := postJSON(base+"/sessions", map[string]any{"dataset": "census"}, &session)
+	session, err := c.CreateSession(ctx, api.SessionSpec{Dataset: "census"})
 	if err != nil {
 		return "", fmt.Errorf("creating session: %w", err)
 	}
-	sessionURL := fmt.Sprintf("%s/sessions/%d", base, session.ID)
 
 	// 2. A filtered visualization, sent as a serializable step command: rule 2
 	// turns it into a tracked hypothesis and the step lands in the session's
 	// replayable journal.
-	var viz struct {
-		Seq        int `json:"seq"`
-		Hypothesis *struct {
-			ID       int     `json:"id"`
-			PValue   float64 `json:"p_value"`
-			Rejected bool    `json:"rejected"`
-		} `json:"hypothesis"`
-	}
-	err = postJSON(sessionURL+"/steps", map[string]any{
+	step, err := json.Marshal(map[string]any{
 		"op":        "add_visualization",
 		"target":    a.target,
 		"predicate": json.RawMessage(a.predicate),
-	}, &viz)
+	})
+	if err != nil {
+		return "", err
+	}
+	viz, err := c.ApplyRawStep(ctx, session.ID, step)
 	if err != nil {
 		return "", fmt.Errorf("applying add_visualization step: %w", err)
 	}
 
 	// 3. Star the discovery, if there was one.
 	if viz.Hypothesis != nil && viz.Hypothesis.Rejected {
-		starURL := fmt.Sprintf("%s/hypotheses/%d/star", sessionURL, viz.Hypothesis.ID)
-		if err := postJSON(starURL, map[string]any{"starred": true}, nil); err != nil {
+		if _, err := c.Star(ctx, session.ID, viz.Hypothesis.ID, true); err != nil {
 			return "", fmt.Errorf("starring: %w", err)
 		}
 	}
 
 	// 4. Check the risk gauge.
-	var gauge struct {
-		RemainingWealth float64 `json:"remaining_wealth"`
-		Tests           int     `json:"tests"`
-		Discoveries     int     `json:"discoveries"`
-	}
-	if err := getJSON(sessionURL+"/gauge", &gauge); err != nil {
+	gauge, err := c.Gauge(ctx, session.ID)
+	if err != nil {
 		return "", fmt.Errorf("reading gauge: %w", err)
 	}
 
 	// 5. Re-validate the subgroup's mean on a hold-out split.
-	var holdout struct {
-		Confirmed bool `json:"confirmed"`
-	}
-	err = postJSON(sessionURL+"/holdout/validate", map[string]any{
-		"attribute": a.holdout,
-		"predicate": json.RawMessage(a.predicate),
-	}, &holdout)
+	holdout, err := c.HoldoutValidate(ctx, session.ID, api.HoldoutValidateRequest{
+		Attribute: a.holdout,
+		Predicate: json.RawMessage(a.predicate),
+	})
 	if err != nil {
 		return "", fmt.Errorf("holdout validation: %w", err)
 	}
 
 	// 6. Re-validate the whole recorded exploration on a hold-out split: the
 	// step log replays independently on both halves (Section 4.1 generalized).
-	var replay struct {
-		Confirmed   int `json:"confirmed"`
-		ActiveTotal int `json:"active_total"`
-	}
-	if err := postJSON(sessionURL+"/holdout/replay", map[string]any{}, &replay); err != nil {
+	replay, err := c.HoldoutReplay(ctx, session.ID, api.HoldoutReplayRequest{})
+	if err != nil {
 		return "", fmt.Errorf("holdout replay: %w", err)
 	}
 
 	// 7. Export the report.
-	var report struct {
-		Discoveries int `json:"discoveries"`
-		Hypotheses  []struct {
-			Null string `json:"null"`
-		} `json:"hypotheses"`
-	}
-	if err := getJSON(sessionURL+"/report", &report); err != nil {
+	if _, err := c.Report(ctx, session.ID); err != nil {
 		return "", fmt.Errorf("fetching report: %w", err)
 	}
 
@@ -211,39 +190,4 @@ func describeShort(predicate string) string {
 		s = s[:45] + "..."
 	}
 	return s
-}
-
-func postJSON(url string, body, out any) error {
-	data, err := json.Marshal(body)
-	if err != nil {
-		return err
-	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
-	if err != nil {
-		return err
-	}
-	return decodeResponse(resp, out)
-}
-
-func getJSON(url string, out any) error {
-	resp, err := http.Get(url)
-	if err != nil {
-		return err
-	}
-	return decodeResponse(resp, out)
-}
-
-func decodeResponse(resp *http.Response, out any) error {
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode >= 400 {
-		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, raw)
-	}
-	if out == nil {
-		return nil
-	}
-	return json.Unmarshal(raw, out)
 }

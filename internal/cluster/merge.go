@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"strings"
+)
+
+// NodeExposition is one node's Prometheus text exposition, tagged with the
+// node name to inject as a label.
+type NodeExposition struct {
+	Node string
+	Text string
+}
+
+// MergeExpositions merges per-node expositions into one valid document: each
+// metric family's HELP/TYPE metadata is emitted once (first node wins) with
+// the samples of every node grouped under it, and every sample gains a
+// node="..." label so series from different replicas never collide.
+func MergeExpositions(inputs []NodeExposition) string {
+	type family struct {
+		help, typ string
+		samples   []string
+	}
+	var order []string
+	families := make(map[string]*family)
+	histograms := make(map[string]bool)
+	get := func(name string) *family {
+		f, ok := families[name]
+		if !ok {
+			f = &family{}
+			families[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	// sampleFamily resolves a sample name to its family: histogram samples
+	// carry a _bucket/_sum/_count suffix on top of the declared family name.
+	sampleFamily := func(name string) string {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suffix); ok && histograms[base] {
+				return base
+			}
+		}
+		return name
+	}
+	for _, in := range inputs {
+		for _, line := range strings.Split(in.Text, "\n") {
+			line = strings.TrimRight(line, "\r")
+			if strings.TrimSpace(line) == "" {
+				continue
+			}
+			if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+				name, help, _ := strings.Cut(rest, " ")
+				if f := get(name); f.help == "" {
+					f.help = help
+				}
+				continue
+			}
+			if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+				name, typ, _ := strings.Cut(rest, " ")
+				if f := get(name); f.typ == "" {
+					f.typ = typ
+				}
+				if typ == "histogram" || typ == "summary" {
+					histograms[name] = true
+				}
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				continue
+			}
+			end := strings.IndexAny(line, "{ ")
+			if end < 0 {
+				continue // not a sample line; drop rather than corrupt the merge
+			}
+			f := get(sampleFamily(line[:end]))
+			f.samples = append(f.samples, injectNodeLabel(line, end, in.Node))
+		}
+	}
+	var b strings.Builder
+	for _, name := range order {
+		f := families[name]
+		if f.help != "" {
+			b.WriteString("# HELP " + name + " " + f.help + "\n")
+		}
+		if f.typ != "" {
+			b.WriteString("# TYPE " + name + " " + f.typ + "\n")
+		}
+		for _, s := range f.samples {
+			b.WriteString(s + "\n")
+		}
+	}
+	return b.String()
+}
+
+// injectNodeLabel rewrites one sample line so node="..." is its first label.
+// end is the index of the first '{' or ' ' in the line (the end of the metric
+// name, which cannot contain either).
+func injectNodeLabel(line string, end int, node string) string {
+	label := `node="` + escapeNode(node) + `"`
+	if line[end] == '{' {
+		if end+1 < len(line) && line[end+1] == '}' {
+			return line[:end+1] + label + line[end+1:]
+		}
+		return line[:end+1] + label + "," + line[end+1:]
+	}
+	return line[:end] + "{" + label + "}" + line[end:]
+}
+
+func escapeNode(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,131 @@
+// Package cluster is the session-sharded serving tier: a consistent-hash ring
+// that gives every session ID a home replica, and a thin router that proxies
+// the v1 session API to the owning node, scatter-gathers the cross-shard admin
+// endpoints, and restores a dead node's sessions onto their successors by
+// replaying journals.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is how many virtual points each node contributes to the ring.
+// 64 keeps the ownership split within a few percent of even for small
+// clusters while the ring stays tiny (N*64 points).
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring over node names. It is immutable after
+// construction — liveness is the router's concern, so lookups take an alive
+// predicate and the ring itself never changes when a node dies. That is the
+// property that makes journal-replay failover tractable: the preference
+// sequence of a key is stable, and a dead node's sessions land on the next
+// alive node of that same sequence.
+type Ring struct {
+	points []point
+	nodes  []string
+}
+
+type point struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring over the given node names with vnodes virtual points
+// per node (0 means DefaultVNodes).
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{points: make([]point, 0, len(nodes)*vnodes)}
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node name")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", n)
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{hash: fnv64(n + "#" + strconv.Itoa(i)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+	sort.Strings(r.nodes)
+	return r, nil
+}
+
+// Nodes returns every node name on the ring, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// Sequence returns the key's preference order: every distinct node, starting
+// at the first ring point clockwise of the key's hash. The first entry is the
+// key's owner; the rest are its failover successors in order.
+func (r *Ring) Sequence(key string) []string {
+	h := fnv64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, len(r.nodes))
+	seen := make(map[string]bool, len(r.nodes))
+	for i := 0; i < len(r.points) && len(out) < len(r.nodes); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// Owner returns the first node in the key's preference order that satisfies
+// alive (nil means every node qualifies). ok is false when no node does.
+func (r *Ring) Owner(key string, alive func(string) bool) (node string, ok bool) {
+	for _, n := range r.Sequence(key) {
+		if alive == nil || alive(n) {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// SessionKey is the ring key of a session ID: its decimal form, so clients,
+// router and tests agree on placement by construction.
+func SessionKey(id int64) string { return strconv.FormatInt(id, 10) }
+
+// fnv64 is FNV-1a with a 64-bit finalizing mixer, inlined so ring placement
+// is a frozen function of the node names alone — a hash change would silently
+// re-home every session. The mixer matters: ring keys are short, similar
+// strings ("n1#12", "4097"), and raw FNV leaves them correlated enough to
+// skew node ownership badly.
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	// SplitMix64 finalizer: full avalanche over the 64-bit state.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

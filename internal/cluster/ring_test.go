@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRingSequenceIsStableAndComplete(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"1", "2", "42", "4096"} {
+		seq := r.Sequence(key)
+		if len(seq) != 3 {
+			t.Fatalf("Sequence(%q) = %v, want all 3 nodes", key, seq)
+		}
+		seen := map[string]bool{}
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("Sequence(%q) repeats node %q: %v", key, n, seq)
+			}
+			seen[n] = true
+		}
+		if again := r.Sequence(key); !reflect.DeepEqual(seq, again) {
+			t.Fatalf("Sequence(%q) not deterministic: %v then %v", key, seq, again)
+		}
+	}
+	// The same nodes build the same ring: placement is a pure function of the
+	// configuration, which is what lets a restarted router find every session.
+	r2, err := NewRing([]string{"n3", "n1", "n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"1", "7", "99"} {
+		if a, b := r.Sequence(key), r2.Sequence(key); !reflect.DeepEqual(a, b) {
+			t.Fatalf("node order changed placement for %q: %v vs %v", key, a, b)
+		}
+	}
+}
+
+func TestRingOwnerSkipsDeadNodes(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := SessionKey(7)
+	seq := r.Sequence(key)
+	owner, ok := r.Owner(key, nil)
+	if !ok || owner != seq[0] {
+		t.Fatalf("Owner = %q, want head of sequence %v", owner, seq)
+	}
+	// Kill the owner: the next node of the same sequence takes over.
+	successor, ok := r.Owner(key, func(n string) bool { return n != seq[0] })
+	if !ok || successor != seq[1] {
+		t.Fatalf("Owner with %q dead = %q, want %q", seq[0], successor, seq[1])
+	}
+	if _, ok := r.Owner(key, func(string) bool { return false }); ok {
+		t.Fatal("Owner with no alive nodes should report !ok")
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 4000
+	for id := int64(1); id <= keys; id++ {
+		owner, _ := r.Owner(SessionKey(id), nil)
+		counts[owner]++
+	}
+	for _, n := range nodes {
+		// With 64 vnodes the split stays within a few percent of even; the
+		// gate is loose (half the fair share) so the test pins the property,
+		// not the constant.
+		if counts[n] < keys/len(nodes)/2 {
+			t.Fatalf("node %s owns only %d of %d keys: %v", n, counts[n], keys, counts)
+		}
+	}
+}
+
+func TestRingRejectsBadConfig(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring should be rejected")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate node names should be rejected")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Fatal("empty node name should be rejected")
+	}
+}

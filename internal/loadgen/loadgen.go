@@ -10,16 +10,18 @@
 // non-2xx responses, which is what lets CI treat any error as a failure.
 //
 // The generator drives a real HTTP server — in-process (httptest) or remote —
-// through the same public API every other client uses; nothing is measured
-// through Go function calls.
+// through the typed v1 client in internal/client, the same request path every
+// other Go consumer uses; nothing is measured through Go function calls. The
+// target may be a single awared or an awarerouter fronting a cluster: the
+// client reports the serving node of every response (X-Aware-Node), and the
+// result records per-node request counts plus how many sessions were served
+// by more than one node — zero under healthy consistent-hash affinity.
 package loadgen
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"math"
 	"math/rand"
 	"net/http"
@@ -28,7 +30,9 @@ import (
 	"sync"
 	"time"
 
+	"aware/internal/api"
 	"aware/internal/census"
+	"aware/internal/client"
 	"aware/internal/dataset"
 )
 
@@ -75,6 +79,11 @@ func ParseScenario(s string) (Scenario, error) {
 type Config struct {
 	// BaseURL is the server under test, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// Targets optionally spreads the analysts over several servers
+	// round-robin (multiple routers, or direct nodes of a cluster); empty
+	// means everyone drives BaseURL. When set, BaseURL defaults to the first
+	// target and is the address probes and metric scrapes use.
+	Targets []string
 	// Dataset is the registered dataset name sessions explore.
 	Dataset string
 	// Table is a local copy of the served dataset, used to source and
@@ -122,10 +131,24 @@ type Config struct {
 
 func (cfg *Config) withDefaults() (Config, error) {
 	c := *cfg
+	if c.BaseURL == "" && len(c.Targets) > 0 {
+		c.BaseURL = c.Targets[0]
+	}
 	if c.BaseURL == "" {
 		return c, fmt.Errorf("loadgen: missing BaseURL")
 	}
 	c.BaseURL = strings.TrimRight(c.BaseURL, "/")
+	if len(c.Targets) == 0 {
+		c.Targets = []string{c.BaseURL}
+	}
+	targets := make([]string, len(c.Targets))
+	for i, t := range c.Targets {
+		if t == "" {
+			return c, fmt.Errorf("loadgen: empty target URL at index %d", i)
+		}
+		targets[i] = strings.TrimRight(t, "/")
+	}
+	c.Targets = targets
 	if c.Table == nil {
 		return c, fmt.Errorf("loadgen: missing Table for scenario sourcing")
 	}
@@ -250,6 +273,14 @@ type collector struct {
 	maxSample int
 	sessions  int64 // completed session lifecycles
 
+	// nodes counts requests per serving node (the X-Aware-Node response
+	// header); empty against a server that doesn't identify itself.
+	nodes map[string]int64
+	// multiNode counts completed sessions whose requests were answered by
+	// more than one node — affinity violations under a healthy router,
+	// expected only across a mid-run failover.
+	multiNode int64
+
 	// schedLag distributes scheduled-start vs actual-start deltas of
 	// closed-loop operations — the coordinated-omission honesty number: a
 	// closed-loop client that falls behind its own schedule silently stops
@@ -263,10 +294,14 @@ type endpointRecord struct {
 }
 
 func newCollector(maxSamples int) *collector {
-	return &collector{endpoints: make(map[string]*endpointRecord), maxSample: maxSamples}
+	return &collector{
+		endpoints: make(map[string]*endpointRecord),
+		nodes:     make(map[string]int64),
+		maxSample: maxSamples,
+	}
 }
 
-func (c *collector) observe(endpoint string, d time.Duration, errDesc string) {
+func (c *collector) observe(endpoint, node string, d time.Duration, errDesc string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	rec, ok := c.endpoints[endpoint]
@@ -275,6 +310,9 @@ func (c *collector) observe(endpoint string, d time.Duration, errDesc string) {
 		c.endpoints[endpoint] = rec
 	}
 	rec.hist.Observe(d)
+	if node != "" {
+		c.nodes[node]++
+	}
 	if errDesc != "" {
 		rec.errors++
 		c.errors++
@@ -290,102 +328,93 @@ func (c *collector) observeLag(d time.Duration) {
 	c.mu.Unlock()
 }
 
-func (c *collector) sessionDone() {
+func (c *collector) sessionDone(nodesSeen int) {
 	c.mu.Lock()
 	c.sessions++
+	if nodesSeen > 1 {
+		c.multiNode++
+	}
 	c.mu.Unlock()
 }
 
-// client issues one analyst's requests and feeds the collector. Endpoint
-// labels use the server's route patterns, so the client-side report and
-// GET /debug/metrics key their numbers identically.
-type client struct {
-	base string
-	http *http.Client
-	col  *collector
+// apiClient is one goroutine's view of the server: the typed v1 client from
+// internal/client with its per-call Observer feeding the shared collector.
+// Endpoint labels are the client's route shapes ("POST /v1/sessions"), so the
+// client-side report and GET /debug/metrics key their numbers identically.
+// An apiClient is owned by exactly one goroutine — the schedule and node
+// tracking fields are unsynchronized by design.
+type apiClient struct {
+	api *client.Client
+	col *collector
 
 	// schedule turns on scheduled-start tracking: next is when this client's
 	// next operation is supposed to begin (previous completion plus think
-	// time), and every do() records actual-start minus next as sched lag.
+	// time), and every call records actual-start minus next as sched lag.
 	// Closed-loop analysts set it; open-loop dispatchers track intended
-	// start times externally and leave it off. A scheduling client is owned
-	// by exactly one goroutine (next is unsynchronized by design).
+	// start times externally and leave it off.
 	schedule bool
 	next     time.Time
+
+	// last is the most recent completed call, captured by the Observer for
+	// record(); seen distinguishes it from a call that failed before any
+	// round trip (an encode error observes nothing).
+	last client.Call
+	seen bool
+
+	// nodes accumulates the serving nodes of the current session's requests
+	// (reset per session lifecycle); nil disables affinity tracking.
+	nodes map[string]bool
 }
 
-// errStatus is returned for non-2xx responses.
-type errStatus struct {
-	status   int
-	endpoint string
-	body     string
+func newAPIClient(base string, hc *http.Client, col *collector, schedule bool) *apiClient {
+	a := &apiClient{col: col, schedule: schedule}
+	a.api = client.New(base, client.WithHTTPClient(hc), client.WithObserver(a.observeCall))
+	return a
 }
 
-func (e *errStatus) Error() string {
-	return fmt.Sprintf("%s: HTTP %d: %s", e.endpoint, e.status, e.body)
-}
-
-// do sends one request, times it, records the observation under the endpoint
-// label and decodes a 2xx JSON response into out (unless nil).
-func (c *client) do(method, endpoint, path string, body, out any) error {
-	var reader io.Reader
-	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
-			return fmt.Errorf("loadgen: marshaling %s body: %w", endpoint, err)
-		}
-		reader = bytes.NewReader(data)
-	}
-	req, err := http.NewRequest(method, c.base+path, reader)
-	if err != nil {
-		return fmt.Errorf("loadgen: building %s request: %w", endpoint, err)
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	start := time.Now()
-	if c.schedule {
-		if !c.next.IsZero() {
-			lag := start.Sub(c.next)
+// observeCall is the client Observer: it runs synchronously after every
+// completed round trip, before the typed method returns.
+func (a *apiClient) observeCall(call client.Call) {
+	a.last, a.seen = call, true
+	if a.schedule {
+		if !a.next.IsZero() {
+			lag := call.Start.Sub(a.next)
 			if lag < 0 {
 				lag = 0
 			}
-			c.col.observeLag(lag)
+			a.col.observeLag(lag)
 		}
-		// The next operation is scheduled for this one's completion (plus
-		// any think time, added by think()).
-		defer func() { c.next = time.Now() }()
+		// The next operation is scheduled for this one's completion (plus any
+		// think time, added by think()).
+		a.next = call.Start.Add(call.Duration)
 	}
-	resp, err := c.http.Do(req)
-	elapsed := time.Since(start)
-	if err != nil {
-		c.col.observe(endpoint, elapsed, fmt.Sprintf("%s: %v", endpoint, err))
-		return err
+	if call.Node != "" && a.nodes != nil {
+		a.nodes[call.Node] = true
 	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		c.col.observe(endpoint, elapsed, fmt.Sprintf("%s: reading body: %v", endpoint, err))
-		return err
-	}
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		e := &errStatus{status: resp.StatusCode, endpoint: endpoint, body: truncate(string(raw), 200)}
-		c.col.observe(endpoint, elapsed, e.Error())
-		return e
-	}
-	// Decode before recording: an undecodable 2xx body is an error the report
-	// must count — otherwise a failed session create would skip its DELETE
-	// with zero counted errors, and the leak check would blame the server.
-	if out != nil {
-		if err := json.Unmarshal(raw, out); err != nil {
-			err = fmt.Errorf("loadgen: decoding %s response: %w", endpoint, err)
-			c.col.observe(endpoint, elapsed, err.Error())
-			return err
-		}
-	}
-	c.col.observe(endpoint, elapsed, "")
-	return nil
 }
+
+// record folds a typed call's outcome together with the Observer-captured
+// timing into the collector; it must follow every client call on this
+// apiClient. The error passes through unchanged.
+func (a *apiClient) record(err error) error {
+	if !a.seen {
+		// The call never reached the wire (an encode failure); count the
+		// error without latency so the totals stay honest.
+		if err != nil {
+			a.col.observe("(client)", "", 0, err.Error())
+		}
+		return err
+	}
+	a.seen = false
+	desc := ""
+	if err != nil {
+		desc = truncate(err.Error(), 240)
+	}
+	a.col.observe(a.last.Endpoint, a.last.Node, a.last.Duration, desc)
+	return err
+}
+
+func (a *apiClient) resetNodes() { a.nodes = make(map[string]bool) }
 
 func truncate(s string, n int) string {
 	s = strings.TrimSpace(s)
@@ -399,10 +428,17 @@ func truncate(s string, n int) string {
 // shared collector.
 type explorer struct {
 	cfg  Config
-	c    *client
+	c    *apiClient
 	rng  *rand.Rand
 	pop  []scenarioItem
 	comp []scenarioItem
+
+	// callCtx is the context requests are issued under: the run's PARENT
+	// context, not the deadline-bounded run context. The deadline stops new
+	// scenario work (scripts poll ctx.Err()), but an in-flight lifecycle
+	// finishes its current operation and its DELETE — cancelling mid-request
+	// at the deadline would count rig-induced errors and leak sessions.
+	callCtx context.Context
 
 	// scenario is the resolved mix of the current session (mixed draws a
 	// concrete one per session); it scales the think-time mean.
@@ -465,7 +501,7 @@ func (e *explorer) think(ctx context.Context) {
 }
 
 // sessionScript is one session's worth of operations after creation.
-type sessionScript func(e *explorer, ctx context.Context, path string) error
+type sessionScript func(e *explorer, ctx context.Context, id int64) error
 
 // script selects the per-session script for the configured scenario.
 func (e *explorer) script() sessionScript {
@@ -499,57 +535,61 @@ func (e *explorer) script() sessionScript {
 // runSession drives one full session lifecycle: create, script, destroy. The
 // delete always runs — leaked sessions are a bug the smoke test looks for.
 func (e *explorer) runSession(ctx context.Context) error {
-	var info struct {
-		ID int64 `json:"id"`
-	}
-	if err := e.c.do(http.MethodPost, "POST /sessions", "/sessions",
-		map[string]any{"dataset": e.cfg.Dataset}, &info); err != nil {
+	e.c.resetNodes()
+	info, err := e.c.api.CreateSession(e.callCtx, api.SessionSpec{Dataset: e.cfg.Dataset})
+	if err = e.c.record(err); err != nil {
 		return err
 	}
-	path := fmt.Sprintf("/sessions/%d", info.ID)
 	script := e.script()
-	scriptErr := script(e, ctx, path)
-	delErr := e.c.do(http.MethodDelete, "DELETE /sessions/{id}", path, nil, nil)
+	scriptErr := script(e, ctx, info.ID)
+	delErr := e.c.record(e.c.api.DeleteSession(e.callCtx, info.ID))
 	if scriptErr != nil {
 		return scriptErr
 	}
 	if delErr != nil {
 		return delErr
 	}
-	e.c.col.sessionDone()
+	e.c.col.sessionDone(len(e.c.nodes))
 	return nil
 }
 
-// addViz posts one add_visualization step command.
-func (e *explorer) addViz(path, target string, pred json.RawMessage) error {
-	return e.c.do(http.MethodPost, "POST /sessions/{id}/steps", path+"/steps",
-		map[string]any{"op": "add_visualization", "target": target, "predicate": pred}, nil)
+// addViz posts one add_visualization step command through the generic step
+// endpoint, in the raw wire form a scripting client would send.
+func (e *explorer) addViz(id int64, target string, pred json.RawMessage) error {
+	raw, err := json.Marshal(map[string]any{"op": "add_visualization", "target": target, "predicate": pred})
+	if err != nil {
+		return err
+	}
+	_, err = e.c.api.ApplyRawStep(e.callCtx, id, raw)
+	return e.c.record(err)
 }
 
 // filterScript: 8 filtered visualizations with a gauge read every fourth — an
 // analyst drilling down and watching the risk gauge.
-func (e *explorer) filterScript(ctx context.Context, path string) error {
+func (e *explorer) filterScript(ctx context.Context, id int64) error {
 	for i := 0; i < 8; i++ {
 		if ctx.Err() != nil {
 			return nil
 		}
 		item := e.pick(e.pop)
-		if err := e.addViz(path, item.target, item.pred); err != nil {
+		if err := e.addViz(id, item.target, item.pred); err != nil {
 			return err
 		}
 		if i%4 == 3 {
-			if err := e.c.do(http.MethodGet, "GET /sessions/{id}/gauge", path+"/gauge", nil, nil); err != nil {
+			_, err := e.c.api.Gauge(e.callCtx, id)
+			if err = e.c.record(err); err != nil {
 				return err
 			}
 		}
 		e.think(ctx)
 	}
-	return e.c.do(http.MethodGet, "GET /sessions/{id}/report", path+"/report", nil, nil)
+	_, err := e.c.api.Report(e.callCtx, id)
+	return e.c.record(err)
 }
 
-// vizScript: charts through the legacy convenience endpoints with rule-3
+// vizScript: charts through the visualization endpoint with rule-3
 // comparisons — two rounds of (filter chart, complement chart, compare).
-func (e *explorer) vizScript(ctx context.Context, path string) error {
+func (e *explorer) vizScript(ctx context.Context, id int64) error {
 	vizCount := 0
 	for round := 0; round < 2; round++ {
 		if ctx.Err() != nil {
@@ -557,60 +597,67 @@ func (e *explorer) vizScript(ctx context.Context, path string) error {
 		}
 		item := e.pick(e.comp)
 		for _, pred := range []json.RawMessage{item.pred, item.predNot} {
-			if err := e.c.do(http.MethodPost, "POST /sessions/{id}/visualizations", path+"/visualizations",
-				map[string]any{"target": item.target, "predicate": pred}, nil); err != nil {
+			_, err := e.c.api.CreateVisualization(e.callCtx, id, api.CreateVisualizationRequest{Target: item.target, Predicate: pred})
+			if err = e.c.record(err); err != nil {
 				return err
 			}
 			vizCount++
 			e.think(ctx)
 		}
-		if err := e.c.do(http.MethodPost, "POST /sessions/{id}/compare", path+"/compare",
-			map[string]any{"a": vizCount - 1, "b": vizCount}, nil); err != nil {
+		_, err := e.c.api.Compare(e.callCtx, id, api.CompareRequest{A: vizCount - 1, B: vizCount})
+		if err = e.c.record(err); err != nil {
 			return err
 		}
-		if err := e.c.do(http.MethodGet, "GET /sessions/{id}/gauge", path+"/gauge", nil, nil); err != nil {
+		_, err = e.c.api.Gauge(e.callCtx, id)
+		if err = e.c.record(err); err != nil {
 			return err
 		}
 		e.think(ctx)
 	}
-	return e.c.do(http.MethodGet, "GET /sessions/{id}/report", path+"/report", nil, nil)
+	_, err := e.c.api.Report(e.callCtx, id)
+	return e.c.record(err)
 }
 
 // stepsScript: raw step commands (the CoreSteps lowering of two workflow
 // steps), a step-log read, and a whole-log hold-out replay — the heaviest
 // per-request mix.
-func (e *explorer) stepsScript(ctx context.Context, path string) error {
+func (e *explorer) stepsScript(ctx context.Context, id int64) error {
 	vizCount := 0
 	for i := 0; i < 2; i++ {
 		if ctx.Err() != nil {
 			return nil
 		}
 		item := e.pick(e.comp)
-		if err := e.addViz(path, item.target, item.pred); err != nil {
+		if err := e.addViz(id, item.target, item.pred); err != nil {
 			return err
 		}
-		if err := e.addViz(path, item.target, item.predNot); err != nil {
+		if err := e.addViz(id, item.target, item.predNot); err != nil {
 			return err
 		}
 		vizCount += 2
-		if err := e.c.do(http.MethodPost, "POST /sessions/{id}/steps", path+"/steps",
-			map[string]any{"op": "compare_visualizations", "a": vizCount - 1, "b": vizCount}, nil); err != nil {
+		raw, err := json.Marshal(map[string]any{"op": "compare_visualizations", "a": vizCount - 1, "b": vizCount})
+		if err != nil {
+			return err
+		}
+		_, err = e.c.api.ApplyRawStep(e.callCtx, id, raw)
+		if err = e.c.record(err); err != nil {
 			return err
 		}
 		e.think(ctx)
 	}
-	if err := e.c.do(http.MethodGet, "GET /sessions/{id}/log", path+"/log", nil, nil); err != nil {
+	_, err := e.c.api.Log(e.callCtx, id)
+	if err = e.c.record(err); err != nil {
 		return err
 	}
-	return e.c.do(http.MethodPost, "POST /sessions/{id}/holdout/replay", path+"/holdout/replay",
-		map[string]any{"seed": e.rng.Int63n(1<<31) + 1}, nil)
+	_, err = e.c.api.HoldoutReplay(e.callCtx, id, api.HoldoutReplayRequest{Seed: e.rng.Int63n(1<<31) + 1})
+	return e.c.record(err)
 }
 
 // holdoutScript: one tracked hypothesis, then repeated mean-comparison
 // validations on fresh splits with varying seeds.
-func (e *explorer) holdoutScript(ctx context.Context, path string) error {
+func (e *explorer) holdoutScript(ctx context.Context, id int64) error {
 	item := e.pick(e.comp)
-	if err := e.addViz(path, item.target, item.pred); err != nil {
+	if err := e.addViz(id, item.target, item.pred); err != nil {
 		return err
 	}
 	e.think(ctx)
@@ -619,12 +666,12 @@ func (e *explorer) holdoutScript(ctx context.Context, path string) error {
 			return nil
 		}
 		attr := item.holdouts[e.rng.Intn(len(item.holdouts))]
-		if err := e.c.do(http.MethodPost, "POST /sessions/{id}/holdout/validate", path+"/holdout/validate",
-			map[string]any{
-				"attribute": attr,
-				"predicate": item.pred,
-				"seed":      e.rng.Int63n(1<<31) + 1,
-			}, nil); err != nil {
+		_, err := e.c.api.HoldoutValidate(e.callCtx, id, api.HoldoutValidateRequest{
+			Attribute: attr,
+			Predicate: item.pred,
+			Seed:      e.rng.Int63n(1<<31) + 1,
+		})
+		if err = e.c.record(err); err != nil {
 			return err
 		}
 		e.think(ctx)
@@ -654,11 +701,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	col := newCollector(c.MaxErrorSamples)
 
-	// One un-recorded probe so a wrong BaseURL is a setup error, not a
+	// One un-recorded probe per target so a wrong URL is a setup error, not a
 	// thousand counted request failures.
-	probe := &client{base: c.BaseURL, http: c.HTTPClient, col: newCollector(1)}
-	if err := probe.do(http.MethodGet, "GET /healthz", "/healthz", nil, nil); err != nil {
-		return nil, fmt.Errorf("loadgen: server probe failed: %w", err)
+	for _, target := range c.Targets {
+		probe := client.New(target, client.WithHTTPClient(c.HTTPClient))
+		if _, err := probe.Health(ctx); err != nil {
+			return nil, fmt.Errorf("loadgen: server probe failed for %s: %w", target, err)
+		}
 	}
 
 	// Trace-ring baseline, so the report carries the run's own capture delta
@@ -696,11 +745,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		go func(i int) {
 			defer wg.Done()
 			e := &explorer{
-				cfg:  c,
-				c:    &client{base: c.BaseURL, http: c.HTTPClient, col: col, schedule: true},
-				rng:  rand.New(rand.NewSource(c.LoadSeed + int64(i)*7919)),
-				pop:  pop,
-				comp: comp,
+				cfg:     c,
+				c:       newAPIClient(c.Targets[i%len(c.Targets)], c.HTTPClient, col, true),
+				rng:     rand.New(rand.NewSource(c.LoadSeed + int64(i)*7919)),
+				pop:     pop,
+				comp:    comp,
+				callCtx: ctx,
 			}
 			for runCtx.Err() == nil {
 				// Session lifecycles run to completion even when the deadline
@@ -723,10 +773,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 	res := buildResult(c, col, elapsed)
 	// Snapshot the server's own counters so client-observed latency and
-	// server-side numbers travel together.
-	var snap json.RawMessage
-	if err := probe.do(http.MethodGet, "GET /debug/metrics", "/debug/metrics", nil, &snap); err == nil {
-		res.ServerMetrics = snap
+	// server-side numbers travel together. Routers don't expose the debug
+	// snapshot; their merged /metrics exposition covers them instead.
+	if body, err := FetchBody(c.HTTPClient, c.BaseURL+"/debug/metrics"); err == nil && json.Valid(body) {
+		res.ServerMetrics = json.RawMessage(body)
 	}
 
 	// Observability section: the mid-run scrape outcome, the post-run
@@ -757,16 +807,15 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 }
 
 // SessionCount reports the server's current live-session count via /healthz —
-// the before/after probe of the leak check.
+// the before/after probe of the leak check. Against a router the count is the
+// cluster-wide sum.
 func SessionCount(baseURL string, httpClient *http.Client) (int, error) {
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 10 * time.Second}
 	}
-	c := &client{base: strings.TrimRight(baseURL, "/"), http: httpClient, col: newCollector(1)}
-	var health struct {
-		Sessions int `json:"sessions"`
-	}
-	if err := c.do(http.MethodGet, "GET /healthz", "/healthz", nil, &health); err != nil {
+	c := client.New(baseURL, client.WithHTTPClient(httpClient))
+	health, err := c.Health(context.Background())
+	if err != nil {
 		return 0, err
 	}
 	return health.Sessions, nil
@@ -786,6 +835,16 @@ func buildResult(cfg Config, col *collector, elapsed time.Duration) *Result {
 		SessionsCompleted: col.sessions,
 		TotalErrors:       col.errors,
 		ErrorSamples:      col.samples,
+		MultiNodeSessions: col.multiNode,
+	}
+	if len(cfg.Targets) > 1 {
+		res.Targets = cfg.Targets
+	}
+	if len(col.nodes) > 0 {
+		res.Nodes = make(map[string]int64, len(col.nodes))
+		for n, v := range col.nodes {
+			res.Nodes[n] = v
+		}
 	}
 	if col.schedLag.Count() > 0 {
 		res.SchedLagP50Ms = ms(col.schedLag.Quantile(0.50))

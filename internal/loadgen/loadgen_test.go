@@ -59,7 +59,7 @@ func TestRunMixedScenarioCleanly(t *testing.T) {
 	if res.TotalRequests == 0 || res.SessionsCompleted == 0 {
 		t.Fatalf("run produced no traffic: %+v", res)
 	}
-	for _, endpoint := range []string{"POST /sessions", "DELETE /sessions/{id}", "POST /sessions/{id}/steps"} {
+	for _, endpoint := range []string{"POST /v1/sessions", "DELETE /v1/sessions/{id}", "POST /v1/sessions/{id}/steps"} {
 		found := false
 		for _, ep := range res.Endpoints {
 			if ep.Endpoint == endpoint {
@@ -91,7 +91,7 @@ func TestRunMixedScenarioCleanly(t *testing.T) {
 	if err := res.WriteText(&text); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(text.String(), "POST /sessions") {
+	if !strings.Contains(text.String(), "POST /v1/sessions") {
 		t.Errorf("text report missing endpoints:\n%s", text.String())
 	}
 }

@@ -9,6 +9,9 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"aware/internal/api"
+	"aware/internal/client"
 )
 
 // This file is the open-loop half of the load generator. The closed-loop
@@ -265,16 +268,16 @@ func (p *olPoint) record(lat, lag time.Duration, requests int, err error) {
 // locked per operation: two arrivals routed to the same (popular) session
 // serialize, and that wait is part of their measured latency.
 type olSlot struct {
-	mu   sync.Mutex
-	path string
-	ops  int
+	mu  sync.Mutex
+	id  int64
+	ops int
 }
 
 // olWorker is one dispatcher: a private client, rng and Zipf draws over the
 // shared slots and scenario items.
 type olWorker struct {
 	cfg      OpenLoopConfig
-	c        *client
+	c        *apiClient
 	rng      *rand.Rand
 	slotZipf *rand.Zipf
 	itemZipf *rand.Zipf
@@ -284,7 +287,7 @@ type olWorker struct {
 }
 
 // execute runs one arrival to completion and records it.
-func (w *olWorker) execute(job olJob) {
+func (w *olWorker) execute(ctx context.Context, job olJob) {
 	slot := w.slots[int(w.slotZipf.Uint64())]
 	slot.mu.Lock()
 	defer slot.mu.Unlock()
@@ -296,18 +299,19 @@ func (w *olWorker) execute(job olJob) {
 	var err error
 	requests := 1
 	if slot.ops >= w.cfg.OpsPerSession {
-		err = w.recycle(slot)
+		err = w.recycle(ctx, slot)
 		requests = 2 // DELETE + POST
 	} else {
 		item := w.pop[int(w.itemZipf.Uint64())]
 		switch roll := w.rng.Float64(); {
 		case roll < 0.70:
-			err = w.c.do(http.MethodPost, "POST /sessions/{id}/steps", slot.path+"/steps",
-				map[string]any{"op": "add_visualization", "target": item.target, "predicate": item.pred}, nil)
+			err = w.addViz(ctx, slot.id, item)
 		case roll < 0.85:
-			err = w.c.do(http.MethodGet, "GET /sessions/{id}/gauge", slot.path+"/gauge", nil, nil)
+			_, err = w.c.api.Gauge(ctx, slot.id)
+			err = w.c.record(err)
 		default:
-			err = w.c.do(http.MethodGet, "GET /sessions/{id}/report", slot.path+"/report", nil, nil)
+			_, err = w.c.api.Report(ctx, slot.id)
+			err = w.c.record(err)
 		}
 		slot.ops++
 	}
@@ -318,18 +322,25 @@ func (w *olWorker) execute(job olJob) {
 	w.point.record(lat, lag, requests, err)
 }
 
-// recycle replaces an α-wealth-spent session with a fresh one. Both
-// requests are measured — a real service pays session churn under load.
-func (w *olWorker) recycle(slot *olSlot) error {
-	delErr := w.c.do(http.MethodDelete, "DELETE /sessions/{id}", slot.path, nil, nil)
-	var info struct {
-		ID int64 `json:"id"`
-	}
-	if err := w.c.do(http.MethodPost, "POST /sessions", "/sessions",
-		map[string]any{"dataset": w.cfg.Dataset}, &info); err != nil {
+// addViz posts one add_visualization step command in the raw wire form.
+func (w *olWorker) addViz(ctx context.Context, id int64, item scenarioItem) error {
+	raw, err := json.Marshal(map[string]any{"op": "add_visualization", "target": item.target, "predicate": item.pred})
+	if err != nil {
 		return err
 	}
-	slot.path = fmt.Sprintf("/sessions/%d", info.ID)
+	_, err = w.c.api.ApplyRawStep(ctx, id, raw)
+	return w.c.record(err)
+}
+
+// recycle replaces an α-wealth-spent session with a fresh one. Both
+// requests are measured — a real service pays session churn under load.
+func (w *olWorker) recycle(ctx context.Context, slot *olSlot) error {
+	delErr := w.c.record(w.c.api.DeleteSession(ctx, slot.id))
+	info, err := w.c.api.CreateSession(ctx, api.SessionSpec{Dataset: w.cfg.Dataset})
+	if err = w.c.record(err); err != nil {
+		return err
+	}
+	slot.id = info.ID
 	slot.ops = 0
 	return delErr
 }
@@ -408,8 +419,8 @@ func RunOpenLoop(ctx context.Context, cfg OpenLoopConfig) (*OpenLoopResult, erro
 		return nil, err
 	}
 
-	probe := &client{base: c.BaseURL, http: c.HTTPClient, col: newCollector(1)}
-	if err := probe.do(http.MethodGet, "GET /healthz", "/healthz", nil, nil); err != nil {
+	probe := client.New(c.BaseURL, client.WithHTTPClient(c.HTTPClient))
+	if _, err := probe.Health(ctx); err != nil {
 		return nil, fmt.Errorf("loadgen: server probe failed: %w", err)
 	}
 
@@ -432,18 +443,15 @@ func RunOpenLoop(ctx context.Context, cfg OpenLoopConfig) (*OpenLoopResult, erro
 		}
 		// Fresh session slots per point: every point starts with full
 		// α-wealth, so point ordering cannot skew errors. Setup and teardown
-		// ride an unmeasured collector — they are rig work, not load.
-		setup := &client{base: c.BaseURL, http: c.HTTPClient, col: newCollector(1)}
+		// ride an unobserved client — they are rig work, not load.
+		setup := client.New(c.BaseURL, client.WithHTTPClient(c.HTTPClient))
 		slots := make([]*olSlot, c.Sessions)
 		for i := range slots {
-			var info struct {
-				ID int64 `json:"id"`
-			}
-			if err := setup.do(http.MethodPost, "POST /sessions", "/sessions",
-				map[string]any{"dataset": c.Dataset}, &info); err != nil {
+			info, err := setup.CreateSession(ctx, api.SessionSpec{Dataset: c.Dataset})
+			if err != nil {
 				return nil, fmt.Errorf("loadgen: creating session slot %d: %w", i, err)
 			}
-			slots[i] = &olSlot{path: fmt.Sprintf("/sessions/%d", info.ID)}
+			slots[i] = &olSlot{id: info.ID}
 		}
 
 		point := &olPoint{}
@@ -456,7 +464,7 @@ func RunOpenLoop(ctx context.Context, cfg OpenLoopConfig) (*OpenLoopResult, erro
 				rng := rand.New(rand.NewSource(c.LoadSeed + 104729*int64(pi+1) + 7919*int64(wi+1)))
 				w := &olWorker{
 					cfg:      c,
-					c:        &client{base: c.BaseURL, http: c.HTTPClient, col: col},
+					c:        newAPIClient(c.Targets[wi%len(c.Targets)], c.HTTPClient, col, false),
 					rng:      rng,
 					slotZipf: rand.NewZipf(rng, c.ZipfS, 1, uint64(len(slots)-1)),
 					itemZipf: rand.NewZipf(rng, c.ZipfS, 1, uint64(len(pop)-1)),
@@ -465,7 +473,7 @@ func RunOpenLoop(ctx context.Context, cfg OpenLoopConfig) (*OpenLoopResult, erro
 					point:    point,
 				}
 				for job := range jobs {
-					w.execute(job)
+					w.execute(ctx, job)
 				}
 			}(wi)
 		}
@@ -479,7 +487,7 @@ func RunOpenLoop(ctx context.Context, cfg OpenLoopConfig) (*OpenLoopResult, erro
 
 		for _, slot := range slots {
 			// Teardown failures would show up in the leak check; ignore here.
-			_ = setup.do(http.MethodDelete, "DELETE /sessions/{id}", slot.path, nil, nil)
+			_ = setup.DeleteSession(ctx, slot.id)
 		}
 
 		point.mu.Lock()
@@ -511,9 +519,8 @@ func RunOpenLoop(ctx context.Context, cfg OpenLoopConfig) (*OpenLoopResult, erro
 	res.ErrorSamples = col.samples
 	col.mu.Unlock()
 
-	var snap json.RawMessage
-	if err := probe.do(http.MethodGet, "GET /debug/metrics", "/debug/metrics", nil, &snap); err == nil {
-		res.ServerMetrics = snap
+	if body, err := FetchBody(c.HTTPClient, c.BaseURL+"/debug/metrics"); err == nil && json.Valid(body) {
+		res.ServerMetrics = json.RawMessage(body)
 	}
 	return res, nil
 }

@@ -45,6 +45,17 @@ type Result struct {
 	TotalErrors   int64 `json:"total_errors"`
 	// RequestsPerSecond is the overall closed-loop throughput.
 	RequestsPerSecond float64 `json:"requests_per_second"`
+	// Targets lists the driven base URLs when the analysts were spread over
+	// more than one server.
+	Targets []string `json:"targets,omitempty"`
+	// Nodes counts requests per serving node, from the X-Aware-Node response
+	// header — the placement spread of a cluster run. Empty against a server
+	// that doesn't identify itself.
+	Nodes map[string]int64 `json:"nodes,omitempty"`
+	// MultiNodeSessions counts completed sessions whose requests were served
+	// by more than one node. Under a router with healthy consistent-hash
+	// affinity this is zero; awareload's -check-affinity gate enforces it.
+	MultiNodeSessions int64 `json:"multi_node_sessions,omitempty"`
 	// Endpoints holds the per-endpoint latency distributions, keyed by the
 	// server's route patterns and sorted by endpoint name.
 	Endpoints []EndpointResult `json:"endpoints"`
@@ -91,6 +102,24 @@ func (r *Result) WriteText(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "total: %d requests (%.1f req/s), %d errors, %d session lifecycles\n",
 		r.TotalRequests, r.RequestsPerSecond, r.TotalErrors, r.SessionsCompleted); err != nil {
 		return err
+	}
+	if len(r.Nodes) > 0 {
+		names := make([]string, 0, len(r.Nodes))
+		for n := range r.Nodes {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		if _, err := fmt.Fprintf(w, "nodes:"); err != nil {
+			return err
+		}
+		for _, n := range names {
+			if _, err := fmt.Fprintf(w, " %s=%d", n, r.Nodes[n]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, " (sessions served by >1 node: %d)\n", r.MultiNodeSessions); err != nil {
+			return err
+		}
 	}
 	if r.SchedLagP99Ms > 0 || r.SchedLagP50Ms > 0 {
 		if _, err := fmt.Fprintf(w, "closed-loop sched lag: p50 %.2fms  p99 %.2fms (coordinated-omission bias; see open-loop knee for unbiased latency)\n",

@@ -6,11 +6,14 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+
+	"aware/internal/api"
 )
 
-// decodeErrorBody asserts the response is structured JSON with a non-empty
-// "error" field and the right Content-Type, and returns the message.
-func decodeErrorBody(t *testing.T, resp *http.Response) string {
+// decodeErrorBody asserts the response is the structured JSON envelope with a
+// non-empty "error" message, a non-empty machine-readable "code" and the right
+// Content-Type, and returns the envelope.
+func decodeErrorBody(t *testing.T, resp *http.Response) api.ErrorBody {
 	t.Helper()
 	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
 		t.Errorf("Content-Type = %q, want application/json", ct)
@@ -19,23 +22,28 @@ func decodeErrorBody(t *testing.T, resp *http.Response) string {
 	if err != nil {
 		t.Fatalf("reading error body: %v", err)
 	}
-	var body struct {
-		Error string `json:"error"`
-	}
+	var body api.ErrorBody
 	if err := json.Unmarshal(raw, &body); err != nil {
 		t.Fatalf("error body is not JSON: %q: %v", raw, err)
 	}
 	if body.Error == "" {
 		t.Errorf("error body has no message: %q", raw)
 	}
-	return body.Error
+	if body.Code == "" {
+		t.Errorf("error body has no machine-readable code: %q", raw)
+	}
+	return body
 }
 
 // TestErrorResponsesAreJSON covers the error paths of every endpoint: unknown
 // routes (404 from the mux), wrong methods (405 from the mux), malformed
 // bodies and invalid path values (400s from the handlers), and missing
-// sessions (handler 404s). Every one must produce an application/json body
-// with an "error" field — clients never see a text/plain error.
+// sessions (handler 404s). Every one must produce an application/json envelope
+// with an "error" message and the stable machine-readable "code" for that
+// failure — clients and the cluster router dispatch on the code, so it is
+// table-tested per endpoint here. API-surface cases run against both the
+// canonical /v1 path and its legacy unprefixed alias: the contract is
+// identical on both.
 func TestErrorResponsesAreJSON(t *testing.T) {
 	_, ts := newTestServer(t)
 
@@ -43,61 +51,94 @@ func TestErrorResponsesAreJSON(t *testing.T) {
 	var info SessionInfo
 	wantStatus(t, doJSON(t, http.MethodPost, ts.URL+"/sessions", map[string]any{"dataset": "census"}, &info), http.StatusCreated)
 
-	malformed := strings.NewReader(`{"not json`)
 	cases := []struct {
 		name   string
 		method string
 		path   string
-		body   io.Reader
+		body   string
 		status int
+		code   api.ErrorCode
 	}{
 		// Router-level 404s: no pattern matches the path.
-		{"unknown root path", http.MethodGet, "/no/such/route", nil, http.StatusNotFound},
-		{"unknown session subresource", http.MethodGet, "/sessions/1/nope", nil, http.StatusNotFound},
+		{"unknown root path", http.MethodGet, "/no/such/route", "", http.StatusNotFound, api.CodeNotFound},
+		{"unknown session subresource", http.MethodGet, "/sessions/1/nope", "", http.StatusNotFound, api.CodeNotFound},
 
 		// Router-level 405s: the path exists under another method.
-		{"PUT sessions", http.MethodPut, "/sessions", nil, http.StatusMethodNotAllowed},
-		{"DELETE healthz", http.MethodDelete, "/healthz", nil, http.StatusMethodNotAllowed},
-		{"GET steps", http.MethodGet, "/sessions/1/steps", nil, http.StatusMethodNotAllowed},
-		{"DELETE gauge", http.MethodDelete, "/sessions/1/gauge", nil, http.StatusMethodNotAllowed},
-		{"PATCH report", http.MethodPatch, "/sessions/1/report", nil, http.StatusMethodNotAllowed},
+		{"PUT sessions", http.MethodPut, "/sessions", "", http.StatusMethodNotAllowed, api.CodeMethodNotAllowed},
+		{"GET steps", http.MethodGet, "/sessions/1/steps", "", http.StatusMethodNotAllowed, api.CodeMethodNotAllowed},
+		{"DELETE gauge", http.MethodDelete, "/sessions/1/gauge", "", http.StatusMethodNotAllowed, api.CodeMethodNotAllowed},
+		{"PATCH report", http.MethodPatch, "/sessions/1/report", "", http.StatusMethodNotAllowed, api.CodeMethodNotAllowed},
 
-		// Handler-level 400s: malformed JSON bodies on every decoding endpoint.
-		{"create session bad body", http.MethodPost, "/sessions", malformed, http.StatusBadRequest},
-		{"steps bad body", http.MethodPost, "/sessions/1/steps", strings.NewReader(`{"op": 42}`), http.StatusBadRequest},
-		{"visualizations bad body", http.MethodPost, "/sessions/1/visualizations", strings.NewReader(`[`), http.StatusBadRequest},
-		{"compare bad body", http.MethodPost, "/sessions/1/compare", strings.NewReader(`{"a": "x"}`), http.StatusBadRequest},
-		{"star bad body", http.MethodPost, "/sessions/1/hypotheses/1/star", strings.NewReader(`{`), http.StatusBadRequest},
-		{"holdout validate bad body", http.MethodPost, "/sessions/1/holdout/validate", strings.NewReader(`nope`), http.StatusBadRequest},
-		{"holdout replay bad body", http.MethodPost, "/sessions/1/holdout/replay", strings.NewReader(`"`), http.StatusBadRequest},
-		{"upload dataset without name", http.MethodPost, "/datasets", strings.NewReader("a,b\n1,2\n"), http.StatusBadRequest},
+		// Handler-level 400s: malformed bodies on every decoding endpoint are
+		// step_invalid (the body failed to decode into the endpoint's document).
+		{"create session bad body", http.MethodPost, "/sessions", `{"not json`, http.StatusBadRequest, api.CodeStepInvalid},
+		{"steps bad body", http.MethodPost, "/sessions/1/steps", `{"op": 42}`, http.StatusBadRequest, api.CodeStepInvalid},
+		{"steps unknown op", http.MethodPost, "/sessions/1/steps", `{"op": "warp"}`, http.StatusBadRequest, api.CodeStepInvalid},
+		{"visualizations bad body", http.MethodPost, "/sessions/1/visualizations", `[`, http.StatusBadRequest, api.CodeStepInvalid},
+		{"compare bad body", http.MethodPost, "/sessions/1/compare", `{"a": "x"}`, http.StatusBadRequest, api.CodeStepInvalid},
+		{"star bad body", http.MethodPost, "/sessions/1/hypotheses/1/star", `{`, http.StatusBadRequest, api.CodeStepInvalid},
+		{"holdout validate bad body", http.MethodPost, "/sessions/1/holdout/validate", `nope`, http.StatusBadRequest, api.CodeStepInvalid},
+		{"holdout replay bad body", http.MethodPost, "/sessions/1/holdout/replay", `"`, http.StatusBadRequest, api.CodeStepInvalid},
+		{"restore bad body", http.MethodPost, "/sessions/1/restore", `{`, http.StatusBadRequest, api.CodeStepInvalid},
 
-		// Handler-level 400s: unparseable path values.
-		{"bad session id", http.MethodGet, "/sessions/abc", nil, http.StatusBadRequest},
-		{"bad hypothesis id", http.MethodPost, "/sessions/1/hypotheses/x/star", strings.NewReader(`{"starred": true}`), http.StatusBadRequest},
+		// Handler-level 400s: well-formed requests with client-shaped faults.
+		{"upload dataset without name", http.MethodPost, "/datasets", "a,b\n1,2\n", http.StatusBadRequest, api.CodeBadRequest},
+		{"holdout validate no attribute", http.MethodPost, "/sessions/1/holdout/validate", `{}`, http.StatusBadRequest, api.CodeBadRequest},
+		{"bad session id", http.MethodGet, "/sessions/abc", "", http.StatusBadRequest, api.CodeBadRequest},
+		{"bad hypothesis id", http.MethodPost, "/sessions/1/hypotheses/x/star", `{"starred": true}`, http.StatusBadRequest, api.CodeBadRequest},
 
-		// Handler-level 404s: valid shape, missing resources.
-		{"missing session", http.MethodGet, "/sessions/999999", nil, http.StatusNotFound},
-		{"missing session delete", http.MethodDelete, "/sessions/999999", nil, http.StatusNotFound},
-		{"unknown dataset", http.MethodPost, "/sessions", strings.NewReader(`{"dataset": "nope"}`), http.StatusNotFound},
+		// Handler-level 404s: valid shape, missing resources. session_not_found
+		// vs dataset_unknown vs hypothesis_not_found matter to the router: only
+		// session_not_found can mean "wrong replica".
+		{"missing session", http.MethodGet, "/sessions/999999", "", http.StatusNotFound, api.CodeSessionNotFound},
+		{"missing session delete", http.MethodDelete, "/sessions/999999", "", http.StatusNotFound, api.CodeSessionNotFound},
+		{"missing session gauge", http.MethodGet, "/sessions/999999/gauge", "", http.StatusNotFound, api.CodeSessionNotFound},
+		{"missing hypothesis star", http.MethodPost, "/sessions/1/hypotheses/999/star", `{"starred": true}`, http.StatusNotFound, api.CodeHypothesisNotFound},
+		{"missing viz compare", http.MethodPost, "/sessions/1/compare", `{"a": 998, "b": 999}`, http.StatusNotFound, api.CodeVizNotFound},
+		{"unknown dataset", http.MethodPost, "/sessions", `{"dataset": "nope"}`, http.StatusNotFound, api.CodeDatasetUnknown},
+
+		// Conflict: restoring onto a live session ID.
+		{"restore onto live session", http.MethodPost, "/sessions/1/restore", `{"spec": {"dataset": "census"}}`, http.StatusConflict, api.CodeSessionExists},
 	}
 	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			req, err := http.NewRequest(tc.method, ts.URL+tc.path, tc.body)
-			if err != nil {
-				t.Fatal(err)
+		// Every API-surface error contract holds identically on the canonical
+		// /v1 route and its legacy unprefixed alias.
+		prefixes := []string{""}
+		if strings.HasPrefix(tc.path, "/sessions") || strings.HasPrefix(tc.path, "/datasets") {
+			prefixes = []string{"/v1", ""}
+		}
+		for _, prefix := range prefixes {
+			name := tc.name
+			if prefix != "" {
+				name = tc.name + " (v1)"
 			}
-			resp, err := http.DefaultClient.Do(req)
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer resp.Body.Close()
-			if resp.StatusCode != tc.status {
-				body, _ := io.ReadAll(resp.Body)
-				t.Fatalf("%s %s: status %d, want %d (body: %s)", tc.method, tc.path, resp.StatusCode, tc.status, body)
-			}
-			decodeErrorBody(t, resp)
-		})
+			t.Run(name, func(t *testing.T) {
+				var body io.Reader
+				if tc.body != "" {
+					body = strings.NewReader(tc.body)
+				}
+				req, err := http.NewRequest(tc.method, ts.URL+prefix+tc.path, body)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != tc.status {
+					raw, _ := io.ReadAll(resp.Body)
+					t.Fatalf("%s %s: status %d, want %d (body: %s)", tc.method, prefix+tc.path, resp.StatusCode, tc.status, raw)
+				}
+				envelope := decodeErrorBody(t, resp)
+				if envelope.Code != tc.code {
+					t.Errorf("%s %s: code %q, want %q (message: %s)", tc.method, prefix+tc.path, envelope.Code, tc.code, envelope.Error)
+				}
+				if envelope.Code.Retryable() {
+					t.Errorf("%s %s: single-node server emitted retryable code %q; only the router may", tc.method, prefix+tc.path, envelope.Code)
+				}
+			})
+		}
 	}
 }
 
@@ -120,5 +161,7 @@ func TestMethodNotAllowedKeepsAllowHeader(t *testing.T) {
 	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, http.MethodGet) {
 		t.Errorf("Allow = %q, want it to include GET", allow)
 	}
-	decodeErrorBody(t, resp)
+	if envelope := decodeErrorBody(t, resp); envelope.Code != api.CodeMethodNotAllowed {
+		t.Errorf("code = %q, want %q", envelope.Code, api.CodeMethodNotAllowed)
+	}
 }

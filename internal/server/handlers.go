@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"aware/internal/api"
 	"aware/internal/core"
 	"aware/internal/dataset"
 	"aware/internal/obs"
@@ -26,15 +27,31 @@ const maxUploadBytes = 32 << 20
 // go >= 1.22. Every handler is wrapped in the per-endpoint instrumentation,
 // keyed by the registration pattern, so GET /debug/metrics reports exactly
 // the routes listed here.
+//
+// API endpoints are registered twice: canonically under the versioned
+// api.Prefix and as an unprefixed legacy alias, kept for one release so
+// pre-v1 clients keep working. Each registration is instrumented under its
+// own pattern, so the metrics tell v1 and legacy traffic apart.
+// Infrastructure endpoints (/healthz, /metrics, /debug/*) address the
+// process, not the API, and stay unversioned.
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	handle := func(pattern string, h http.HandlerFunc) {
+	infra := func(pattern string, h http.HandlerFunc) {
 		mux.HandleFunc(pattern, s.instrument(pattern, h))
 	}
-	handle("GET /healthz", s.handleHealth)
-	handle("GET /metrics", s.handlePromMetrics)
-	handle("GET /debug/metrics", s.handleDebugMetrics)
-	handle("GET /debug/trace", s.handleDebugTrace)
+	handle := func(pattern string, h http.HandlerFunc) {
+		method, path, ok := strings.Cut(pattern, " ")
+		if !ok {
+			panic("server: route pattern without a method: " + pattern)
+		}
+		v1 := method + " " + api.Prefix + path
+		mux.HandleFunc(v1, s.instrument(v1, h))
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	infra("GET /healthz", s.handleHealth)
+	infra("GET /metrics", s.handlePromMetrics)
+	infra("GET /debug/metrics", s.handleDebugMetrics)
+	infra("GET /debug/trace", s.handleDebugTrace)
 	if s.pprof {
 		// Profiling handlers stay outside instrument: a 30-second CPU profile
 		// would dominate every latency series it shares.
@@ -50,6 +67,7 @@ func (s *Server) routes() *http.ServeMux {
 	handle("GET /sessions", s.handleListSessions)
 	handle("GET /sessions/{id}", s.handleGetSession)
 	handle("DELETE /sessions/{id}", s.handleDeleteSession)
+	handle("POST /sessions/{id}/restore", s.handleRestoreSession)
 	handle("POST /sessions/{id}/steps", s.handleApplyStep)
 	handle("GET /sessions/{id}/log", s.handleLog)
 	handle("POST /sessions/{id}/visualizations", s.handleCreateVisualization)
@@ -75,39 +93,53 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // the status line is already out; nothing to recover
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+// writeError writes the JSON error envelope: the human-readable message plus
+// the stable machine-readable code clients and routers dispatch on.
+func writeError(w http.ResponseWriter, status int, code api.ErrorCode, msg string) {
+	writeJSON(w, status, api.ErrorBody{Error: msg, Code: code})
 }
 
-// writeErr maps a domain error onto an HTTP status. Requests reach the domain
-// layer only after routing, so unmapped errors are treated as bad input
-// rather than server faults.
+// errInvalidBody marks request bodies that fail to decode, so writeErr can
+// classify them as step_invalid without string matching.
+var errInvalidBody = errors.New("invalid request body")
+
+// writeErr maps a domain error onto an HTTP status and error code. Requests
+// reach the domain layer only after routing, so unmapped errors are treated
+// as bad input rather than server faults.
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
+	code := api.CodeBadRequest
 	switch {
-	case errors.Is(err, ErrSessionNotFound),
-		errors.Is(err, ErrDatasetNotFound),
-		errors.Is(err, core.ErrUnknownVisualization),
-		errors.Is(err, core.ErrUnknownHypothesis):
-		status = http.StatusNotFound
+	case errors.Is(err, ErrSessionNotFound):
+		status, code = http.StatusNotFound, api.CodeSessionNotFound
+	case errors.Is(err, ErrDatasetNotFound):
+		status, code = http.StatusNotFound, api.CodeDatasetUnknown
+	case errors.Is(err, core.ErrUnknownVisualization):
+		status, code = http.StatusNotFound, api.CodeVizNotFound
+	case errors.Is(err, core.ErrUnknownHypothesis):
+		status, code = http.StatusNotFound, api.CodeHypothesisNotFound
+	case errors.Is(err, ErrSessionExists):
+		status, code = http.StatusConflict, api.CodeSessionExists
 	case errors.Is(err, ErrDatasetExists):
-		status = http.StatusConflict
+		status, code = http.StatusConflict, api.CodeDatasetExists
 	case errors.Is(err, core.ErrWealthExhausted):
 		// The session is still alive but cannot fund further tests; the
 		// client should stop exploring (Section 5.8 of the paper).
-		status = http.StatusConflict
+		status, code = http.StatusConflict, api.CodeWealthExhausted
+	case errors.Is(err, core.ErrUnknownStep), errors.Is(err, errInvalidBody):
+		code = api.CodeStepInvalid
 	case errors.Is(err, ErrJournal):
 		// The step was applied but could not be made durable.
-		status = http.StatusInternalServerError
+		status, code = http.StatusInternalServerError, api.CodeJournalFailed
 	}
-	writeError(w, status, err.Error())
+	writeError(w, status, code, err.Error())
 }
 
 func decodeBody(r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxUploadBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("invalid request body: %w", err)
+		return fmt.Errorf("%w: %w", errInvalidBody, err)
 	}
 	return nil
 }
@@ -129,15 +161,28 @@ func decodePredicateField(raw json.RawMessage) (dataset.Predicate, error) {
 	return dataset.UnmarshalPredicate(raw)
 }
 
-// testResultJSON is the wire form of a stats.TestResult.
-type testResultJSON struct {
-	Method     string  `json:"method"`
-	Statistic  float64 `json:"statistic"`
-	PValue     float64 `json:"p_value"`
-	DF         float64 `json:"df"`
-	EffectSize float64 `json:"effect_size"`
-	N          int     `json:"n"`
-}
+// The endpoint documents are defined by the wire contract in internal/api;
+// the handlers keep their local names as aliases so the marshalling code
+// reads the same as before the API was versioned.
+type (
+	testResultJSON           = api.TestResult
+	vizJSON                  = api.Visualization
+	stepResponse             = api.StepResponse
+	createVizRequest         = api.CreateVisualizationRequest
+	createVizResponse        = api.CreateVisualizationResponse
+	compareRequest           = api.CompareRequest
+	hypothesisResponse       = api.HypothesisResponse
+	deriveRequest            = api.DeriveRequest
+	joinRequest              = api.JoinRequest
+	groupByRequest           = api.GroupByRequest
+	starRequest              = api.StarRequest
+	gaugeResponse            = api.Gauge
+	holdoutRequest           = api.HoldoutValidateRequest
+	holdoutResponse          = api.HoldoutValidateResponse
+	holdoutReplayRequest     = api.HoldoutReplayRequest
+	holdoutReplayResponse    = api.HoldoutReplayResponse
+	hypothesisValidationJSON = api.HypothesisValidation
+)
 
 func toTestResultJSON(t stats.TestResult) testResultJSON {
 	return testResultJSON{
@@ -148,14 +193,6 @@ func toTestResultJSON(t stats.TestResult) testResultJSON {
 		EffectSize: t.EffectSize,
 		N:          t.N,
 	}
-}
-
-// vizJSON is the wire form of a visualization.
-type vizJSON struct {
-	ID           int    `json:"id"`
-	Target       string `json:"target"`
-	Filter       string `json:"filter"`
-	HypothesisID int    `json:"hypothesis_id,omitempty"`
 }
 
 func toVizJSON(v *core.Visualization) vizJSON {
@@ -169,16 +206,17 @@ func toVizJSON(v *core.Visualization) vizJSON {
 // --- health and datasets ---
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"sessions": s.manager.Len(),
-		"datasets": len(s.registry.List()),
-		"build":    s.build,
+	writeJSON(w, http.StatusOK, api.Health{
+		Status:   "ok",
+		Node:     s.node,
+		Sessions: s.manager.Len(),
+		Datasets: len(s.registry.List()),
+		Build:    s.build,
 	})
 }
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.registry.List()})
+	writeJSON(w, http.StatusOK, api.DatasetList{Datasets: s.registry.List()})
 }
 
 // handleUploadDataset registers a CSV body under ?name=. Column types default
@@ -187,7 +225,7 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("name")
 	if name == "" {
-		writeError(w, http.StatusBadRequest, "missing ?name= for the uploaded dataset")
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "missing ?name= for the uploaded dataset")
 		return
 	}
 	var specs []dataset.ColumnSpec
@@ -205,7 +243,7 @@ func (s *Server) handleUploadDataset(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			if prev, dup := seen[col]; dup {
-				writeError(w, http.StatusBadRequest,
+				writeError(w, http.StatusBadRequest, api.CodeBadRequest,
 					fmt.Sprintf("column %q typed by both ?%s= and ?%s=", col, prev, override.param))
 				return
 			}
@@ -237,7 +275,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if spec.Dataset == "" {
-		writeError(w, http.StatusBadRequest, "missing dataset name")
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "missing dataset name")
 		return
 	}
 	table, err := s.registry.Get(spec.Dataset)
@@ -270,7 +308,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"sessions": s.manager.List()})
+	writeJSON(w, http.StatusOK, api.SessionList{Sessions: s.manager.List()})
 }
 
 func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
@@ -358,19 +396,6 @@ func (s *Server) applyStep(ctx context.Context, id int64, step core.Step) (appli
 	return view, err
 }
 
-// stepResponse is the wire form of an applied step.
-type stepResponse struct {
-	// Seq is the step's position in the session journal.
-	Seq int `json:"seq"`
-	// Op echoes the step kind that was applied.
-	Op string `json:"op"`
-	// Visualization is set for add_visualization steps.
-	Visualization *vizJSON `json:"visualization,omitempty"`
-	// Hypothesis is set for steps that created a hypothesis.
-	Hypothesis      *core.ReportEntry `json:"hypothesis,omitempty"`
-	RemainingWealth float64           `json:"remaining_wealth"`
-}
-
 func (view appliedStepView) response(op string) stepResponse {
 	return stepResponse{
 		Seq:             view.seq,
@@ -399,7 +424,9 @@ func (s *Server) handleApplyStep(w http.ResponseWriter, r *http.Request) {
 	}
 	step, err := core.UnmarshalStep(body)
 	if err != nil {
-		writeErr(w, err)
+		// Whatever the parse failure — malformed JSON, unknown op, bad field
+		// type — the body is not a valid step: step_invalid, not bad_request.
+		writeErr(w, fmt.Errorf("%w: %w", errInvalidBody, err))
 		return
 	}
 	view, err := s.applyStep(r.Context(), id, step)
@@ -427,24 +454,7 @@ func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"count": len(log), "steps": log})
-}
-
-type createVizRequest struct {
-	// Target is the visualized attribute.
-	Target string `json:"target"`
-	// Predicate is the filter chain in the dataset predicate JSON format;
-	// absent or null means the whole dataset (rule 1: descriptive, no
-	// hypothesis).
-	Predicate json.RawMessage `json:"predicate,omitempty"`
-}
-
-type createVizResponse struct {
-	Visualization vizJSON `json:"visualization"`
-	// Hypothesis is the auto-created rule-2 hypothesis, or null for an
-	// unfiltered (descriptive) visualization.
-	Hypothesis      *core.ReportEntry `json:"hypothesis"`
-	RemainingWealth float64           `json:"remaining_wealth"`
+	writeJSON(w, http.StatusOK, api.LogResponse{Count: len(log), Steps: log})
 }
 
 func (s *Server) handleCreateVisualization(w http.ResponseWriter, r *http.Request) {
@@ -475,21 +485,6 @@ func (s *Server) handleCreateVisualization(w http.ResponseWriter, r *http.Reques
 	writeJSON(w, http.StatusCreated, resp)
 }
 
-type compareRequest struct {
-	// A and B are the visualization IDs to compare (rule 3).
-	A int `json:"a"`
-	B int `json:"b"`
-	// MeansOf switches to an explicit Welch t-test on this numeric attribute.
-	MeansOf string `json:"means_of,omitempty"`
-	// DistributionsOf switches to a two-sample Kolmogorov–Smirnov test.
-	DistributionsOf string `json:"distributions_of,omitempty"`
-}
-
-type hypothesisResponse struct {
-	Hypothesis      core.ReportEntry `json:"hypothesis"`
-	RemainingWealth float64          `json:"remaining_wealth"`
-}
-
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	id, err := sessionID(r)
 	if err != nil {
@@ -502,7 +497,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.MeansOf != "" && req.DistributionsOf != "" {
-		writeError(w, http.StatusBadRequest, "means_of and distributions_of are mutually exclusive")
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "means_of and distributions_of are mutually exclusive")
 		return
 	}
 	var step core.Step
@@ -528,14 +523,6 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 
 // --- relational steps ---
 
-type deriveRequest struct {
-	// Name is the new column's name.
-	Name string `json:"name"`
-	// Expression is the computed column in the dataset expression JSON format,
-	// e.g. {"expr": "bucket", "arg": {"expr": "column", "column": "age"}, "width": 10}.
-	Expression json.RawMessage `json:"expression"`
-}
-
 // handleDerive extends the session's table with a computed numeric column:
 // the derive_column step as a convenience endpoint.
 func (s *Server) handleDerive(w http.ResponseWriter, r *http.Request) {
@@ -550,7 +537,7 @@ func (s *Server) handleDerive(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Expression) == 0 || string(req.Expression) == "null" {
-		writeError(w, http.StatusBadRequest, "derive requires an expression")
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "derive requires an expression")
 		return
 	}
 	expr, err := dataset.UnmarshalExpr(req.Expression)
@@ -565,17 +552,6 @@ func (s *Server) handleDerive(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, view.response(step.Kind()))
-}
-
-type joinRequest struct {
-	// Dataset is the registered dataset to join with (the right side).
-	Dataset string `json:"dataset"`
-	// LeftKey and RightKey are the equi-join key columns on the session table
-	// and the joined dataset respectively.
-	LeftKey  string `json:"left_key"`
-	RightKey string `json:"right_key"`
-	// Prefix renames the joined dataset's columns (prefix+name) in the result.
-	Prefix string `json:"prefix,omitempty"`
 }
 
 // handleJoin equi-joins the session's table with a registered dataset: the
@@ -599,15 +575,6 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, view.response(step.Kind()))
-}
-
-type groupByRequest struct {
-	// Row and Col are the two attributes whose contingency table is tested.
-	Row string `json:"row"`
-	Col string `json:"col"`
-	// Predicate optionally restricts the tested rows (dataset predicate JSON;
-	// absent or null means the whole table).
-	Predicate json.RawMessage `json:"predicate,omitempty"`
 }
 
 // handleGroupBy tests the independence of two attributes over the filtered
@@ -640,10 +607,6 @@ func (s *Server) handleGroupBy(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, resp)
 }
 
-type starRequest struct {
-	Starred bool `json:"starred"`
-}
-
 func (s *Server) handleStar(w http.ResponseWriter, r *http.Request) {
 	id, err := sessionID(r)
 	if err != nil {
@@ -652,7 +615,7 @@ func (s *Server) handleStar(w http.ResponseWriter, r *http.Request) {
 	}
 	hid, err := strconv.Atoi(r.PathValue("hid"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid hypothesis id %q", r.PathValue("hid")))
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, fmt.Sprintf("invalid hypothesis id %q", r.PathValue("hid")))
 		return
 	}
 	var req starRequest
@@ -664,22 +627,7 @@ func (s *Server) handleStar(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"id": hid, "starred": req.Starred})
-}
-
-// gaugeResponse is the wire form of the risk gauge (Figure 2 A).
-type gaugeResponse struct {
-	Alpha           float64            `json:"alpha"`
-	Policy          string             `json:"policy"`
-	InitialWealth   float64            `json:"initial_wealth"`
-	RemainingWealth float64            `json:"remaining_wealth"`
-	Tests           int                `json:"tests"`
-	Discoveries     int                `json:"discoveries"`
-	Starred         int                `json:"starred"`
-	Exhausted       bool               `json:"exhausted"`
-	Hypotheses      []core.ReportEntry `json:"hypotheses"`
-	// Rendered is the textual gauge of the CLI front-end, for human clients.
-	Rendered string `json:"rendered"`
+	writeJSON(w, http.StatusOK, api.StarResponse{ID: hid, Starred: req.Starred})
 }
 
 func (s *Server) handleGauge(w http.ResponseWriter, r *http.Request) {
@@ -715,33 +663,6 @@ func (s *Server) handleGauge(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-type holdoutRequest struct {
-	// Attribute is the numeric attribute whose means are compared between the
-	// filtered sub-population and its complement.
-	Attribute string `json:"attribute"`
-	// Predicate selects the sub-population, in the predicate JSON format.
-	Predicate json.RawMessage `json:"predicate"`
-	// ExplorationFraction is the share of rows in the exploration half;
-	// 0 means 0.5.
-	ExplorationFraction float64 `json:"exploration_fraction,omitempty"`
-	// Alpha is the per-half significance level; 0 means the session's level.
-	Alpha float64 `json:"alpha,omitempty"`
-	// Seed drives the random split; 0 means 1, so repeated calls validate on
-	// the same split unless the client asks otherwise.
-	Seed int64 `json:"seed,omitempty"`
-	// Alternative is "two-sided" (default), "greater" or "less".
-	Alternative string `json:"alternative,omitempty"`
-}
-
-type holdoutResponse struct {
-	Confirmed       bool           `json:"confirmed"`
-	Alpha           float64        `json:"alpha"`
-	ExplorationRows int            `json:"exploration_rows"`
-	ValidationRows  int            `json:"validation_rows"`
-	Exploration     testResultJSON `json:"exploration"`
-	Validation      testResultJSON `json:"validation"`
-}
-
 func parseAlternative(s string) (stats.Alternative, error) {
 	switch s {
 	case "", "two-sided":
@@ -770,7 +691,7 @@ func (s *Server) handleHoldoutValidate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Attribute == "" {
-		writeError(w, http.StatusBadRequest, "missing attribute to validate")
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "missing attribute to validate")
 		return
 	}
 	pred, err := decodePredicateField(req.Predicate)
@@ -779,7 +700,7 @@ func (s *Server) handleHoldoutValidate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if pred == nil {
-		writeError(w, http.StatusBadRequest, "holdout validation requires a predicate selecting the sub-population")
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "holdout validation requires a predicate selecting the sub-population")
 		return
 	}
 	alt, err := parseAlternative(req.Alternative)
@@ -824,40 +745,6 @@ func (s *Server) handleHoldoutValidate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
-}
-
-type holdoutReplayRequest struct {
-	// ExplorationFraction is the share of rows in the exploration half;
-	// 0 means 0.5.
-	ExplorationFraction float64 `json:"exploration_fraction,omitempty"`
-	// Alpha is the per-half significance level; 0 means the session's level.
-	Alpha float64 `json:"alpha,omitempty"`
-	// Seed drives the random split; 0 means 1.
-	Seed int64 `json:"seed,omitempty"`
-}
-
-// hypothesisValidationJSON is the wire form of one replayed hypothesis'
-// hold-out verdict.
-type hypothesisValidationJSON struct {
-	Seq          int            `json:"seq"`
-	Kind         string         `json:"kind"`
-	HypothesisID int            `json:"hypothesis_id"`
-	Null         string         `json:"null"`
-	Status       string         `json:"status"`
-	Exploration  testResultJSON `json:"exploration"`
-	Validation   testResultJSON `json:"validation"`
-	Validated    bool           `json:"validated"`
-	Confirmed    bool           `json:"confirmed"`
-}
-
-type holdoutReplayResponse struct {
-	Alpha           float64                    `json:"alpha"`
-	ExplorationRows int                        `json:"exploration_rows"`
-	ValidationRows  int                        `json:"validation_rows"`
-	StepsReplayed   int                        `json:"steps_replayed"`
-	Confirmed       int                        `json:"confirmed"`
-	ActiveTotal     int                        `json:"active_total"`
-	Hypotheses      []hypothesisValidationJSON `json:"hypotheses"`
 }
 
 // handleHoldoutReplay re-validates the session's whole step log on a fresh
@@ -907,7 +794,7 @@ func (s *Server) handleHoldoutReplay(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(steps) == 0 {
-		writeError(w, http.StatusConflict, "session has an empty step log; nothing to replay")
+		writeError(w, http.StatusConflict, api.CodeBadRequest, "session has an empty step log; nothing to replay")
 		return
 	}
 	// A fresh policy instance for the two replays: the live session's policy

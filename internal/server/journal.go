@@ -244,3 +244,31 @@ func (j *journalStore) load(id int64) (journaledSession, error) {
 func hasContentAfter(data []byte, offset int) bool {
 	return len(bytes.TrimSpace(data[offset:])) > 0
 }
+
+// JournaledSession is one recoverable session journal as read off disk: the
+// spec from the header line, the replayable step log, and the file it came
+// from.
+type JournaledSession struct {
+	ID    int64
+	Spec  SessionSpec
+	Steps []core.Step
+	Path  string
+}
+
+// LoadJournals reads every session journal under dir without taking ownership
+// of the files — the read-only counterpart of the store's recovery path, used
+// by a cluster router to ship a dead node's sessions to successor replicas.
+// Unparsable journals are reported in skipped (as "file: reason") and left on
+// disk, mirroring RestoreSessions.
+func LoadJournals(dir string) ([]JournaledSession, []string, error) {
+	j := &journalStore{dir: dir, files: make(map[int64]*os.File)}
+	sessions, skipped, _, err := j.Load()
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]JournaledSession, 0, len(sessions))
+	for _, js := range sessions {
+		out = append(out, JournaledSession{ID: js.ID, Spec: js.Header, Steps: js.Steps, Path: j.path(js.ID)})
+	}
+	return out, skipped, nil
+}

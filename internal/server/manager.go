@@ -8,9 +8,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aware/internal/api"
 	"aware/internal/core"
 	"aware/internal/dataset"
-	"aware/internal/investing"
 	"aware/internal/plan"
 )
 
@@ -18,53 +18,20 @@ import (
 // created, deleted, or expired by the idle sweeper).
 var ErrSessionNotFound = errors.New("server: session not found")
 
-// SessionSpec is the serializable recipe for a session: the creation request
-// verbatim, with zero values meaning "the defaults". It doubles as the header
-// line of a session's journal file, so a restart can rebuild the exact same
-// options (including a fresh instance of the named policy) before replaying
-// the journaled steps.
-type SessionSpec struct {
-	// Dataset names a registered dataset.
-	Dataset string `json:"dataset"`
-	// Alpha is the mFDR control level; 0 means the paper default 0.05.
-	Alpha float64 `json:"alpha,omitempty"`
-	// Policy selects the investing rule by name (see investing.NewNamedPolicy);
-	// empty means the paper's ε-hybrid default.
-	Policy string `json:"policy,omitempty"`
-	// TargetPower tunes the n_H1 annotation; 0 means 0.8.
-	TargetPower float64 `json:"target_power,omitempty"`
-}
+// ErrSessionExists is returned by Restore when the target ID is already live:
+// a cluster router restoring a dead node's sessions treats it as "someone got
+// there first", not a failure.
+var ErrSessionExists = errors.New("server: session already exists")
 
-// Options materializes the core session options the spec describes. It
-// constructs a fresh policy instance on every call: investing policies are
-// stateful, so each session — and each hold-out replay of its log — needs its
-// own.
-func (spec SessionSpec) Options() (core.Options, error) {
-	opts := core.Options{Alpha: spec.Alpha, TargetPower: spec.TargetPower}
-	if spec.Policy != "" {
-		alpha := spec.Alpha
-		if alpha == 0 {
-			alpha = investing.DefaultAlpha
-		}
-		policy, err := investing.NewNamedPolicy(spec.Policy, alpha)
-		if err != nil {
-			return core.Options{}, err
-		}
-		opts.Policy = policy
-	}
-	return opts, nil
-}
+// SessionSpec is the serializable recipe for a session — the api package owns
+// the wire definition (it doubles as the journal header line and the cluster
+// restore payload); the server re-exports it so existing consumers keep
+// compiling.
+type SessionSpec = api.SessionSpec
 
 // SessionInfo is the lock-free summary of a managed session used in listings
 // and creation responses.
-type SessionInfo struct {
-	ID         int64     `json:"id"`
-	Dataset    string    `json:"dataset"`
-	Alpha      float64   `json:"alpha"`
-	Policy     string    `json:"policy"`
-	CreatedAt  time.Time `json:"created_at"`
-	LastActive time.Time `json:"last_active"`
-}
+type SessionInfo = api.SessionInfo
 
 // managedSession pairs a core.Session with the lock that serializes access to
 // it. core.Session is single-threaded by contract (see its doc comment); the
@@ -198,7 +165,7 @@ func (sm *SessionManager) Restore(id int64, spec SessionSpec, sess *core.Session
 	sm.mu.Lock()
 	defer sm.mu.Unlock()
 	if _, taken := sm.sessions[id]; taken {
-		return SessionInfo{}, fmt.Errorf("server: session %d already exists", id)
+		return SessionInfo{}, fmt.Errorf("%w: %d", ErrSessionExists, id)
 	}
 	if id > sm.nextID {
 		sm.nextID = id

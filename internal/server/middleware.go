@@ -8,7 +8,22 @@ import (
 	"runtime/debug"
 	"strings"
 	"time"
+
+	"aware/internal/api"
 )
+
+// withNodeHeader stamps every response with the serving node's name, so
+// cluster placement is observable from the client side. Outermost in the
+// chain: even a panic-recovery 500 names the node that produced it.
+func withNodeHeader(node string, next http.Handler) http.Handler {
+	if node == "" {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.NodeHeader, node)
+		next.ServeHTTP(w, r)
+	})
+}
 
 // statusRecorder captures the response status and size for the request log.
 type statusRecorder struct {
@@ -113,7 +128,14 @@ func withJSONErrors(metrics *Metrics, next http.Handler) http.Handler {
 		if msg == "" {
 			msg = http.StatusText(jw.status)
 		}
-		_ = json.NewEncoder(jw.ResponseWriter).Encode(map[string]string{"error": msg})
+		code := api.CodeBadRequest
+		switch jw.status {
+		case http.StatusNotFound:
+			code = api.CodeNotFound
+		case http.StatusMethodNotAllowed:
+			code = api.CodeMethodNotAllowed
+		}
+		_ = json.NewEncoder(jw.ResponseWriter).Encode(api.ErrorBody{Error: msg, Code: code})
 	})
 }
 
@@ -130,7 +152,7 @@ func withRecovery(logger *slog.Logger, next http.Handler) http.Handler {
 					"panic", v,
 					"stack", string(debug.Stack()),
 				)
-				writeError(w, http.StatusInternalServerError, "internal server error")
+				writeError(w, http.StatusInternalServerError, api.CodeInternal, "internal server error")
 			}
 		}()
 		next.ServeHTTP(w, r)

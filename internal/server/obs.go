@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"aware/internal/api"
 	"aware/internal/obs"
 )
 
@@ -207,7 +208,7 @@ func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	if raw := q.Get("min_ms"); raw != "" {
 		v, err := strconv.ParseFloat(raw, 64)
 		if err != nil || v < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid min_ms %q", raw))
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, fmt.Sprintf("invalid min_ms %q", raw))
 			return
 		}
 		minMs = v
@@ -216,7 +217,7 @@ func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	if raw := q.Get("limit"); raw != "" {
 		v, err := strconv.Atoi(raw)
 		if err != nil || v < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid limit %q", raw))
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, fmt.Sprintf("invalid limit %q", raw))
 			return
 		}
 		limit = v

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 
+	"aware/internal/api"
 	"aware/internal/colstore"
 	"aware/internal/dataset"
 )
@@ -22,32 +23,18 @@ var (
 	ErrDatasetExists = errors.New("server: dataset already registered")
 )
 
-// ColumnInfo is one column of a dataset's schema as reported by /datasets.
-type ColumnInfo struct {
-	Name string `json:"name"`
-	Kind string `json:"kind"`
-}
-
-// SnapshotInfo describes the snapshot file backing a dataset, when there is
-// one.
-type SnapshotInfo struct {
-	Path      string `json:"path"`
-	SizeBytes int64  `json:"size_bytes"`
-}
-
-// DatasetInfo summarizes one registered dataset for listings. Columns remains
-// the plain name list for compatibility; Schema adds per-column kinds,
-// Storage reports where the vectors live ("mmap" when they alias a snapshot
-// mapping, "heap" otherwise) and Snapshot points at the backing file for
-// snapshot-loaded datasets.
-type DatasetInfo struct {
-	Name     string        `json:"name"`
-	Rows     int           `json:"rows"`
-	Columns  []string      `json:"columns"`
-	Schema   []ColumnInfo  `json:"schema"`
-	Storage  string        `json:"storage"`
-	Snapshot *SnapshotInfo `json:"snapshot,omitempty"`
-}
+// The dataset listing documents are defined by the wire contract in
+// internal/api; the server re-exports them so existing consumers keep
+// compiling.
+type (
+	// ColumnInfo is one column of a dataset's schema as reported by /datasets.
+	ColumnInfo = api.ColumnInfo
+	// SnapshotInfo describes the snapshot file backing a dataset, when there
+	// is one.
+	SnapshotInfo = api.SnapshotInfo
+	// DatasetInfo summarizes one registered dataset for listings.
+	DatasetInfo = api.DatasetInfo
+)
 
 // DatasetRegistry holds the named tables that sessions explore. Tables are
 // immutable once registered — sessions across many goroutines read them

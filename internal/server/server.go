@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"log/slog"
+	"net"
 	"net/http"
 	"time"
 
@@ -57,6 +58,10 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under GET /debug/pprof/ — opt-in
 	// because profiling endpoints have no business on an exposed port.
 	EnablePprof bool
+	// NodeName identifies this replica in a cluster: it is reported in
+	// /healthz and stamped on every response as the X-Aware-Node header.
+	// Empty (a standalone daemon) omits both.
+	NodeName string
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -73,6 +78,7 @@ type Server struct {
 	slow     *obs.SlowLog // nil when the slow-op log is disabled (Config.SlowOp == 0)
 	build    obs.BuildInfo
 	pprof    bool
+	node     string
 	pool     *dataset.Pool
 	ownPool  bool // pool was built for this server (Config.Workers > 0), so Close releases it
 	now      func() time.Time
@@ -115,6 +121,7 @@ func New(cfg Config) (*Server, error) {
 		slow:     obs.NewSlowLog(logger, cfg.SlowOp),
 		build:    obs.ReadBuild(),
 		pprof:    cfg.EnablePprof,
+		node:     cfg.NodeName,
 		pool:     pool,
 		ownPool:  ownPool,
 		now:      now,
@@ -132,11 +139,12 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.journal = journal
 	}
-	// Middleware, outermost first: panics become JSON 500s, every request is
-	// logged, and router-level text errors (404/405) are converted to JSON and
-	// counted. Per-endpoint metrics wrap the individual handlers inside the
-	// mux, so they observe exactly the requests that were routed.
-	s.handler = withRecovery(logger, withRequestLog(logger, withJSONErrors(s.metrics, s.routes())))
+	// Middleware, outermost first: every response is stamped with the node
+	// name, panics become JSON 500s, every request is logged, and router-level
+	// text errors (404/405) are converted to JSON and counted. Per-endpoint
+	// metrics wrap the individual handlers inside the mux, so they observe
+	// exactly the requests that were routed.
+	s.handler = withNodeHeader(cfg.NodeName, withRecovery(logger, withRequestLog(logger, withJSONErrors(s.metrics, s.routes()))))
 	return s, nil
 }
 
@@ -240,17 +248,32 @@ func (s *Server) Manager() *SessionManager { return s.manager }
 // logging, panic recovery).
 func (s *Server) Handler() http.Handler { return s.handler }
 
-// Run serves the API on addr until ctx is cancelled, then shuts down
-// gracefully: in-flight requests get shutdownGrace to finish before the
-// listener is torn down. The idle-session sweeper runs alongside the
-// listener. Run returns nil on a clean shutdown.
+// Run serves the API on addr until ctx is cancelled. See Serve.
 func (s *Server) Run(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		s.Close()
+		if s.journal != nil {
+			s.journal.Close()
+		}
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve serves the API on an already-bound listener until ctx is cancelled,
+// then shuts down gracefully: in-flight requests get shutdownGrace to finish
+// before the listener is torn down. The idle-session sweeper runs alongside
+// the listener. Taking a listener (rather than an address) lets callers bind
+// port 0 and publish the real address before serving — how cluster nodes
+// report themselves. Serve returns nil on a clean shutdown and owns the
+// listener either way.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	defer s.Close()
 	if s.journal != nil {
 		defer s.journal.Close()
 	}
 	httpServer := &http.Server{
-		Addr:              addr,
 		Handler:           s.handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -280,8 +303,8 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		s.log.Info("awared listening", "addr", addr)
-		errc <- httpServer.ListenAndServe()
+		s.log.Info("awared listening", "addr", ln.Addr().String(), "node", s.node)
+		errc <- httpServer.Serve(ln)
 	}()
 
 	select {
